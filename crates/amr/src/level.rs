@@ -1,0 +1,192 @@
+//! A single AMR refinement level: a cubic grid with an occupancy mask.
+
+use crate::mask::BitMask;
+
+/// One refinement level of a tree-based AMR dataset.
+///
+/// The grid is cubic with side `dim`; cell `(x, y, z)` lives at flat index
+/// `x + dim*(y + dim*z)`. A cell is *present* (stored at this level) iff
+/// its mask bit is set; absent cells hold `0.0` in `data` and their values
+/// live at some other level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmrLevel {
+    dim: usize,
+    data: Vec<f64>,
+    mask: BitMask,
+}
+
+impl AmrLevel {
+    /// Creates a level from raw parts.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != dim^3` or the mask length differs.
+    pub fn new(dim: usize, data: Vec<f64>, mask: BitMask) -> Self {
+        let n = dim * dim * dim;
+        assert_eq!(data.len(), n, "data length must be dim^3");
+        assert_eq!(mask.len(), n, "mask length must be dim^3");
+        AmrLevel { dim, data, mask }
+    }
+
+    /// Creates an empty (all-absent) level.
+    pub fn empty(dim: usize) -> Self {
+        let n = dim * dim * dim;
+        AmrLevel {
+            dim,
+            data: vec![0.0; n],
+            mask: BitMask::zeros(n),
+        }
+    }
+
+    /// Creates a fully populated level from dense data.
+    pub fn dense(dim: usize, data: Vec<f64>) -> Self {
+        let n = dim * dim * dim;
+        assert_eq!(data.len(), n, "data length must be dim^3");
+        AmrLevel {
+            dim,
+            data,
+            mask: BitMask::ones(n),
+        }
+    }
+
+    /// Grid side length.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total cell count (`dim^3`).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of present cells.
+    pub fn num_present(&self) -> usize {
+        self.mask.count_ones()
+    }
+
+    /// Fraction of present cells, in percent-free [0, 1] form. The paper's
+    /// "density of 77%" corresponds to `0.77` here.
+    pub fn density(&self) -> f64 {
+        self.mask.density()
+    }
+
+    /// Flat index of `(x, y, z)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.dim && y < self.dim && z < self.dim);
+        x + self.dim * (y + self.dim * z)
+    }
+
+    /// Whether cell `(x, y, z)` is present at this level.
+    #[inline]
+    pub fn present(&self, x: usize, y: usize, z: usize) -> bool {
+        self.mask.get(self.index(x, y, z))
+    }
+
+    /// Value at `(x, y, z)` (0.0 for absent cells).
+    #[inline]
+    pub fn value(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.data[self.index(x, y, z)]
+    }
+
+    /// Writes a present cell.
+    pub fn set_value(&mut self, x: usize, y: usize, z: usize, v: f64) {
+        let i = self.index(x, y, z);
+        self.data[i] = v;
+        self.mask.set(i, true);
+    }
+
+    /// Marks a cell absent and zeroes its storage.
+    pub fn clear_cell(&mut self, x: usize, y: usize, z: usize) {
+        let i = self.index(x, y, z);
+        self.data[i] = 0.0;
+        self.mask.set(i, false);
+    }
+
+    /// Raw data slice (absent cells are 0.0).
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data slice. Callers must keep mask semantics intact.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Occupancy mask.
+    #[inline]
+    pub fn mask(&self) -> &BitMask {
+        &self.mask
+    }
+
+    /// Values of present cells, in flat-index order (the "1D baseline"
+    /// representation of this level).
+    pub fn present_values(&self) -> Vec<f64> {
+        self.mask.iter_ones().map(|i| self.data[i]).collect()
+    }
+
+    /// Min/max over present cells; `None` if the level is empty.
+    pub fn value_range(&self) -> Option<(f64, f64)> {
+        let mut it = self.mask.iter_ones().map(|i| self.data[i]);
+        let first = it.next()?;
+        let mut min = first;
+        let mut max = first;
+        for v in it {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some((min, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut lvl = AmrLevel::empty(4);
+        assert_eq!(lvl.num_cells(), 64);
+        assert_eq!(lvl.num_present(), 0);
+        lvl.set_value(1, 2, 3, 9.5);
+        assert!(lvl.present(1, 2, 3));
+        assert_eq!(lvl.value(1, 2, 3), 9.5);
+        assert!(!lvl.present(3, 2, 1));
+        assert_eq!(lvl.density(), 1.0 / 64.0);
+    }
+
+    #[test]
+    fn dense_level_is_full() {
+        let lvl = AmrLevel::dense(2, (0..8).map(|i| i as f64).collect());
+        assert_eq!(lvl.num_present(), 8);
+        assert_eq!(lvl.value(1, 1, 1), 7.0);
+        assert_eq!(lvl.present_values().len(), 8);
+    }
+
+    #[test]
+    fn clear_cell_resets_storage() {
+        let mut lvl = AmrLevel::dense(2, vec![1.0; 8]);
+        lvl.clear_cell(0, 0, 0);
+        assert!(!lvl.present(0, 0, 0));
+        assert_eq!(lvl.value(0, 0, 0), 0.0);
+        assert_eq!(lvl.num_present(), 7);
+    }
+
+    #[test]
+    fn value_range_ignores_absent_cells() {
+        let mut lvl = AmrLevel::empty(2);
+        assert_eq!(lvl.value_range(), None);
+        lvl.set_value(0, 0, 0, -3.0);
+        lvl.set_value(1, 1, 1, 12.0);
+        assert_eq!(lvl.value_range(), Some((-3.0, 12.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim^3")]
+    fn wrong_data_length_panics() {
+        AmrLevel::dense(3, vec![0.0; 26]);
+    }
+}

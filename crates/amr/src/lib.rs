@@ -1,0 +1,44 @@
+//! # tac-amr
+//!
+//! Data model for **tree-based adaptive mesh refinement (AMR)** snapshots,
+//! as produced by AMReX/Nyx in octree mode: each refinement level is a
+//! cubic grid holding only the cells refined to exactly that level, with a
+//! bit mask recording which cells are present. No value is stored twice
+//! (the "tree-structured" layout of the paper's Fig. 16a).
+//!
+//! The crate provides:
+//! * [`AmrLevel`] / [`AmrDataset`] — levels, fine-to-coarse ordering,
+//!   refinement-ratio and exactly-one-coverage validation;
+//! * [`BlockGrid`] — unit-block occupancy summaries that TAC's
+//!   pre-process strategies (OpST / AKDTree / GSP) consume;
+//! * [`to_uniform`] / [`from_uniform`] — piecewise-constant prolongation
+//!   to a single uniform grid and back (the "3D baseline" substrate);
+//! * Morton-order utilities for the zMesh reordering baseline.
+//!
+//! ```
+//! use tac_amr::{AmrDataset, AmrLevel, to_uniform};
+//!
+//! // One coarse 2^3 level, fully present: a valid single-level dataset.
+//! let level = AmrLevel::dense(2, vec![1.0; 8]);
+//! let ds = AmrDataset::new("toy", vec![level]);
+//! ds.validate().unwrap();
+//! assert_eq!(to_uniform(&ds), vec![1.0; 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod blocks;
+mod dataset;
+mod level;
+mod mask;
+mod morton;
+mod upsample;
+
+pub use blocks::{copy_region, paste_region, BlockGrid};
+pub use dataset::{AmrDataset, AmrValidationError};
+pub use level::AmrLevel;
+pub use mask::BitMask;
+pub use morton::{morton2_decode, morton2_encode, morton3_decode, morton3_encode};
+pub use upsample::{
+    from_uniform, from_uniform_averaged, level_to_uniform, redundant_points, to_uniform,
+};

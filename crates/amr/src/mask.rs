@@ -1,0 +1,241 @@
+//! Compact bit mask recording which cells of a level are present.
+//!
+//! Tree-based AMR stores each cell at exactly one refinement level; the
+//! positions *not* stored at a level are "empty" there. A bit per cell is
+//! 64x cheaper than a `Vec<bool>` for the 1024^3-scale grids the paper
+//! works with.
+
+/// A fixed-length bit mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitMask {
+    /// Creates an all-zero mask of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitMask {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one mask of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut m = BitMask {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        m.clear_tail();
+        m
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits in [0, 1].
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Iterator over indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Zeroes any bits beyond `len` in the last word (keeps `count_ones`
+    /// honest after `ones`).
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Serializes as `len: u64 LE` followed by the packed words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a mask written by [`BitMask::to_bytes`]; `None` on malformed
+    /// input (wrong length, or set bits beyond `len`).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let len = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let n_words = len.div_ceil(64);
+        if bytes.len() != 8 + n_words * 8 {
+            return None;
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for i in 0..n_words {
+            let off = 8 + i * 8;
+            words.push(u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?));
+        }
+        let mut mask = BitMask { words, len };
+        // Reject streams with garbage beyond the tail rather than silently
+        // miscounting.
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(&last) = mask.words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return None;
+                }
+            }
+        }
+        mask.clear_tail();
+        Some(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitMask::zeros(100);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 100);
+        let o = BitMask::ones(100);
+        assert_eq!(o.count_ones(), 100);
+        assert!((o.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMask::zeros(130);
+        for i in (0..130).step_by(3) {
+            m.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(m.get(i), i % 3 == 0, "bit {i}");
+        }
+        m.set(63, false);
+        m.set(64, false);
+        assert!(!m.get(63) && !m.get(64));
+    }
+
+    #[test]
+    fn count_matches_iteration() {
+        let mut m = BitMask::zeros(777);
+        let picks = [0usize, 1, 63, 64, 65, 100, 511, 776];
+        for &i in &picks {
+            m.set(i, true);
+        }
+        assert_eq!(m.count_ones(), picks.len());
+        let collected: Vec<usize> = m.iter_ones().collect();
+        assert_eq!(collected, picks);
+    }
+
+    #[test]
+    fn ones_tail_is_clean() {
+        // 70 bits: second word must only have 6 set bits.
+        let m = BitMask::ones(70);
+        assert_eq!(m.count_ones(), 70);
+    }
+
+    #[test]
+    fn density_of_half() {
+        let mut m = BitMask::zeros(1000);
+        for i in 0..500 {
+            m.set(i * 2, true);
+        }
+        assert!((m.density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitMask::zeros(8).get(8);
+    }
+
+    #[test]
+    fn byte_serialization_roundtrip() {
+        let mut m = BitMask::zeros(100);
+        for i in [0usize, 5, 63, 64, 99] {
+            m.set(i, true);
+        }
+        let bytes = m.to_bytes();
+        let back = BitMask::from_bytes(&bytes).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(BitMask::from_bytes(&[]).is_none());
+        assert!(BitMask::from_bytes(&[1, 2, 3]).is_none());
+        // Declares 4 bits but ships 2 words.
+        let mut bad = 4u64.to_le_bytes().to_vec();
+        bad.extend_from_slice(&[0u8; 16]);
+        assert!(BitMask::from_bytes(&bad).is_none());
+        // Tail bits set beyond len.
+        let mut bad = 4u64.to_le_bytes().to_vec();
+        bad.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(BitMask::from_bytes(&bad).is_none());
+    }
+}

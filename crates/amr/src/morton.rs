@@ -1,0 +1,148 @@
+//! Morton (z-order) curve utilities.
+//!
+//! The zMesh baseline re-orders AMR points along a space-filling curve so
+//! that geometrically adjacent points sit near each other in the 1D
+//! stream. Morton interleaving is the standard choice ("original
+//! z-ordering" in the paper's Fig. 16).
+
+/// Spreads the low 21 bits of `v` so there are two zero bits between
+/// consecutive data bits (3D interleave building block).
+#[inline]
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`part1by2`].
+#[inline]
+fn compact1by2(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Encodes 3D coordinates (each < 2^21) into a Morton index.
+#[inline]
+pub fn morton3_encode(x: usize, y: usize, z: usize) -> u64 {
+    debug_assert!(x < (1 << 21) && y < (1 << 21) && z < (1 << 21));
+    part1by2(x as u64) | (part1by2(y as u64) << 1) | (part1by2(z as u64) << 2)
+}
+
+/// Decodes a Morton index back into `(x, y, z)`.
+#[inline]
+pub fn morton3_decode(m: u64) -> (usize, usize, usize) {
+    (
+        compact1by2(m) as usize,
+        compact1by2(m >> 1) as usize,
+        compact1by2(m >> 2) as usize,
+    )
+}
+
+/// Spreads the low 32 bits with one zero bit between data bits (2D).
+#[inline]
+fn part1by1(v: u64) -> u64 {
+    let mut x = v & 0xffff_ffff;
+    x = (x | (x << 16)) & 0x0000ffff0000ffff;
+    x = (x | (x << 8)) & 0x00ff00ff00ff00ff;
+    x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0f;
+    x = (x | (x << 2)) & 0x3333333333333333;
+    x = (x | (x << 1)) & 0x5555555555555555;
+    x
+}
+
+#[inline]
+fn compact1by1(v: u64) -> u64 {
+    let mut x = v & 0x5555555555555555;
+    x = (x | (x >> 1)) & 0x3333333333333333;
+    x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0f;
+    x = (x | (x >> 4)) & 0x00ff00ff00ff00ff;
+    x = (x | (x >> 8)) & 0x0000ffff0000ffff;
+    x = (x | (x >> 16)) & 0x0000_0000_ffff_ffff;
+    x
+}
+
+/// Encodes 2D coordinates (each < 2^32) into a Morton index.
+#[inline]
+pub fn morton2_encode(x: usize, y: usize) -> u64 {
+    part1by1(x as u64) | (part1by1(y as u64) << 1)
+}
+
+/// Decodes a 2D Morton index back into `(x, y)`.
+#[inline]
+pub fn morton2_decode(m: u64) -> (usize, usize) {
+    (compact1by1(m) as usize, compact1by1(m >> 1) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_3d_roundtrip() {
+        for &(x, y, z) in &[
+            (0usize, 0usize, 0usize),
+            (1, 2, 3),
+            (255, 0, 255),
+            (1023, 511, 7),
+            ((1 << 21) - 1, (1 << 21) - 1, (1 << 21) - 1),
+        ] {
+            assert_eq!(morton3_decode(morton3_encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn encode_decode_2d_roundtrip() {
+        for &(x, y) in &[(0usize, 0usize), (5, 9), (65535, 1), (123456, 654321)] {
+            assert_eq!(morton2_decode(morton2_encode(x, y)), (x, y));
+        }
+    }
+
+    #[test]
+    fn first_octant_bits() {
+        // (1,0,0) -> bit 0; (0,1,0) -> bit 1; (0,0,1) -> bit 2.
+        assert_eq!(morton3_encode(1, 0, 0), 0b001);
+        assert_eq!(morton3_encode(0, 1, 0), 0b010);
+        assert_eq!(morton3_encode(0, 0, 1), 0b100);
+        assert_eq!(morton3_encode(1, 1, 1), 0b111);
+    }
+
+    #[test]
+    fn z_order_is_locality_preserving_within_octants() {
+        // All 8 cells of the (0..2)^3 cube come before any cell with a
+        // coordinate >= 2.
+        let max_small = (0..2usize)
+            .flat_map(|z| (0..2usize).flat_map(move |y| (0..2usize).map(move |x| (x, y, z))))
+            .map(|(x, y, z)| morton3_encode(x, y, z))
+            .max()
+            .unwrap();
+        assert!(max_small < morton3_encode(2, 0, 0));
+        assert!(max_small < morton3_encode(0, 2, 0));
+        assert!(max_small < morton3_encode(0, 0, 2));
+    }
+
+    #[test]
+    fn morton_order_is_a_bijection_on_a_grid() {
+        let n = 8;
+        let mut seen = vec![false; n * n * n];
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let m = morton3_encode(x, y, z) as usize;
+                    assert!(m < n * n * n);
+                    assert!(!seen[m], "collision at {m}");
+                    seen[m] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,187 @@
+//! Generic distortion metrics: PSNR, NRMSE, maximum error.
+
+/// Distortion summary between an original and a reconstructed array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distortion {
+    /// Peak signal-to-noise ratio in dB (infinite for exact match).
+    pub psnr: f64,
+    /// Root-mean-square error normalized by the value range.
+    pub nrmse: f64,
+    /// Largest absolute point-wise error.
+    pub max_abs_error: f64,
+    /// Value range of the original data (`max - min`).
+    pub value_range: f64,
+}
+
+/// Computes distortion metrics; non-finite originals are skipped (they
+/// round-trip bit-exactly through the codec and carry no distortion).
+///
+/// PSNR follows the paper's definition:
+/// `20*log10(R) - 10*log10(mse)` with `R` the value range of the
+/// original.
+///
+/// # Panics
+/// Panics if lengths differ or no finite points exist.
+pub fn distortion(original: &[f64], reconstructed: &[f64]) -> Distortion {
+    assert_eq!(
+        original.len(),
+        reconstructed.len(),
+        "arrays must have equal length"
+    );
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum_sq = 0.0f64;
+    let mut max_err = 0.0f64;
+    let mut count = 0usize;
+    for (&a, &b) in original.iter().zip(reconstructed) {
+        if !a.is_finite() {
+            continue;
+        }
+        min = min.min(a);
+        max = max.max(a);
+        let e = a - b;
+        sum_sq += e * e;
+        max_err = max_err.max(e.abs());
+        count += 1;
+    }
+    assert!(count > 0, "no finite points to compare");
+    let range = max - min;
+    let mse = sum_sq / count as f64;
+    let psnr = if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    };
+    let nrmse = if range > 0.0 {
+        mse.sqrt() / range
+    } else {
+        mse.sqrt()
+    };
+    Distortion {
+        psnr,
+        nrmse,
+        max_abs_error: max_err,
+        value_range: range,
+    }
+}
+
+/// PSNR over the present cells of corresponding AMR levels — the
+/// distortion number the rate-distortion figures plot. The value range is
+/// the *global* range over all levels (one field, one range).
+pub fn amr_distortion(original: &tac_amr::AmrDataset, reconstructed: &tac_amr::AmrDataset) -> Distortion {
+    assert_eq!(
+        original.num_levels(),
+        reconstructed.num_levels(),
+        "level count mismatch"
+    );
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum_sq = 0.0f64;
+    let mut max_err = 0.0f64;
+    let mut count = 0usize;
+    for (lo, lr) in original.levels().iter().zip(reconstructed.levels()) {
+        assert_eq!(lo.dim(), lr.dim(), "level dim mismatch");
+        for i in lo.mask().iter_ones() {
+            let a = lo.data()[i];
+            let b = lr.data()[i];
+            if !a.is_finite() {
+                continue;
+            }
+            min = min.min(a);
+            max = max.max(a);
+            let e = a - b;
+            sum_sq += e * e;
+            max_err = max_err.max(e.abs());
+            count += 1;
+        }
+    }
+    assert!(count > 0, "no present finite cells");
+    let range = max - min;
+    let mse = sum_sq / count as f64;
+    let psnr = if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        20.0 * range.log10() - 10.0 * mse.log10()
+    };
+    Distortion {
+        psnr,
+        nrmse: if range > 0.0 { mse.sqrt() / range } else { mse.sqrt() },
+        max_abs_error: max_err,
+        value_range: range,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_infinite_psnr() {
+        let a = vec![1.0, 2.0, 3.0];
+        let d = distortion(&a, &a);
+        assert!(d.psnr.is_infinite());
+        assert_eq!(d.max_abs_error, 0.0);
+        assert_eq!(d.nrmse, 0.0);
+    }
+
+    #[test]
+    fn known_error_gives_expected_psnr() {
+        // Range 1, constant error 0.1 -> mse = 0.01 -> psnr = 20 dB.
+        let a = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        let b: Vec<f64> = a.iter().map(|v| v + 0.1).collect();
+        let d = distortion(&a, &b);
+        assert!((d.psnr - 20.0).abs() < 1e-9, "psnr {}", d.psnr);
+        assert!((d.max_abs_error - 0.1).abs() < 1e-12);
+        assert!((d.nrmse - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_improves_with_smaller_error() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let small: Vec<f64> = a.iter().map(|v| v + 0.01).collect();
+        let big: Vec<f64> = a.iter().map(|v| v + 1.0).collect();
+        assert!(distortion(&a, &small).psnr > distortion(&a, &big).psnr);
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let a = vec![f64::NAN, 1.0, 2.0];
+        let b = vec![f64::NAN, 1.0, 2.5];
+        let d = distortion(&a, &b);
+        assert!((d.max_abs_error - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amr_distortion_counts_present_cells_only() {
+        use tac_amr::{AmrDataset, AmrLevel};
+        let mut fine = AmrLevel::empty(4);
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 2..4 {
+                    fine.set_value(x, y, z, (x + y + z) as f64);
+                }
+            }
+        }
+        let mut coarse = AmrLevel::empty(2);
+        for z in 0..2 {
+            for y in 0..2 {
+                coarse.set_value(0, y, z, 1.0);
+            }
+        }
+        let ds = AmrDataset::new("t", vec![fine.clone(), coarse.clone()]);
+        // Perturb one present fine cell by 0.5; absent cells perturbed
+        // arbitrarily must not count.
+        let mut fine2 = fine.clone();
+        fine2.set_value(2, 0, 0, fine.value(2, 0, 0) + 0.5);
+        let mut data = fine2.data().to_vec();
+        data[0] = 999.0; // absent cell — ignored
+        let fine2 = AmrLevel::new(4, data, {
+            let mut m = fine.mask().clone();
+            m.set(0, false); // keep (0,0,0) absent as before
+            m
+        });
+        let ds2 = AmrDataset::new("t", vec![fine2, coarse]);
+        let d = amr_distortion(&ds, &ds2);
+        assert!((d.max_abs_error - 0.5).abs() < 1e-12);
+    }
+}

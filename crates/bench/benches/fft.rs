@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks for the FFT substrate (power-spectrum and
+//! GRF generation cost driver).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tac_fft::{Complex, Direction, Fft3Plan, FftPlan};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [1024usize, 16384] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("fft1d/{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut buf| plan.process(black_box(&mut buf), Direction::Forward),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    let n = 64;
+    let plan3 = Fft3Plan::cubic(n);
+    let field: Vec<Complex> = (0..n * n * n)
+        .map(|i| Complex::from_real((i as f64 * 0.001).cos()))
+        .collect();
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    group.sample_size(20);
+    group.bench_function("fft3d/64_parallel", |b| {
+        b.iter_batched(
+            || field.clone(),
+            |mut buf| plan3.process(black_box(&mut buf), Direction::Forward),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let plan3_seq = Fft3Plan::cubic(n).with_threads(1);
+    group.bench_function("fft3d/64_sequential", |b| {
+        b.iter_batched(
+            || field.clone(),
+            |mut buf| plan3_seq.process(black_box(&mut buf), Direction::Forward),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion microbenchmarks for the SZ substrate: compression and
+//! decompression throughput on a smooth 64^3 field (the regime the
+//! paper's Table 2 throughput numbers live in).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tac_nyx::{synthesize, FieldKind};
+use tac_sz::{compress, decompress, Dims, SzConfig};
+
+fn bench_sz(c: &mut Criterion) {
+    let n = 64;
+    let data = synthesize(FieldKind::BaryonDensity, n, 42);
+    let dims = Dims::D3(n, n, n);
+    let bytes = (n * n * n * 8) as u64;
+
+    let mut group = c.benchmark_group("sz_codec");
+    group.throughput(Throughput::Bytes(bytes));
+    group.sample_size(10);
+
+    for (label, cfg) in [
+        ("compress/rel1e-3", SzConfig::rel(1e-3)),
+        ("compress/rel1e-5", SzConfig::rel(1e-5)),
+        ("compress/no_regression", SzConfig::rel(1e-3).without_regression()),
+        ("compress/no_lossless", SzConfig::rel(1e-3).without_lossless()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| compress(black_box(&data), dims, &cfg).unwrap())
+        });
+    }
+
+    let stream = compress(&data, dims, &SzConfig::rel(1e-3)).unwrap();
+    group.bench_function("decompress/rel1e-3", |b| {
+        b.iter(|| decompress(black_box(&stream)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sz);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: the SZ backend stages. Huffman-only vs Huffman+LZSS, and
+//! pure-Lorenzo (SZ 1.4-style) vs Lorenzo+regression (SZ 2-style), on
+//! one dense smooth field — quantifying what each stage buys.
+
+use tac_nyx::{synthesize, FieldKind};
+use tac_sz::{compress, Dims, SzConfig};
+
+fn main() {
+    let n = 64;
+    let data = synthesize(FieldKind::BaryonDensity, n, 42);
+    let dims = Dims::D3(n, n, n);
+    println!("Ablation: codec stages on a {n}^3 baryon-density field");
+    println!("{:<34} {:>12} {:>8}", "configuration", "bytes", "CR");
+    for rel in [1e-3, 1e-4, 1e-5] {
+        for (label, cfg) in [
+            ("full (regression + LZSS)", SzConfig::rel(rel)),
+            ("no LZSS", SzConfig::rel(rel).without_lossless()),
+            ("no regression (SZ1.4-style)", SzConfig::rel(rel).without_regression()),
+            ("neither", SzConfig::rel(rel).without_lossless().without_regression()),
+        ] {
+            let bytes = compress(&data, dims, &cfg).unwrap();
+            println!(
+                "rel {rel:.0e} {label:<26} {:>12} {:>8.1}",
+                bytes.len(),
+                (n * n * n * 8) as f64 / bytes.len() as f64
+            );
+        }
+        println!();
+    }
+    println!("The regression stage is what lifts smooth-data CRs past the Lorenzo\nfeedback floor (~1.5 bits/value); LZSS then squeezes the skewed\nHuffman stream. Both are needed for paper-regime ratios.");
+}

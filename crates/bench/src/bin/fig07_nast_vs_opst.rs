@@ -1,0 +1,5 @@
+//! Harness binary for fig07 — see `tac_bench::experiments::fig07`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig07::report());
+}

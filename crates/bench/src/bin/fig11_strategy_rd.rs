@@ -1,0 +1,5 @@
+//! Harness binary for fig11 — see `tac_bench::experiments::fig11`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig11::report());
+}

@@ -1,0 +1,5 @@
+//! Harness binary for fig12 — see `tac_bench::experiments::fig12`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig12::report());
+}

@@ -1,0 +1,5 @@
+//! Harness binary for fig13 — see `tac_bench::experiments::fig13`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig13::report());
+}

@@ -1,0 +1,5 @@
+//! Harness binary for fig14 — see `tac_bench::experiments::fig14`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig14::report());
+}

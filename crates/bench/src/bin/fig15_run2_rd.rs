@@ -1,0 +1,5 @@
+//! Harness binary for fig15 — see `tac_bench::experiments::fig15`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig15::report());
+}

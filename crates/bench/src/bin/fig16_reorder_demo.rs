@@ -1,0 +1,5 @@
+//! Harness binary for fig16 — see `tac_bench::experiments::fig16`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig16::report());
+}

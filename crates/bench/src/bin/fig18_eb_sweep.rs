@@ -1,0 +1,5 @@
+//! Harness binary for fig18 — see `tac_bench::experiments::fig18`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig18::report());
+}

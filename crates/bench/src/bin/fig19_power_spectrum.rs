@@ -1,0 +1,5 @@
+//! Harness binary for fig19 — see `tac_bench::experiments::fig19`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::fig19::report());
+}

@@ -1,0 +1,28 @@
+//! Runs every table/figure harness in sequence — the full reproduction
+//! of the paper's evaluation section. Expect several minutes at the
+//! default scale; set `TAC_BENCH_SCALE=16` or `TAC_BENCH_QUICK=1` for a
+//! faster pass.
+
+use tac_bench::experiments as ex;
+
+fn main() {
+    let sections: Vec<(&str, fn() -> String)> = vec![
+        ("Fig. 7", ex::fig07::report),
+        ("Fig. 11", ex::fig11::report),
+        ("Fig. 12", ex::fig12::report),
+        ("Fig. 13", ex::fig13::report),
+        ("Fig. 14", ex::fig14::report),
+        ("Fig. 15", ex::fig15::report),
+        ("Fig. 16", ex::fig16::report),
+        ("Fig. 18", ex::fig18::report),
+        ("Fig. 19", ex::fig19::report),
+        ("Table 2", ex::table2::report),
+        ("Table 3", ex::table3::report),
+    ];
+    for (name, f) in sections {
+        let t0 = std::time::Instant::now();
+        println!("==================== {name} ====================");
+        print!("{}", f());
+        println!("  [{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,5 @@
+//! Harness binary for table2 — see `tac_bench::experiments::table2`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::table2::report());
+}

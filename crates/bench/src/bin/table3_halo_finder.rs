@@ -1,0 +1,5 @@
+//! Harness binary for table3 — see `tac_bench::experiments::table3`.
+
+fn main() {
+    print!("{}", tac_bench::experiments::table3::report());
+}

@@ -1,0 +1,17 @@
+//! Figure 15 — rate-distortion of TAC vs baselines on the Run 2
+//! snapshots (T2, T3, T4), whose finest levels are extremely sparse
+//! (0.2% … 3e-5). Expected shape: TAC sits top-left of every baseline;
+//! the 3D baseline is far behind because up-sampling a deep hierarchy
+//! materializes enormous redundancy.
+
+use crate::experiments::fig14::report_for;
+
+const DATASETS: &[&str] = &["Run2_T2", "Run2_T3", "Run2_T4"];
+
+/// Runs the three-panel sweep.
+pub fn report() -> String {
+    report_for(
+        DATASETS,
+        "Figure 15: rate-distortion on Run 2 (very sparse finest levels)",
+    )
+}

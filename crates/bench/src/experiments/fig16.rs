@@ -1,0 +1,103 @@
+//! Figure 16 — why zMesh does not help tree-based AMR data.
+//!
+//! Recreates the paper's 2-level toy example in 3D: a smooth field where
+//! refined (fine) cells hold high values and coarse cells low values.
+//! For each ordering — per-level 1D baseline, zMesh geometric
+//! interleaving — count the "significant value changes" (jumps larger
+//! than half the value range) a 1D compressor would have to absorb.
+//! On tree-based data zMesh *adds* jumps at every level transition.
+
+use tac_amr::{AmrDataset, AmrLevel, BitMask};
+use tac_core::{gather, zmesh_order};
+
+/// Builds the toy dataset: fine cells near the domain centre (values
+/// ~8-9), coarse cells elsewhere (values ~1-2) — the value split of the
+/// paper's example.
+fn toy() -> AmrDataset {
+    let fine_dim = 8;
+    let coarse_dim = 4;
+    let mut fine = AmrLevel::empty(fine_dim);
+    let mut coarse = AmrLevel::empty(coarse_dim);
+    for z in 0..coarse_dim {
+        for y in 0..coarse_dim {
+            for x in 0..coarse_dim {
+                let centre = (x as f64 - 1.5).abs() + (y as f64 - 1.5).abs() + (z as f64 - 1.5).abs();
+                if centre <= 1.5 {
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let v = 8.0 + ((2 * x + dx + 2 * y + dy + 2 * z + dz) as f64) * 0.05;
+                                fine.set_value(2 * x + dx, 2 * y + dy, 2 * z + dz, v);
+                            }
+                        }
+                    }
+                } else {
+                    coarse.set_value(x, y, z, 1.0 + (x + y + z) as f64 * 0.1);
+                }
+            }
+        }
+    }
+    AmrDataset::new("toy", vec![fine, coarse])
+}
+
+/// Jumps larger than half the global range.
+fn significant_changes(seq: &[f64]) -> usize {
+    let (lo, hi) = seq
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
+    let cut = (hi - lo) * 0.5;
+    seq.windows(2).filter(|w| (w[1] - w[0]).abs() > cut).count()
+}
+
+/// Runs the demonstration.
+pub fn report() -> String {
+    let ds = toy();
+    ds.validate().expect("toy dataset is valid");
+
+    // 1D baseline: each level separately, concatenated for counting (the
+    // jump at the single concatenation point is not charged).
+    let fine_vals = ds.levels()[0].present_values();
+    let coarse_vals = ds.levels()[1].present_values();
+    let jumps_1d = significant_changes(&fine_vals) + significant_changes(&coarse_vals);
+
+    // zMesh: one geometric interleaving of both levels.
+    let masks: Vec<&BitMask> = ds.levels().iter().map(|l| l.mask()).collect();
+    let order = zmesh_order(&masks, ds.finest_dim());
+    let data: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
+    let zmesh_vals = gather(&order, &data);
+    let jumps_zmesh = significant_changes(&zmesh_vals);
+
+    let mut out = String::new();
+    out.push_str("Figure 16: reordering on tree-based AMR (no redundant cells)\n");
+    out.push_str(&format!(
+        "  toy dataset: fine {}^3 (values ~8-9, centre), coarse {}^3 (values ~1-2)\n",
+        ds.levels()[0].dim(),
+        ds.levels()[1].dim()
+    ));
+    out.push_str(&format!(
+        "  present cells: fine {} / coarse {}\n\n",
+        ds.levels()[0].num_present(),
+        ds.levels()[1].num_present()
+    ));
+    out.push_str(&format!(
+        "  {:<28} {:>20}\n",
+        "ordering", "significant jumps"
+    ));
+    out.push_str(&format!(
+        "  {:<28} {:>20}\n",
+        "1D baseline (per level)", jumps_1d
+    ));
+    out.push_str(&format!(
+        "  {:<28} {:>20}\n",
+        "zMesh (geometric interleave)", jumps_zmesh
+    ));
+    out.push_str(&format!(
+        "\n  paper's point: without redundancy, every fine<->coarse transition in the\n  \
+         zMesh stream is a value cliff; the per-level 1D baseline never sees them.\n  \
+         zMesh/1D jump ratio here: {:.1}x\n",
+        jumps_zmesh as f64 / jumps_1d.max(1) as f64
+    ));
+    out
+}

@@ -1,0 +1,57 @@
+//! Figure 18 — bit-rate vs absolute error bound for the fine and coarse
+//! levels of Run1_Z2, compressed separately (TAC's level-wise view).
+//!
+//! Expected shape: both curves fall steeply at tight bounds and flatten
+//! as the bound grows — past some point, loosening the bound buys almost
+//! no size, which is the argument for rebalancing the per-level ratio
+//! (Sec. 4.5) instead of loosening everything.
+
+use crate::experiments::measure_level;
+use crate::support::{default_scale, default_unit, load_dataset};
+use tac_core::{choose_strategy, TacConfig};
+
+/// Absolute bounds swept (the paper's x-axis spans ~1e8..4e10 on Nyx
+/// baryon density; the synthetic field shares that value scale).
+const EBS: &[f64] = &[1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10, 3e10];
+
+/// Runs the sweep.
+pub fn report() -> String {
+    let scale = default_scale();
+    let unit = default_unit(scale);
+    let ds = load_dataset("Run1_Z2", scale, 18);
+    let cfg = TacConfig {
+        unit,
+        ..Default::default()
+    };
+
+    let mut out = String::new();
+    out.push_str("Figure 18: per-level bit-rate vs absolute error bound, Run1_Z2\n");
+    for (l, level) in ds.levels().iter().enumerate() {
+        let label = if l == 0 { "fine" } else { "coarse" };
+        out.push_str(&format!(
+            "\n  {label} level: {}^3, density {:.1}%, strategy {:?}\n",
+            level.dim(),
+            level.density() * 100.0,
+            choose_strategy(level, &cfg)
+        ));
+        out.push_str(&format!("  {:>10} {:>12} {:>10}\n", "abs eb", "bit-rate", "CR"));
+        let mut prev: Option<f64> = None;
+        for &eb in EBS {
+            let strategy = choose_strategy(level, &cfg);
+            let m = measure_level(level, strategy, eb, unit);
+            let slope = prev.map_or(String::from("      -"), |p| {
+                format!("{:+7.3}", m.bit_rate - p)
+            });
+            out.push_str(&format!(
+                "  {:>10.0e} {:>12.3} {:>10.1}   d(b/v) {slope}\n",
+                eb, m.bit_rate, m.ratio
+            ));
+            prev = Some(m.bit_rate);
+        }
+    }
+    out.push_str(
+        "\n  paper shape: both curves converge toward a floor as eb grows — large\n  \
+         bounds trade a lot of quality for almost no size (motivates 3:1 tuning).\n",
+    );
+    out
+}

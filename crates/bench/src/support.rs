@@ -1,0 +1,175 @@
+//! Shared plumbing for the experiment harnesses: dataset loading at the
+//! benchmark scale, CR-matched calibration, spectrum error, timing.
+
+use tac_amr::{to_uniform, AmrDataset};
+use tac_analysis::{amr_distortion, power_spectrum, relative_error};
+use tac_core::{compress_dataset, decompress_dataset, Method, TacConfig};
+use tac_nyx::FieldKind;
+use tac_sz::ErrorBound;
+
+/// Default down-scale factor from the paper's grid sizes (8 maps the
+/// paper's 512^3 levels to 64^3 — one node instead of a cluster).
+/// Override with the `TAC_BENCH_SCALE` environment variable.
+pub fn default_scale() -> usize {
+    std::env::var("TAC_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s: &usize| s >= 1)
+        .unwrap_or(8)
+}
+
+/// Unit-block size appropriate for the benchmark scale (the paper's 16
+/// on 512^3 corresponds to 16/scale, floored at 2).
+pub fn default_unit(scale: usize) -> usize {
+    (16 / scale).max(4).next_power_of_two()
+}
+
+/// Generates one catalog dataset at the benchmark scale.
+pub fn load_dataset(name: &str, scale: usize, seed: u64) -> AmrDataset {
+    tac_nyx::entry(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .generate(FieldKind::BaryonDensity, scale, seed)
+}
+
+/// One compression measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measured {
+    /// Resolved/requested error bound (caller's convention).
+    pub eb: f64,
+    /// Compression ratio over present cells.
+    pub ratio: f64,
+    /// Bits per value.
+    pub bit_rate: f64,
+    /// PSNR (dB) over present cells.
+    pub psnr: f64,
+    /// Compression wall time (seconds).
+    pub compress_s: f64,
+    /// Decompression wall time (seconds).
+    pub decompress_s: f64,
+}
+
+impl Measured {
+    /// End-to-end throughput in MB/s over the original (present-cell)
+    /// bytes, counting compression + decompression like the paper's
+    /// Table 2.
+    pub fn throughput_mb_s(&self, original_bytes: usize) -> f64 {
+        original_bytes as f64 / 1e6 / (self.compress_s + self.decompress_s)
+    }
+}
+
+/// Compresses + decompresses once and measures everything.
+pub fn measure(ds: &AmrDataset, cfg: &TacConfig, method: Method, eb_label: f64) -> Measured {
+    let t0 = std::time::Instant::now();
+    let cd = compress_dataset(ds, cfg, method).expect("compression failed");
+    let compress_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let out = decompress_dataset(&cd).expect("decompression failed");
+    let decompress_s = t1.elapsed().as_secs_f64();
+    let stats = cd.stats();
+    let d = amr_distortion(ds, &out);
+    Measured {
+        eb: eb_label,
+        ratio: stats.ratio(),
+        bit_rate: stats.bit_rate(),
+        psnr: d.psnr,
+        compress_s,
+        decompress_s,
+    }
+}
+
+/// Bisects a base absolute error bound so the method lands on
+/// `target_cr` (within 1%), returning `(base_eb, measurement)`.
+/// `level_scales` are TAC's per-level multipliers (ignored by baselines).
+pub fn calibrate_to_cr(
+    ds: &AmrDataset,
+    method: Method,
+    level_scales: Vec<f64>,
+    target_cr: f64,
+    unit: usize,
+) -> (f64, Measured) {
+    let (mut lo, mut hi) = (2.0f64, 14.0f64);
+    let mut best: Option<(f64, Measured)> = None;
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        let eb = 10f64.powf(mid);
+        let cfg = TacConfig {
+            unit,
+            error_bound: ErrorBound::Abs(eb),
+            level_eb_scale: level_scales.clone(),
+            ..Default::default()
+        };
+        let m = measure(ds, &cfg, method, eb);
+        let better = match &best {
+            None => true,
+            Some((_, b)) => (m.ratio - target_cr).abs() < (b.ratio - target_cr).abs(),
+        };
+        if better {
+            best = Some((eb, m));
+        }
+        if (m.ratio - target_cr).abs() / target_cr < 0.01 {
+            break;
+        }
+        if m.ratio > target_cr {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    best.expect("calibration ran")
+}
+
+/// Max relative power-spectrum error for `k < k_limit` between the
+/// original dataset and a reconstruction.
+pub fn spectrum_error(ds: &AmrDataset, recon: &AmrDataset, k_limit: f64) -> f64 {
+    let n = ds.finest_dim();
+    let a = power_spectrum(&to_uniform(ds), n);
+    let b = power_spectrum(&to_uniform(recon), n);
+    relative_error(&a, &b)
+        .into_iter()
+        .zip(&a.k)
+        .filter(|(_, &k)| k < k_limit)
+        .map(|(e, _)| e)
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_unit_defaults() {
+        assert!(default_scale() >= 1);
+        assert_eq!(default_unit(8), 4);
+        assert_eq!(default_unit(4), 4);
+        assert_eq!(default_unit(1), 16);
+        assert_eq!(default_unit(32), 4);
+    }
+
+    #[test]
+    fn measure_reports_consistent_numbers() {
+        let ds = load_dataset("Run1_Z10", 32, 5);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Rel(1e-3),
+            ..Default::default()
+        };
+        let m = measure(&ds, &cfg, Method::Tac, 1e-3);
+        assert!(m.ratio > 1.0);
+        assert!((m.ratio * m.bit_rate - 64.0).abs() < 1e-6);
+        assert!(m.psnr > 0.0);
+        assert!(m.throughput_mb_s(ds.total_present() * 8) > 0.0);
+    }
+
+    #[test]
+    fn calibration_hits_target_cr() {
+        // Tiny (16^3) datasets saturate around CR ~7 from fixed stream
+        // overheads, so target a modest ratio.
+        let ds = load_dataset("Run1_Z10", 32, 6);
+        let (_, m) = calibrate_to_cr(&ds, Method::Tac, vec![], 5.0, 2);
+        assert!(
+            (m.ratio - 5.0).abs() / 5.0 < 0.2,
+            "calibrated CR {} for target 5",
+            m.ratio
+        );
+    }
+}

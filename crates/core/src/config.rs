@@ -1,0 +1,239 @@
+//! TAC configuration: unit-block size, density thresholds, error bounds
+//! (including per-level adaptive bounds), and method selection.
+
+use crate::error::TacError;
+use serde::{Deserialize, Serialize};
+use tac_sz::ErrorBound;
+
+/// The pre-process strategy applied to one AMR level before 3D
+/// compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Level has no present cells; nothing is stored.
+    Empty,
+    /// Zero filling: compress the full grid, absent cells as 0 (baseline
+    /// for GSP, paper Fig. 12a).
+    ZeroFill,
+    /// Naive sparse tensor: remove empty unit blocks, batch the survivors
+    /// (Sec. 3.1, Fig. 5).
+    NaST,
+    /// Optimized sparse tensor: dynamic-programming max-cube extraction
+    /// (Sec. 3.1, Alg. 1).
+    OpST,
+    /// Adaptive k-d tree extraction (Sec. 3.2, Alg. 2).
+    AkdTree,
+    /// Ghost-shell padding (Sec. 3.3, Alg. 3).
+    Gsp,
+}
+
+impl Strategy {
+    /// Wire tag for container serialization.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Strategy::Empty => 0,
+            Strategy::ZeroFill => 1,
+            Strategy::NaST => 2,
+            Strategy::OpST => 3,
+            Strategy::AkdTree => 4,
+            Strategy::Gsp => 5,
+        }
+    }
+
+    /// Inverse of [`Strategy::tag`].
+    pub(crate) fn from_tag(tag: u8) -> Result<Self, TacError> {
+        Ok(match tag {
+            0 => Strategy::Empty,
+            1 => Strategy::ZeroFill,
+            2 => Strategy::NaST,
+            3 => Strategy::OpST,
+            4 => Strategy::AkdTree,
+            5 => Strategy::Gsp,
+            _ => return Err(TacError::Corrupt(format!("unknown strategy tag {tag}"))),
+        })
+    }
+}
+
+/// Full TAC configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TacConfig {
+    /// Unit block side length (the paper uses 16 for 512^3 levels; scaled
+    /// runs use 8). Must divide every level dimension.
+    pub unit: usize,
+    /// Density threshold T1 between OpST and AKDTree (paper: 0.50).
+    pub t1: f64,
+    /// Density threshold T2 between AKDTree and GSP — and the finest-level
+    /// threshold of the Sec. 4.4 TAC-vs-3D-baseline switch (paper: 0.60).
+    pub t2: f64,
+    /// Base error bound applied to every level (before per-level scaling).
+    pub error_bound: ErrorBound,
+    /// Per-level error-bound multipliers, fine to coarse (Sec. 4.5's
+    /// adaptive error bound; e.g. `[3.0, 1.0]` is the paper's 3:1 power-
+    /// spectrum tuning). Empty means uniform bounds. Missing trailing
+    /// levels default to 1.0.
+    pub level_eb_scale: Vec<f64>,
+    /// Force one strategy for every level (used by the per-figure
+    /// benchmarks); `None` selects by density (the hybrid of Sec. 3.4).
+    pub forced_strategy: Option<Strategy>,
+    /// Enable the Sec. 4.4 top-level switch: when the finest level's
+    /// density exceeds `t2`, compress via the 3D baseline instead of
+    /// level-wise TAC.
+    pub adaptive_3d_switch: bool,
+    /// Quantizer capacity handed to the SZ substrate.
+    pub sz_capacity: usize,
+    /// Whether SZ's lossless backend runs.
+    pub sz_lossless: bool,
+    /// Whether SZ's block-regression predictor runs (SZ2-style; disable
+    /// for SZ-1.4-style pure Lorenzo).
+    pub sz_regression: bool,
+    /// Worker threads for per-level / per-group compression (1 =
+    /// sequential).
+    pub threads: usize,
+}
+
+impl Default for TacConfig {
+    fn default() -> Self {
+        TacConfig {
+            unit: 8,
+            t1: 0.50,
+            t2: 0.60,
+            error_bound: ErrorBound::Rel(1e-4),
+            level_eb_scale: Vec::new(),
+            forced_strategy: None,
+            adaptive_3d_switch: false,
+            sz_capacity: 65536,
+            sz_lossless: true,
+            sz_regression: true,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(16),
+        }
+    }
+}
+
+impl TacConfig {
+    /// Default configuration with the given base error bound.
+    pub fn with_error_bound(eb: ErrorBound) -> Self {
+        TacConfig {
+            error_bound: eb,
+            ..Default::default()
+        }
+    }
+
+    /// Sets per-level error-bound multipliers (fine to coarse).
+    pub fn with_level_scales(mut self, scales: Vec<f64>) -> Self {
+        self.level_eb_scale = scales;
+        self
+    }
+
+    /// Forces a single strategy for all levels.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.forced_strategy = Some(strategy);
+        self
+    }
+
+    /// Sets the unit block size.
+    pub fn with_unit(mut self, unit: usize) -> Self {
+        self.unit = unit;
+        self
+    }
+
+    /// Enables the Sec. 4.4 adaptive 3D-baseline switch.
+    pub fn with_adaptive_3d_switch(mut self) -> Self {
+        self.adaptive_3d_switch = true;
+        self
+    }
+
+    /// Error-bound multiplier for level `l` (1.0 when unspecified).
+    pub fn level_scale(&self, level: usize) -> f64 {
+        self.level_eb_scale.get(level).copied().unwrap_or(1.0)
+    }
+
+    /// Validates thresholds and unit size.
+    pub fn validate(&self) -> Result<(), TacError> {
+        if self.unit == 0 || !self.unit.is_power_of_two() {
+            return Err(TacError::InvalidConfig(format!(
+                "unit block size {} must be a positive power of two",
+                self.unit
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.t1) || !(0.0..=1.0).contains(&self.t2) || self.t1 > self.t2
+        {
+            return Err(TacError::InvalidConfig(format!(
+                "thresholds must satisfy 0 <= t1 <= t2 <= 1, got t1={} t2={}",
+                self.t1, self.t2
+            )));
+        }
+        if self.level_eb_scale.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+            return Err(TacError::InvalidConfig(
+                "level eb scales must be positive and finite".into(),
+            ));
+        }
+        if self.threads == 0 {
+            return Err(TacError::InvalidConfig("threads must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The SZ configuration for a given resolved absolute bound.
+    pub(crate) fn sz_config(&self, abs_eb: f64) -> tac_sz::SzConfig {
+        tac_sz::SzConfig {
+            error_bound: ErrorBound::Abs(abs_eb),
+            capacity: self.sz_capacity,
+            lossless: self.sz_lossless,
+            regression: self.sz_regression,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_thresholds() {
+        let c = TacConfig::default();
+        assert_eq!(c.t1, 0.50);
+        assert_eq!(c.t2, 0.60);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn strategy_tags_roundtrip() {
+        for s in [
+            Strategy::Empty,
+            Strategy::ZeroFill,
+            Strategy::NaST,
+            Strategy::OpST,
+            Strategy::AkdTree,
+            Strategy::Gsp,
+        ] {
+            assert_eq!(Strategy::from_tag(s.tag()).unwrap(), s);
+        }
+        assert!(Strategy::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn level_scale_defaults_to_one() {
+        let c = TacConfig::default().with_level_scales(vec![3.0]);
+        assert_eq!(c.level_scale(0), 3.0);
+        assert_eq!(c.level_scale(1), 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_config() {
+        let mut c = TacConfig::default();
+        c.unit = 3;
+        assert!(c.validate().is_err());
+        let mut c = TacConfig::default();
+        c.t1 = 0.7;
+        c.t2 = 0.6;
+        assert!(c.validate().is_err());
+        let mut c = TacConfig::default();
+        c.level_eb_scale = vec![0.0];
+        assert!(c.validate().is_err());
+        let mut c = TacConfig::default();
+        c.threads = 0;
+        assert!(c.validate().is_err());
+    }
+}

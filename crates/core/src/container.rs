@@ -1,0 +1,403 @@
+//! Self-contained container for a compressed AMR dataset.
+//!
+//! The container records the compression *method* (TAC or one of the
+//! paper's three baselines), the per-level occupancy masks (the AMR grid
+//! structure — LZSS-packed, and accounted separately from the payload
+//! because every method shares it, mirroring how AMReX stores box lists
+//! outside the field data), and the method-specific payload.
+
+use crate::config::Strategy;
+use crate::error::TacError;
+use crate::stream::{CompressedLevel, Reader, Writer};
+use serde::{Deserialize, Serialize};
+use tac_amr::BitMask;
+use tac_sz::CompressionStats;
+
+/// Container magic number.
+const MAGIC: &[u8; 4] = b"TACD";
+/// Container format version.
+const VERSION: u8 = 1;
+
+/// Which compressor produced a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Method {
+    /// Level-wise 3D compression with per-level pre-processing (the
+    /// paper's contribution).
+    Tac,
+    /// Each level compressed separately as a 1D array of its present
+    /// values (the paper's "1D baseline").
+    Baseline1D,
+    /// All levels interleaved geometrically into one 1D stream (zMesh).
+    ZMesh,
+    /// Coarse levels up-sampled, merged to uniform resolution, compressed
+    /// as one 3D array (the paper's "3D baseline").
+    Baseline3D,
+}
+
+impl Method {
+    fn tag(self) -> u8 {
+        match self {
+            Method::Tac => 0,
+            Method::Baseline1D => 1,
+            Method::ZMesh => 2,
+            Method::Baseline3D => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, TacError> {
+        Ok(match tag {
+            0 => Method::Tac,
+            1 => Method::Baseline1D,
+            2 => Method::ZMesh,
+            3 => Method::Baseline3D,
+            _ => return Err(TacError::Corrupt(format!("unknown method tag {tag}"))),
+        })
+    }
+
+    /// Human-readable name used by the benchmark harnesses.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Tac => "TAC",
+            Method::Baseline1D => "1D",
+            Method::ZMesh => "zMesh",
+            Method::Baseline3D => "3D",
+        }
+    }
+}
+
+/// Method-specific compressed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodBody {
+    /// One [`CompressedLevel`] per AMR level, fine to coarse.
+    Tac(Vec<CompressedLevel>),
+    /// Per level: `None` for empty levels, else `(abs_eb, sz D1 stream)`.
+    Baseline1D(Vec<Option<(f64, Vec<u8>)>>),
+    /// One stream over the zMesh-ordered concatenation of all levels.
+    ZMesh {
+        /// Resolved absolute error bound.
+        abs_eb: f64,
+        /// SZ rank-1 stream.
+        stream: Vec<u8>,
+    },
+    /// One rank-3 stream over the merged uniform grid.
+    Baseline3D {
+        /// Resolved absolute error bound.
+        abs_eb: f64,
+        /// SZ rank-3 stream.
+        stream: Vec<u8>,
+    },
+}
+
+impl MethodBody {
+    fn method(&self) -> Method {
+        match self {
+            MethodBody::Tac(..) => Method::Tac,
+            MethodBody::Baseline1D(..) => Method::Baseline1D,
+            MethodBody::ZMesh { .. } => Method::ZMesh,
+            MethodBody::Baseline3D { .. } => Method::Baseline3D,
+        }
+    }
+}
+
+/// A compressed AMR dataset: structure metadata plus method payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Side of the finest grid.
+    pub finest_dim: usize,
+    /// Per-level occupancy masks, fine to coarse.
+    pub masks: Vec<BitMask>,
+    /// Method payload.
+    pub body: MethodBody,
+}
+
+impl CompressedDataset {
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// The compression method.
+    pub fn method(&self) -> Method {
+        self.body.method()
+    }
+
+    /// Total present cells across levels.
+    pub fn total_present(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones()).sum()
+    }
+
+    /// Per-level strategies (TAC payloads only).
+    pub fn strategies(&self) -> Option<Vec<Strategy>> {
+        match &self.body {
+            MethodBody::Tac(levels) => Some(levels.iter().map(|l| l.strategy).collect()),
+            _ => None,
+        }
+    }
+
+    /// Bytes of the compressed field payload — the size the paper's
+    /// compression ratios count.
+    pub fn payload_bytes(&self) -> usize {
+        match &self.body {
+            MethodBody::Tac(levels) => levels.iter().map(|l| l.total_bytes()).sum(),
+            MethodBody::Baseline1D(levels) => levels
+                .iter()
+                .map(|l| l.as_ref().map_or(1, |(_, s)| 9 + 8 + s.len()))
+                .sum(),
+            MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => {
+                8 + 8 + stream.len()
+            }
+        }
+    }
+
+    /// Bytes of the packed grid-structure masks (shared by all methods;
+    /// excluded from compression-ratio accounting, like AMReX box lists).
+    pub fn structure_bytes(&self) -> usize {
+        self.masks
+            .iter()
+            .map(|m| tac_sz::lossless::compress(&m.to_bytes()).len())
+            .sum()
+    }
+
+    /// Compression accounting over the AMR representation (present cells
+    /// only — the true storage the dataset needs before compression).
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats::new(self.total_present(), self.payload_bytes())
+    }
+
+    /// Serializes the container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(MAGIC[0]);
+        w.put_u8(MAGIC[1]);
+        w.put_u8(MAGIC[2]);
+        w.put_u8(MAGIC[3]);
+        w.put_u8(VERSION);
+        w.put_u8(self.method().tag());
+        w.put_str(&self.name);
+        w.put_u64(self.finest_dim as u64);
+        w.put_u8(self.masks.len() as u8);
+        for m in &self.masks {
+            w.put_blob(&tac_sz::lossless::compress(&m.to_bytes()));
+        }
+        match &self.body {
+            MethodBody::Tac(levels) => {
+                for l in levels {
+                    l.write(&mut w);
+                }
+            }
+            MethodBody::Baseline1D(levels) => {
+                for l in levels {
+                    match l {
+                        None => w.put_u8(0),
+                        Some((eb, stream)) => {
+                            w.put_u8(1);
+                            w.put_f64(*eb);
+                            w.put_blob(stream);
+                        }
+                    }
+                }
+            }
+            MethodBody::ZMesh { abs_eb, stream } | MethodBody::Baseline3D { abs_eb, stream } => {
+                w.put_f64(*abs_eb);
+                w.put_blob(stream);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a container written by [`CompressedDataset::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TacError> {
+        let mut r = Reader::new(bytes);
+        let magic = [r.get_u8()?, r.get_u8()?, r.get_u8()?, r.get_u8()?];
+        if &magic != MAGIC {
+            return Err(TacError::Corrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = r.get_u8()?;
+        if version != VERSION {
+            return Err(TacError::Corrupt(format!(
+                "unsupported container version {version}"
+            )));
+        }
+        let method = Method::from_tag(r.get_u8()?)?;
+        let name = r.get_str()?;
+        let finest_dim = r.get_u64()? as usize;
+        let num_levels = r.get_u8()? as usize;
+        if num_levels == 0 || num_levels > 16 {
+            return Err(TacError::Corrupt(format!("{num_levels} levels is implausible")));
+        }
+        let mut masks = Vec::with_capacity(num_levels);
+        for l in 0..num_levels {
+            let packed = r.get_blob()?;
+            let raw = tac_sz::lossless::decompress(packed)?;
+            let mask = BitMask::from_bytes(&raw)
+                .ok_or_else(|| TacError::Corrupt(format!("level {l} mask malformed")))?;
+            let dim = finest_dim >> l;
+            if mask.len() != dim * dim * dim {
+                return Err(TacError::Corrupt(format!(
+                    "level {l} mask has {} bits, expected {}",
+                    mask.len(),
+                    dim * dim * dim
+                )));
+            }
+            masks.push(mask);
+        }
+        let body = match method {
+            Method::Tac => {
+                let mut levels = Vec::with_capacity(num_levels);
+                for _ in 0..num_levels {
+                    levels.push(CompressedLevel::read(&mut r)?);
+                }
+                MethodBody::Tac(levels)
+            }
+            Method::Baseline1D => {
+                let mut levels = Vec::with_capacity(num_levels);
+                for _ in 0..num_levels {
+                    levels.push(match r.get_u8()? {
+                        0 => None,
+                        1 => Some((r.get_f64()?, r.get_blob()?.to_vec())),
+                        t => {
+                            return Err(TacError::Corrupt(format!(
+                                "unknown 1D level tag {t}"
+                            )))
+                        }
+                    });
+                }
+                MethodBody::Baseline1D(levels)
+            }
+            Method::ZMesh => MethodBody::ZMesh {
+                abs_eb: r.get_f64()?,
+                stream: r.get_blob()?.to_vec(),
+            },
+            Method::Baseline3D => MethodBody::Baseline3D {
+                abs_eb: r.get_f64()?,
+                stream: r.get_blob()?.to_vec(),
+            },
+        };
+        if r.remaining() != 0 {
+            return Err(TacError::Corrupt(format!(
+                "{} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(CompressedDataset {
+            name,
+            finest_dim,
+            masks,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_masks() -> Vec<BitMask> {
+        let mut fine = BitMask::zeros(64); // 4^3
+        for i in (0..64).step_by(2) {
+            fine.set(i, true);
+        }
+        let mut coarse = BitMask::zeros(8); // 2^3
+        coarse.set(0, true);
+        vec![fine, coarse]
+    }
+
+    #[test]
+    fn container_roundtrip_tac() {
+        let cd = CompressedDataset {
+            name: "Run1_Z10".into(),
+            finest_dim: 4,
+            masks: sample_masks(),
+            body: MethodBody::Tac(vec![
+                CompressedLevel {
+                    strategy: Strategy::OpST,
+                    dim: 4,
+                    abs_eb: 1e-3,
+                    payload: crate::stream::LevelPayload::Empty,
+                },
+                CompressedLevel {
+                    strategy: Strategy::Gsp,
+                    dim: 2,
+                    abs_eb: 2e-3,
+                    payload: crate::stream::LevelPayload::Whole(vec![1, 2, 3]),
+                },
+            ]),
+        };
+        let bytes = cd.to_bytes();
+        let back = CompressedDataset::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cd);
+        assert_eq!(back.method(), Method::Tac);
+        assert_eq!(
+            back.strategies().unwrap(),
+            vec![Strategy::OpST, Strategy::Gsp]
+        );
+    }
+
+    #[test]
+    fn container_roundtrip_baselines() {
+        for body in [
+            MethodBody::Baseline1D(vec![Some((1e-3, vec![7, 8])), None]),
+            MethodBody::ZMesh {
+                abs_eb: 0.5,
+                stream: vec![1; 20],
+            },
+            MethodBody::Baseline3D {
+                abs_eb: 0.25,
+                stream: vec![2; 10],
+            },
+        ] {
+            let cd = CompressedDataset {
+                name: "x".into(),
+                finest_dim: 4,
+                masks: sample_masks(),
+                body,
+            };
+            let bytes = cd.to_bytes();
+            let back = CompressedDataset::from_bytes(&bytes).unwrap();
+            assert_eq!(back, cd);
+            assert!(back.strategies().is_none());
+        }
+    }
+
+    #[test]
+    fn stats_count_present_cells() {
+        let cd = CompressedDataset {
+            name: "s".into(),
+            finest_dim: 4,
+            masks: sample_masks(),
+            body: MethodBody::ZMesh {
+                abs_eb: 1.0,
+                stream: vec![0; 33],
+            },
+        };
+        assert_eq!(cd.total_present(), 33);
+        let stats = cd.stats();
+        assert_eq!(stats.elements, 33);
+        assert_eq!(stats.original_bytes, 33 * 8);
+        assert!(cd.structure_bytes() > 0);
+    }
+
+    #[test]
+    fn corrupt_containers_are_rejected() {
+        let cd = CompressedDataset {
+            name: "c".into(),
+            finest_dim: 4,
+            masks: sample_masks(),
+            body: MethodBody::Baseline3D {
+                abs_eb: 1.0,
+                stream: vec![3; 5],
+            },
+        };
+        let bytes = cd.to_bytes();
+        assert!(CompressedDataset::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CompressedDataset::from_bytes(&bytes[1..]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(CompressedDataset::from_bytes(&extra).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 77;
+        assert!(CompressedDataset::from_bytes(&bad_version).is_err());
+    }
+}

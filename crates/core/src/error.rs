@@ -1,0 +1,58 @@
+//! Error type for TAC compression pipelines.
+
+use std::fmt;
+use tac_sz::SzError;
+
+/// Errors surfaced by dataset-level compression and decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TacError {
+    /// The underlying SZ codec failed.
+    Sz(SzError),
+    /// The compressed container is malformed.
+    Corrupt(String),
+    /// Configuration is invalid (thresholds, unit size, level scales).
+    InvalidConfig(String),
+    /// The dataset violates AMR invariants needed by the method.
+    InvalidDataset(String),
+}
+
+impl fmt::Display for TacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TacError::Sz(e) => write!(f, "sz codec: {e}"),
+            TacError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
+            TacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TacError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TacError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TacError::Sz(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SzError> for TacError {
+    fn from(e: SzError) -> Self {
+        TacError::Sz(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = TacError::from(SzError::ZeroDimension);
+        assert!(e.to_string().contains("sz codec"));
+        assert!(std::error::Error::source(&e).is_some());
+        let c = TacError::Corrupt("bad".into());
+        assert!(c.to_string().contains("bad"));
+        assert!(std::error::Error::source(&c).is_none());
+    }
+}

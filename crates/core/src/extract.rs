@@ -1,0 +1,209 @@
+//! Shared sub-block extraction machinery for the sparse strategies.
+//!
+//! NaST, OpST, and AKDTree all end the same way: a list of disjoint
+//! cuboid regions covering every non-empty unit block. This module turns
+//! such a plan into compressed [`BlockGroup`]s (same-shape regions merged
+//! into one rank-4 SZ stream, per the paper) and back.
+
+use crate::error::TacError;
+use crate::stream::BlockGroup;
+use crate::util::par_map;
+use tac_amr::{copy_region, paste_region};
+use tac_sz::{Dims, SzConfig};
+
+/// A cuboid region of a level, in **cell** coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Lowest-coordinate corner.
+    pub origin: (usize, usize, usize),
+    /// Extents `(w, h, d)`.
+    pub shape: (usize, usize, usize),
+}
+
+impl Region {
+    /// Number of cells covered.
+    pub fn num_cells(&self) -> usize {
+        self.shape.0 * self.shape.1 * self.shape.2
+    }
+}
+
+/// Compresses a region plan: groups regions by shape, batches each group
+/// into a rank-4 array, and runs the SZ substrate per group (in parallel).
+pub(crate) fn compress_regions(
+    data: &[f64],
+    dim: usize,
+    regions: &[Region],
+    sz_cfg: &SzConfig,
+    threads: usize,
+) -> Result<Vec<BlockGroup>, TacError> {
+    // Group by shape, preserving first-seen shape order for determinism.
+    let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
+    let mut grouped: Vec<Vec<&Region>> = Vec::new();
+    for r in regions {
+        match shapes.iter().position(|&s| s == r.shape) {
+            Some(i) => grouped[i].push(r),
+            None => {
+                shapes.push(r.shape);
+                grouped.push(vec![r]);
+            }
+        }
+    }
+    let jobs: Vec<(usize, Vec<&Region>)> = grouped.into_iter().enumerate().collect();
+    let results = par_map(threads, &jobs, |(shape_idx, group)| {
+        let (w, h, d) = shapes[*shape_idx];
+        let mut batch = Vec::with_capacity(w * h * d * group.len());
+        let mut origins = Vec::with_capacity(group.len());
+        for r in group {
+            batch.extend_from_slice(&copy_region(data, dim, r.origin, r.shape));
+            origins.push((r.origin.0 as u32, r.origin.1 as u32, r.origin.2 as u32));
+        }
+        let stream = tac_sz::compress(&batch, Dims::D4(w, h, d, group.len()), sz_cfg)?;
+        Ok::<BlockGroup, TacError>(BlockGroup {
+            shape: (w, h, d),
+            origins,
+            stream,
+        })
+    });
+    results.into_iter().collect()
+}
+
+/// Decompresses groups back into a dense `dim^3` grid (cells outside every
+/// region are zero).
+pub(crate) fn decompress_groups(groups: &[BlockGroup], dim: usize) -> Result<Vec<f64>, TacError> {
+    let mut out = vec![0.0f64; dim * dim * dim];
+    for g in groups {
+        let (w, h, d) = g.shape;
+        let (values, dims) = tac_sz::decompress(&g.stream)?;
+        if dims != Dims::D4(w, h, d, g.origins.len()) {
+            return Err(TacError::Corrupt(format!(
+                "group stream dims {dims:?} do not match shape {:?} x {}",
+                g.shape,
+                g.origins.len()
+            )));
+        }
+        let block = w * h * d;
+        for (i, &(x, y, z)) in g.origins.iter().enumerate() {
+            let (x, y, z) = (x as usize, y as usize, z as usize);
+            if x + w > dim || y + h > dim || z + d > dim {
+                return Err(TacError::Corrupt(format!(
+                    "region at ({x},{y},{z}) shape {:?} exceeds grid {dim}",
+                    g.shape
+                )));
+            }
+            paste_region(
+                &mut out,
+                dim,
+                (x, y, z),
+                (w, h, d),
+                &values[i * block..(i + 1) * block],
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac_sz::ErrorBound;
+
+    fn sz_cfg(eb: f64) -> SzConfig {
+        SzConfig {
+            error_bound: ErrorBound::Abs(eb),
+            ..SzConfig::default()
+        }
+    }
+
+    #[test]
+    fn regions_roundtrip_within_bound() {
+        let dim = 16;
+        let data: Vec<f64> = (0..dim * dim * dim)
+            .map(|i| (i as f64 * 0.01).sin() * 10.0)
+            .collect();
+        let regions = vec![
+            Region {
+                origin: (0, 0, 0),
+                shape: (8, 8, 8),
+            },
+            Region {
+                origin: (8, 8, 8),
+                shape: (8, 8, 8),
+            },
+            Region {
+                origin: (0, 8, 0),
+                shape: (4, 4, 4),
+            },
+        ];
+        let groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-3), 2).unwrap();
+        assert_eq!(groups.len(), 2, "two shapes -> two groups");
+        let out = decompress_groups(&groups, dim).unwrap();
+        for r in &regions {
+            for z in 0..r.shape.2 {
+                for y in 0..r.shape.1 {
+                    for x in 0..r.shape.0 {
+                        let i = (r.origin.0 + x) + dim * ((r.origin.1 + y) + dim * (r.origin.2 + z));
+                        assert!((out[i] - data[i]).abs() <= 1e-3);
+                    }
+                }
+            }
+        }
+        // Uncovered cell stays zero.
+        assert_eq!(out[15 + dim * (0 + dim * 0)], 0.0);
+    }
+
+    #[test]
+    fn same_shape_regions_share_one_stream() {
+        let dim = 8;
+        let data = vec![1.0; dim * dim * dim];
+        let regions: Vec<Region> = (0..4)
+            .map(|i| Region {
+                origin: (0, 0, 2 * i),
+                shape: (8, 8, 2),
+            })
+            .collect();
+        let groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].origins.len(), 4);
+    }
+
+    #[test]
+    fn corrupt_origin_rejected() {
+        let dim = 8;
+        let data = vec![1.0; dim * dim * dim];
+        let regions = vec![Region {
+            origin: (0, 0, 0),
+            shape: (4, 4, 4),
+        }];
+        let mut groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        groups[0].origins[0] = (6, 0, 0); // 6 + 4 > 8
+        assert!(decompress_groups(&groups, dim).is_err());
+    }
+
+    #[test]
+    fn mismatched_stream_dims_rejected() {
+        let dim = 8;
+        let data = vec![1.0; dim * dim * dim];
+        let regions = vec![Region {
+            origin: (0, 0, 0),
+            shape: (4, 4, 4),
+        }];
+        let mut groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        groups[0].shape = (2, 2, 2);
+        assert!(decompress_groups(&groups, dim).is_err());
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let dim = 16;
+        let data: Vec<f64> = (0..dim * dim * dim).map(|i| (i % 97) as f64).collect();
+        let regions: Vec<Region> = (0..8)
+            .map(|i| Region {
+                origin: ((i % 2) * 8, ((i / 2) % 2) * 8, (i / 4) * 8),
+                shape: (8, 8, 8),
+            })
+            .collect();
+        let a = compress_regions(&data, dim, &regions, &sz_cfg(1e-4), 1).unwrap();
+        let b = compress_regions(&data, dim, &regions, &sz_cfg(1e-4), 4).unwrap();
+        assert_eq!(a, b);
+    }
+}

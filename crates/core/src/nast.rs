@@ -1,0 +1,65 @@
+//! NaST — the naive sparse tensor method (paper Sec. 3.1, Fig. 5).
+//!
+//! Partition the level into unit blocks, drop the empty ones, batch the
+//! survivors into a rank-4 array, and compress. Simple, but every
+//! sub-block is small (one unit), so the fraction of boundary cells —
+//! which Lorenzo predicts poorly — is high. OpST exists to fix exactly
+//! that.
+
+use crate::extract::Region;
+use tac_amr::BlockGrid;
+
+/// Plans NaST extraction: one region per non-empty unit block, in
+/// row-major block order.
+pub fn plan_nast(grid: &BlockGrid) -> Vec<Region> {
+    let nb = grid.blocks_per_side();
+    let unit = grid.unit();
+    let mut regions = Vec::with_capacity(grid.num_nonempty());
+    for bz in 0..nb {
+        for by in 0..nb {
+            for bx in 0..nb {
+                if !grid.is_empty_block(bx, by, bz) {
+                    regions.push(Region {
+                        origin: (bx * unit, by * unit, bz * unit),
+                        shape: (unit, unit, unit),
+                    });
+                }
+            }
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac_amr::{AmrLevel, BlockGrid};
+
+    #[test]
+    fn plans_one_region_per_nonempty_block() {
+        let mut lvl = AmrLevel::empty(8);
+        // Populate two separated unit blocks (unit = 4).
+        lvl.set_value(0, 0, 0, 1.0);
+        lvl.set_value(5, 5, 5, 2.0);
+        let grid = BlockGrid::build(&lvl, 4);
+        let regions = plan_nast(&grid);
+        assert_eq!(regions.len(), 2);
+        assert_eq!(regions[0].origin, (0, 0, 0));
+        assert_eq!(regions[1].origin, (4, 4, 4));
+        assert!(regions.iter().all(|r| r.shape == (4, 4, 4)));
+    }
+
+    #[test]
+    fn empty_level_plans_nothing() {
+        let lvl = AmrLevel::empty(8);
+        let grid = BlockGrid::build(&lvl, 4);
+        assert!(plan_nast(&grid).is_empty());
+    }
+
+    #[test]
+    fn full_level_plans_every_block() {
+        let lvl = AmrLevel::dense(8, vec![1.0; 512]);
+        let grid = BlockGrid::build(&lvl, 2);
+        assert_eq!(plan_nast(&grid).len(), 64);
+    }
+}

@@ -1,0 +1,534 @@
+//! Dataset-level compression pipelines: TAC and the three baselines.
+//!
+//! The per-level entry points ([`compress_level`] / [`decompress_level`])
+//! are public because the paper's per-strategy experiments (Figs. 7,
+//! 11-13) operate on single levels; the dataset entry points
+//! ([`compress_dataset`] / [`decompress_dataset`]) implement the full
+//! methods compared in Figs. 14-15 and Tables 2-3.
+
+use crate::akdtree::plan_akdtree;
+use crate::config::{Strategy, TacConfig};
+use crate::container::{CompressedDataset, Method, MethodBody};
+use crate::density::choose_strategy;
+use crate::error::TacError;
+use crate::extract::{compress_regions, decompress_groups};
+use crate::gsp::pad_ghost_shell;
+use crate::nast::plan_nast;
+use crate::opst::plan_opst;
+use crate::stream::{CompressedLevel, LevelPayload};
+use crate::zmesh::{gather, scatter, zmesh_order};
+use tac_amr::{AmrDataset, AmrLevel, BitMask, BlockGrid, to_uniform};
+use tac_sz::{Dims, ErrorBound};
+
+/// Resolves the configured error bound for one level: applies the
+/// per-level multiplier, then converts relative bounds against the given
+/// value range.
+pub fn resolve_level_eb(
+    eb: ErrorBound,
+    scale: f64,
+    range: Option<(f64, f64)>,
+) -> Result<f64, TacError> {
+    let scaled = match eb {
+        ErrorBound::Abs(a) => ErrorBound::Abs(a * scale),
+        ErrorBound::Rel(r) => ErrorBound::Rel(r * scale),
+    };
+    let (min, max) = range.unwrap_or((0.0, 0.0));
+    Ok(scaled.resolve(min, max)?)
+}
+
+/// Effective unit-block size for a level (clamped so it divides the dim).
+fn unit_for(dim: usize, unit: usize) -> usize {
+    unit.min(dim)
+}
+
+/// Compresses a single AMR level with an explicit strategy and resolved
+/// absolute error bound.
+pub fn compress_level(
+    level: &AmrLevel,
+    strategy: Strategy,
+    abs_eb: f64,
+    cfg: &TacConfig,
+) -> Result<CompressedLevel, TacError> {
+    cfg.validate()?;
+    let dim = level.dim();
+    let sz_cfg = cfg.sz_config(abs_eb);
+    let payload = match strategy {
+        Strategy::Empty => LevelPayload::Empty,
+        Strategy::ZeroFill => {
+            let stream = tac_sz::compress(level.data(), Dims::D3(dim, dim, dim), &sz_cfg)?;
+            LevelPayload::Whole(stream)
+        }
+        Strategy::Gsp => {
+            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit));
+            let (padded, _) = pad_ghost_shell(level, &grid);
+            let stream = tac_sz::compress(&padded, Dims::D3(dim, dim, dim), &sz_cfg)?;
+            LevelPayload::Whole(stream)
+        }
+        Strategy::NaST => {
+            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit));
+            let regions = plan_nast(&grid);
+            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
+            LevelPayload::Groups(groups)
+        }
+        Strategy::OpST => {
+            let unit = unit_for(dim, cfg.unit);
+            let grid = BlockGrid::build(level, unit);
+            let plan = plan_opst(&grid);
+            let regions = plan.regions(unit);
+            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
+            LevelPayload::Groups(groups)
+        }
+        Strategy::AkdTree => {
+            let unit = unit_for(dim, cfg.unit);
+            let grid = BlockGrid::build(level, unit);
+            let plan = plan_akdtree(&grid);
+            let regions = plan.regions(unit);
+            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
+            LevelPayload::Groups(groups)
+        }
+    };
+    Ok(CompressedLevel {
+        strategy,
+        dim,
+        abs_eb,
+        payload,
+    })
+}
+
+/// Decompresses a level payload and applies the occupancy mask: absent
+/// cells are zeroed (discarding GSP padding and region zeros alike).
+pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel, TacError> {
+    let dim = cl.dim;
+    let n = dim * dim * dim;
+    if mask.len() != n {
+        return Err(TacError::Corrupt(format!(
+            "mask has {} bits for a {dim}^3 level",
+            mask.len()
+        )));
+    }
+    let mut data = match &cl.payload {
+        LevelPayload::Empty => vec![0.0; n],
+        LevelPayload::Whole(stream) => {
+            let (values, dims) = tac_sz::decompress(stream)?;
+            if dims != Dims::D3(dim, dim, dim) {
+                return Err(TacError::Corrupt(format!(
+                    "whole-grid stream dims {dims:?} for a {dim}^3 level"
+                )));
+            }
+            values
+        }
+        LevelPayload::Groups(groups) => decompress_groups(groups, dim)?,
+    };
+    for i in 0..n {
+        if !mask.get(i) {
+            data[i] = 0.0;
+        }
+    }
+    Ok(AmrLevel::new(dim, data, mask.clone()))
+}
+
+/// Implements the paper's Sec. 4.4 top-level selector: TAC when the
+/// finest level is sparse, the 3D baseline when it is dense (>= `t2`).
+pub fn select_method(ds: &AmrDataset, cfg: &TacConfig) -> Method {
+    if cfg.adaptive_3d_switch && ds.finest_density() >= cfg.t2 {
+        Method::Baseline3D
+    } else {
+        Method::Tac
+    }
+}
+
+/// Compresses a dataset with the given method.
+pub fn compress_dataset(
+    ds: &AmrDataset,
+    cfg: &TacConfig,
+    method: Method,
+) -> Result<CompressedDataset, TacError> {
+    cfg.validate()?;
+    let masks: Vec<BitMask> = ds.levels().iter().map(|l| l.mask().clone()).collect();
+    let body = match method {
+        Method::Tac => {
+            let mut levels = Vec::with_capacity(ds.num_levels());
+            for (l, level) in ds.levels().iter().enumerate() {
+                let strategy = choose_strategy(level, cfg);
+                let abs_eb =
+                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
+                levels.push(compress_level(level, strategy, abs_eb, cfg)?);
+            }
+            MethodBody::Tac(levels)
+        }
+        Method::Baseline1D => {
+            let mut levels = Vec::with_capacity(ds.num_levels());
+            for (l, level) in ds.levels().iter().enumerate() {
+                if level.num_present() == 0 {
+                    levels.push(None);
+                    continue;
+                }
+                let abs_eb =
+                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
+                let values = level.present_values();
+                let stream = tac_sz::compress(
+                    &values,
+                    Dims::D1(values.len()),
+                    &cfg.sz_config(abs_eb),
+                )?;
+                levels.push(Some((abs_eb, stream)));
+            }
+            MethodBody::Baseline1D(levels)
+        }
+        Method::ZMesh => {
+            let mask_refs: Vec<&BitMask> = masks.iter().collect();
+            let order = zmesh_order(&mask_refs, ds.finest_dim());
+            let data_refs: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
+            let values = gather(&order, &data_refs);
+            if values.is_empty() {
+                return Err(TacError::InvalidDataset("dataset has no present cells".into()));
+            }
+            let (min, max) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
+            let stream =
+                tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
+            MethodBody::ZMesh { abs_eb, stream }
+        }
+        Method::Baseline3D => {
+            let uniform = to_uniform(ds);
+            let n = ds.finest_dim();
+            let (min, max) = uniform
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
+            let stream = tac_sz::compress(&uniform, Dims::D3(n, n, n), &cfg.sz_config(abs_eb))?;
+            MethodBody::Baseline3D { abs_eb, stream }
+        }
+    };
+    Ok(CompressedDataset {
+        name: ds.name().to_string(),
+        finest_dim: ds.finest_dim(),
+        masks,
+        body,
+    })
+}
+
+/// Decompresses a container back into an AMR dataset.
+pub fn decompress_dataset(cd: &CompressedDataset) -> Result<AmrDataset, TacError> {
+    let finest_dim = cd.finest_dim;
+    let levels: Vec<AmrLevel> = match &cd.body {
+        MethodBody::Tac(compressed) => {
+            if compressed.len() != cd.masks.len() {
+                return Err(TacError::Corrupt(format!(
+                    "{} compressed levels for {} masks",
+                    compressed.len(),
+                    cd.masks.len()
+                )));
+            }
+            compressed
+                .iter()
+                .zip(&cd.masks)
+                .map(|(cl, mask)| decompress_level(cl, mask))
+                .collect::<Result<_, _>>()?
+        }
+        MethodBody::Baseline1D(streams) => {
+            if streams.len() != cd.masks.len() {
+                return Err(TacError::Corrupt("level count mismatch".into()));
+            }
+            let mut levels = Vec::with_capacity(streams.len());
+            for (l, (entry, mask)) in streams.iter().zip(&cd.masks).enumerate() {
+                let dim = finest_dim >> l;
+                let mut data = vec![0.0f64; dim * dim * dim];
+                if let Some((_, stream)) = entry {
+                    let (values, dims) = tac_sz::decompress(stream)?;
+                    if dims != Dims::D1(mask.count_ones()) {
+                        return Err(TacError::Corrupt(format!(
+                            "level {l}: stream holds {dims:?}, mask has {} cells",
+                            mask.count_ones()
+                        )));
+                    }
+                    for (slot, v) in mask.iter_ones().zip(values) {
+                        data[slot] = v;
+                    }
+                } else if mask.count_ones() != 0 {
+                    return Err(TacError::Corrupt(format!(
+                        "level {l} marked empty but mask has {} cells",
+                        mask.count_ones()
+                    )));
+                }
+                levels.push(AmrLevel::new(dim, data, mask.clone()));
+            }
+            levels
+        }
+        MethodBody::ZMesh { stream, .. } => {
+            let mask_refs: Vec<&BitMask> = cd.masks.iter().collect();
+            let order = zmesh_order(&mask_refs, finest_dim);
+            let (values, dims) = tac_sz::decompress(stream)?;
+            if dims != Dims::D1(order.len()) {
+                return Err(TacError::Corrupt(format!(
+                    "zMesh stream holds {dims:?}, traversal has {} cells",
+                    order.len()
+                )));
+            }
+            let mut bufs: Vec<Vec<f64>> = cd
+                .masks
+                .iter()
+                .enumerate()
+                .map(|(l, _)| {
+                    let dim = finest_dim >> l;
+                    vec![0.0f64; dim * dim * dim]
+                })
+                .collect();
+            scatter(&order, &values, &mut bufs);
+            bufs.into_iter()
+                .zip(&cd.masks)
+                .enumerate()
+                .map(|(l, (data, mask))| AmrLevel::new(finest_dim >> l, data, mask.clone()))
+                .collect()
+        }
+        MethodBody::Baseline3D { stream, .. } => {
+            let n = finest_dim;
+            let (uniform, dims) = tac_sz::decompress(stream)?;
+            if dims != Dims::D3(n, n, n) {
+                return Err(TacError::Corrupt(format!(
+                    "3D baseline stream dims {dims:?} for finest dim {n}"
+                )));
+            }
+            cd.masks
+                .iter()
+                .enumerate()
+                .map(|(l, mask)| {
+                    let dim = n >> l;
+                    let scale = 1usize << l;
+                    let mut data = vec![0.0f64; dim * dim * dim];
+                    for idx in mask.iter_ones() {
+                        let x = idx % dim;
+                        let y = (idx / dim) % dim;
+                        let z = idx / (dim * dim);
+                        // Sample the first covered fine position (exact
+                        // inverse of piecewise-constant up-sampling).
+                        data[idx] = uniform[x * scale + n * (y * scale + n * (z * scale))];
+                    }
+                    AmrLevel::new(dim, data, mask.clone())
+                })
+                .collect()
+        }
+    };
+    Ok(AmrDataset::new(cd.name.clone(), levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a two-level dataset with a blobby fine region (~30% fine
+    /// density) and smooth values.
+    fn blobby_dataset(fine_dim: usize) -> AmrDataset {
+        let coarse_dim = fine_dim / 2;
+        let mut fine = AmrLevel::empty(fine_dim);
+        let mut coarse = AmrLevel::empty(coarse_dim);
+        let c = fine_dim as f64 / 2.0;
+        for z in 0..coarse_dim {
+            for y in 0..coarse_dim {
+                for x in 0..coarse_dim {
+                    let (fx, fy, fz) = (2 * x, 2 * y, 2 * z);
+                    let dist = ((fx as f64 - c).powi(2)
+                        + (fy as f64 - c).powi(2)
+                        + (fz as f64 - c).powi(2))
+                    .sqrt();
+                    if dist < fine_dim as f64 * 0.33 {
+                        for dz in 0..2 {
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let (px, py, pz) = (fx + dx, fy + dy, fz + dz);
+                                    let v = ((px as f64) * 0.3).sin()
+                                        + ((py as f64) * 0.2).cos()
+                                        + pz as f64 * 0.05
+                                        + 5.0;
+                                    fine.set_value(px, py, pz, v);
+                                }
+                            }
+                        }
+                    } else {
+                        let v = ((x as f64) * 0.3).sin() + y as f64 * 0.01 + 3.0;
+                        coarse.set_value(x, y, z, v);
+                    }
+                }
+            }
+        }
+        let ds = AmrDataset::new("blobby", vec![fine, coarse]);
+        ds.validate().unwrap();
+        ds
+    }
+
+    fn check_level_bound(orig: &AmrLevel, recon: &AmrLevel, eb: f64) {
+        assert_eq!(orig.dim(), recon.dim());
+        for i in orig.mask().iter_ones() {
+            let (a, b) = (orig.data()[i], recon.data()[i]);
+            assert!((a - b).abs() <= eb * (1.0 + 1e-9), "cell {i}: {a} vs {b}");
+        }
+        // Absent cells reconstruct to exactly zero.
+        for i in 0..orig.num_cells() {
+            if !orig.mask().get(i) {
+                assert_eq!(recon.data()[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn every_strategy_roundtrips_a_level() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            threads: 2,
+            ..Default::default()
+        };
+        let eb = 1e-3;
+        for strategy in [
+            Strategy::ZeroFill,
+            Strategy::NaST,
+            Strategy::OpST,
+            Strategy::AkdTree,
+            Strategy::Gsp,
+        ] {
+            for level in ds.levels() {
+                let cl = compress_level(level, strategy, eb, &cfg).unwrap();
+                let out = decompress_level(&cl, level.mask()).unwrap();
+                check_level_bound(level, &out, eb);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_level_roundtrips() {
+        let level = AmrLevel::empty(8);
+        let cfg = TacConfig::default();
+        let cl = compress_level(&level, Strategy::Empty, 1.0, &cfg).unwrap();
+        assert_eq!(cl.payload, LevelPayload::Empty);
+        let out = decompress_level(&cl, level.mask()).unwrap();
+        assert_eq!(out.num_present(), 0);
+    }
+
+    #[test]
+    fn dataset_roundtrip_all_methods() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            threads: 2,
+            ..Default::default()
+        };
+        for method in [
+            Method::Tac,
+            Method::Baseline1D,
+            Method::ZMesh,
+            Method::Baseline3D,
+        ] {
+            let cd = compress_dataset(&ds, &cfg, method).unwrap();
+            assert_eq!(cd.method(), method);
+            let bytes = cd.to_bytes();
+            let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+            let out = decompress_dataset(&parsed).unwrap();
+            assert_eq!(out.num_levels(), ds.num_levels());
+            for (a, b) in ds.levels().iter().zip(out.levels()) {
+                check_level_bound(a, b, 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn tac_picks_strategies_by_density() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        let strategies = cd.strategies().unwrap();
+        // Fine level ~25% dense -> OpST; coarse level ~75% -> GSP.
+        assert_eq!(strategies[0], Strategy::OpST, "fine density {}", ds.densities()[0]);
+        assert_eq!(strategies[1], Strategy::Gsp, "coarse density {}", ds.densities()[1]);
+    }
+
+    #[test]
+    fn per_level_error_bounds_scale() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            level_eb_scale: vec![3.0, 1.0],
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        if let MethodBody::Tac(levels) = &cd.body {
+            assert!((levels[0].abs_eb - 3e-3).abs() < 1e-12);
+            assert!((levels[1].abs_eb - 1e-3).abs() < 1e-12);
+        } else {
+            panic!("expected TAC body");
+        }
+        // Bounds hold per level.
+        let out = decompress_dataset(&cd).unwrap();
+        check_level_bound(&ds.levels()[0], &out.levels()[0], 3e-3);
+        check_level_bound(&ds.levels()[1], &out.levels()[1], 1e-3);
+    }
+
+    #[test]
+    fn adaptive_switch_selects_3d_for_dense_finest() {
+        let fine = AmrLevel::dense(8, vec![1.0; 512]);
+        let ds = AmrDataset::new("dense", vec![fine]);
+        let cfg = TacConfig::default().with_adaptive_3d_switch();
+        assert_eq!(select_method(&ds, &cfg), Method::Baseline3D);
+        let sparse = blobby_dataset(16);
+        assert_eq!(select_method(&sparse, &cfg), Method::Tac);
+        // Switch off: always TAC.
+        let cfg_off = TacConfig::default();
+        assert_eq!(select_method(&ds, &cfg_off), Method::Tac);
+    }
+
+    #[test]
+    fn relative_bounds_resolve_per_level() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Rel(1e-3),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        if let MethodBody::Tac(levels) = &cd.body {
+            for (cl, lvl) in levels.iter().zip(ds.levels()) {
+                let (min, max) = lvl.value_range().unwrap();
+                assert!((cl.abs_eb - 1e-3 * (max - min)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn opst_beats_nast_on_sparse_data() {
+        // Fig. 7's claim: merging unit blocks into maximal cubes (OpST)
+        // costs no more than shipping every unit block separately (NaST) —
+        // fewer origins, fewer boundary cells.
+        let ds = blobby_dataset(32);
+        let fine = &ds.levels()[0];
+        let cfg = TacConfig {
+            unit: 4,
+            ..Default::default()
+        };
+        let eb = 1e-3;
+        let nast = compress_level(fine, Strategy::NaST, eb, &cfg).unwrap();
+        let opst = compress_level(fine, Strategy::OpST, eb, &cfg).unwrap();
+        assert!(
+            opst.total_bytes() <= nast.total_bytes(),
+            "OpST {} vs NaST {}",
+            opst.total_bytes(),
+            nast.total_bytes()
+        );
+        // And OpST extracts strictly fewer regions.
+        let count = |cl: &CompressedLevel| match &cl.payload {
+            LevelPayload::Groups(gs) => gs.iter().map(|g| g.origins.len()).sum::<usize>(),
+            _ => 0,
+        };
+        assert!(count(&opst) < count(&nast));
+    }
+}

@@ -1,0 +1,362 @@
+//! Wire-format primitives and the per-level compressed payload types
+//! shared by all strategies.
+
+use crate::config::Strategy;
+use crate::error::TacError;
+use bytes::{Buf, BufMut};
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Length-prefixed byte blob.
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_blob(v.as_bytes());
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), TacError> {
+        if self.buf.remaining() < n {
+            Err(TacError::Corrupt(format!(
+                "need {n} bytes, {} remain",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, TacError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, TacError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, TacError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, TacError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a length-prefixed blob (borrowed).
+    pub fn get_blob(&mut self) -> Result<&'a [u8], TacError> {
+        let len = self.get_u64()? as usize;
+        self.need(len)?;
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, TacError> {
+        let blob = self.get_blob()?;
+        String::from_utf8(blob.to_vec())
+            .map_err(|_| TacError::Corrupt("invalid UTF-8 string".into()))
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+/// A group of same-shape extracted sub-blocks compressed as one rank-4 SZ
+/// stream (the paper's "merge sub-blocks with the same size into the same
+/// array").
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockGroup {
+    /// Sub-block extents in **cells** `(w, h, d)`.
+    pub shape: (usize, usize, usize),
+    /// Cell-coordinate origins of each sub-block, in batch order.
+    pub origins: Vec<(u32, u32, u32)>,
+    /// SZ stream of shape `D4(w, h, d, origins.len())`.
+    pub stream: Vec<u8>,
+}
+
+impl BlockGroup {
+    pub(crate) fn write(&self, w: &mut Writer) {
+        w.put_u32(self.shape.0 as u32);
+        w.put_u32(self.shape.1 as u32);
+        w.put_u32(self.shape.2 as u32);
+        w.put_u32(self.origins.len() as u32);
+        for &(x, y, z) in &self.origins {
+            w.put_u32(x);
+            w.put_u32(y);
+            w.put_u32(z);
+        }
+        w.put_blob(&self.stream);
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<Self, TacError> {
+        let shape = (
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+            r.get_u32()? as usize,
+        );
+        let count = r.get_u32()? as usize;
+        // Origins are 12 bytes each; bound the allocation by what the
+        // buffer can actually hold.
+        if count.saturating_mul(12) > r.remaining() {
+            return Err(TacError::Corrupt(format!(
+                "group declares {count} origins but only {} bytes remain",
+                r.remaining()
+            )));
+        }
+        let mut origins = Vec::with_capacity(count);
+        for _ in 0..count {
+            origins.push((r.get_u32()?, r.get_u32()?, r.get_u32()?));
+        }
+        let stream = r.get_blob()?.to_vec();
+        Ok(BlockGroup {
+            shape,
+            origins,
+            stream,
+        })
+    }
+
+    /// Serialized metadata size (everything except the SZ stream) — the
+    /// "metadata overhead" the paper quantifies at ~0.1%.
+    pub fn metadata_bytes(&self) -> usize {
+        16 + self.origins.len() * 12 + 8
+    }
+
+    /// Total serialized size.
+    pub fn total_bytes(&self) -> usize {
+        self.metadata_bytes() + self.stream.len()
+    }
+}
+
+/// Compressed payload of one AMR level.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LevelPayload {
+    /// Level had no present cells.
+    Empty,
+    /// Whole-grid rank-3 SZ stream (ZeroFill and GSP).
+    Whole(Vec<u8>),
+    /// Extracted sub-block groups (NaST, OpST, AKDTree).
+    Groups(Vec<BlockGroup>),
+}
+
+/// One compressed AMR level with its strategy and resolved error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedLevel {
+    /// Strategy that produced the payload.
+    pub strategy: Strategy,
+    /// Grid side length of the level.
+    pub dim: usize,
+    /// Resolved absolute error bound used for this level.
+    pub abs_eb: f64,
+    /// The compressed payload.
+    pub payload: LevelPayload,
+}
+
+impl CompressedLevel {
+    pub(crate) fn write(&self, w: &mut Writer) {
+        w.put_u8(self.strategy.tag());
+        w.put_u64(self.dim as u64);
+        w.put_f64(self.abs_eb);
+        match &self.payload {
+            LevelPayload::Empty => w.put_u8(0),
+            LevelPayload::Whole(stream) => {
+                w.put_u8(1);
+                w.put_blob(stream);
+            }
+            LevelPayload::Groups(groups) => {
+                w.put_u8(2);
+                w.put_u32(groups.len() as u32);
+                for g in groups {
+                    g.write(w);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn read(r: &mut Reader<'_>) -> Result<Self, TacError> {
+        let strategy = Strategy::from_tag(r.get_u8()?)?;
+        let dim = r.get_u64()? as usize;
+        let abs_eb = r.get_f64()?;
+        let payload = match r.get_u8()? {
+            0 => LevelPayload::Empty,
+            1 => LevelPayload::Whole(r.get_blob()?.to_vec()),
+            2 => {
+                let n = r.get_u32()? as usize;
+                if n > r.remaining() {
+                    return Err(TacError::Corrupt(format!("{n} groups is implausible")));
+                }
+                let mut groups = Vec::with_capacity(n);
+                for _ in 0..n {
+                    groups.push(BlockGroup::read(r)?);
+                }
+                LevelPayload::Groups(groups)
+            }
+            t => return Err(TacError::Corrupt(format!("unknown payload tag {t}"))),
+        };
+        Ok(CompressedLevel {
+            strategy,
+            dim,
+            abs_eb,
+            payload,
+        })
+    }
+
+    /// Serialized size in bytes.
+    pub fn total_bytes(&self) -> usize {
+        let body = match &self.payload {
+            LevelPayload::Empty => 0,
+            LevelPayload::Whole(s) => 8 + s.len(),
+            LevelPayload::Groups(gs) => 4 + gs.iter().map(|g| g.total_bytes()).sum::<usize>(),
+        };
+        1 + 8 + 8 + 1 + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD);
+        w.put_u64(1 << 40);
+        w.put_f64(-2.5);
+        w.put_blob(b"hello");
+        w.put_str("Run1_Z10");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), -2.5);
+        assert_eq!(r.get_blob().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "Run1_Z10");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.get_u8().is_err());
+    }
+
+    #[test]
+    fn block_group_roundtrip() {
+        let g = BlockGroup {
+            shape: (16, 16, 8),
+            origins: vec![(0, 0, 0), (16, 32, 48)],
+            stream: vec![1, 2, 3, 4],
+        };
+        let mut w = Writer::new();
+        g.write(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), g.total_bytes());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(BlockGroup::read(&mut r).unwrap(), g);
+    }
+
+    #[test]
+    fn level_roundtrip_all_payloads() {
+        for payload in [
+            LevelPayload::Empty,
+            LevelPayload::Whole(vec![9, 9, 9]),
+            LevelPayload::Groups(vec![BlockGroup {
+                shape: (8, 8, 8),
+                origins: vec![(8, 0, 0)],
+                stream: vec![5; 10],
+            }]),
+        ] {
+            let lvl = CompressedLevel {
+                strategy: Strategy::OpST,
+                dim: 64,
+                abs_eb: 1e-3,
+                payload,
+            };
+            let mut w = Writer::new();
+            lvl.write(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), lvl.total_bytes());
+            let mut r = Reader::new(&bytes);
+            assert_eq!(CompressedLevel::read(&mut r).unwrap(), lvl);
+        }
+    }
+
+    #[test]
+    fn truncated_group_is_rejected() {
+        let g = BlockGroup {
+            shape: (4, 4, 4),
+            origins: vec![(0, 0, 0)],
+            stream: vec![1],
+        };
+        let mut w = Writer::new();
+        g.write(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(BlockGroup::read(&mut r).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn absurd_origin_count_is_rejected_before_allocating() {
+        let mut w = Writer::new();
+        w.put_u32(4);
+        w.put_u32(4);
+        w.put_u32(4);
+        w.put_u32(u32::MAX); // count
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(BlockGroup::read(&mut r).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Small parallel-execution helper shared by the pipeline.
+
+/// Applies `f` to every item, distributing work over `threads` scoped
+/// worker threads (atomic work-stealing index), and returns results in
+/// input order. Falls back to a sequential loop for one thread or tiny
+/// inputs.
+pub(crate) fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut out);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("missing result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(4, &items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_matches() {
+        let items: Vec<i32> = vec![3, 1, 4];
+        assert_eq!(par_map(1, &items, |&x| x + 1), vec![4, 2, 5]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(8, &[42], |&x| x), vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Heavier items early; correctness only (timing not asserted).
+        let items: Vec<u64> = (0..32).rev().collect();
+        let out = par_map(4, &items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+}

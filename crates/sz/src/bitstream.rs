@@ -1,0 +1,210 @@
+//! MSB-first bit-level writer and reader used by the Huffman coder.
+
+use crate::error::SzError;
+
+/// Accumulates bits MSB-first into a byte buffer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits accumulated in `acc`, left-aligned count in [0, 8).
+    acc: u8,
+    used: u8,
+    bits_written: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with pre-reserved capacity (in bytes).
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            ..Default::default()
+        }
+    }
+
+    /// Appends the low `nbits` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    /// Panics if `nbits > 64`.
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, nbits: u8) {
+        assert!(nbits <= 64, "cannot write more than 64 bits at once");
+        self.bits_written += nbits as u64;
+        let mut remaining = nbits;
+        while remaining > 0 {
+            let space = 8 - self.used;
+            let take = remaining.min(space);
+            // Bits [remaining-take, remaining) of `value`, placed at the
+            // top of the remaining space in `acc`.
+            let chunk = ((value >> (remaining - take)) & ((1u64 << take) - 1)) as u8;
+            self.acc |= chunk << (space - take);
+            self.used += take;
+            remaining -= take;
+            if self.used == 8 {
+                self.buf.push(self.acc);
+                self.acc = 0;
+                self.used = 0;
+            }
+        }
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(bit as u64, 1);
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bits_written
+    }
+
+    /// Finishes the stream, padding the final byte with zero bits.
+    /// Returns `(bytes, bit_len)`.
+    pub fn finish(mut self) -> (Vec<u8>, u64) {
+        if self.used > 0 {
+            self.buf.push(self.acc);
+        }
+        (self.buf, self.bits_written)
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Next bit index.
+    pos: u64,
+    /// Total valid bits in the stream.
+    bit_len: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `buf` containing `bit_len` valid bits.
+    ///
+    /// # Errors
+    /// Fails if `buf` is too short to hold `bit_len` bits.
+    pub fn new(buf: &'a [u8], bit_len: u64) -> Result<Self, SzError> {
+        if (buf.len() as u64) * 8 < bit_len {
+            return Err(SzError::Corrupt(format!(
+                "bitstream declares {bit_len} bits but holds only {}",
+                buf.len() as u64 * 8
+            )));
+        }
+        Ok(BitReader {
+            buf,
+            pos: 0,
+            bit_len,
+        })
+    }
+
+    /// Remaining readable bits.
+    pub fn remaining(&self) -> u64 {
+        self.bit_len - self.pos
+    }
+
+    /// Reads `nbits` bits MSB-first.
+    ///
+    /// # Errors
+    /// Fails on over-read.
+    #[inline]
+    pub fn read_bits(&mut self, nbits: u8) -> Result<u64, SzError> {
+        if self.remaining() < nbits as u64 {
+            return Err(SzError::Corrupt("bitstream over-read".into()));
+        }
+        let mut out = 0u64;
+        let mut remaining = nbits;
+        while remaining > 0 {
+            let byte = self.buf[(self.pos / 8) as usize];
+            let offset = (self.pos % 8) as u8;
+            let avail = 8 - offset;
+            let take = remaining.min(avail);
+            let chunk = (byte >> (avail - take)) & ((1u16 << take) - 1) as u8;
+            out = (out << take) | chunk as u64;
+            self.pos += take as u64;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Result<bool, SzError> {
+        Ok(self.read_bits(1)? == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_bits(0xDEADBEEF, 32);
+        w.write_bit(true);
+        w.write_bits(0, 7);
+        w.write_bits(u64::MAX, 64);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits).unwrap();
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(32).unwrap(), 0xDEADBEEF);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(7).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn over_read_is_detected() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        let (bytes, bits) = w.finish();
+        let mut r = BitReader::new(&bytes, bits).unwrap();
+        assert!(r.read_bits(3).is_err());
+    }
+
+    #[test]
+    fn truncated_buffer_is_detected() {
+        assert!(BitReader::new(&[0u8], 9).is_err());
+        assert!(BitReader::new(&[0u8], 8).is_ok());
+    }
+
+    #[test]
+    fn bit_order_is_msb_first() {
+        let mut w = BitWriter::new();
+        w.write_bit(true);
+        w.write_bits(0, 7);
+        let (bytes, _) = w.finish();
+        assert_eq!(bytes, vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let pattern: Vec<bool> = (0..1000).map(|i| (i * 7) % 3 == 0).collect();
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        let (bytes, bits) = w.finish();
+        assert_eq!(bits, 1000);
+        let mut r = BitReader::new(&bytes, bits).unwrap();
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn zero_bit_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(123, 0);
+        let (bytes, bits) = w.finish();
+        assert!(bytes.is_empty());
+        assert_eq!(bits, 0);
+    }
+}

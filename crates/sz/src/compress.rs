@@ -1,0 +1,565 @@
+//! The compression pipeline: prediction -> quantization -> Huffman ->
+//! lossless backend, and its exact inverse.
+//!
+//! Compressor and decompressor share one traversal (`traverse`) that walks
+//! the array in row-major order, computes the Lorenzo prediction from the
+//! reconstructed buffer, and hands each point to a [`PointCodec`]. The
+//! encoder quantizes real values; the decoder replays symbols. Both write
+//! the identical reconstruction, which is what guarantees the error bound.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::config::{Dims, SzConfig};
+use crate::container::{Header, FLAG_LOSSLESS, MAGIC, VERSION};
+use crate::error::SzError;
+use crate::huffman::HuffmanCode;
+use crate::lossless;
+use crate::predictor::{lorenzo_1d, lorenzo_2d, lorenzo_3d};
+use crate::quantizer::{Quantized, Quantizer, UNPREDICTABLE};
+use crate::regression::RegressionContext;
+
+/// Per-point behaviour plugged into the shared traversal.
+trait PointCodec {
+    /// Processes the point at flat index `idx` with prediction `pred`,
+    /// returning the reconstructed value to store.
+    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError>;
+}
+
+/// Encoder-side codec: quantizes the original data.
+struct Encoder<'a> {
+    data: &'a [f64],
+    quantizer: Quantizer,
+    symbols: Vec<u32>,
+    raws: Vec<f64>,
+}
+
+impl PointCodec for Encoder<'_> {
+    #[inline]
+    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
+        let v = self.data[idx];
+        let (q, recon) = self.quantizer.quantize(v, pred);
+        match q {
+            Quantized::Code(sym) => self.symbols.push(sym),
+            Quantized::Unpredictable => {
+                self.symbols.push(UNPREDICTABLE);
+                self.raws.push(v);
+            }
+        }
+        Ok(recon)
+    }
+}
+
+/// Decoder-side codec: replays the symbol stream.
+struct Decoder<'a> {
+    quantizer: Quantizer,
+    symbols: &'a [u32],
+    raws: &'a [f64],
+    next_raw: usize,
+}
+
+impl PointCodec for Decoder<'_> {
+    #[inline]
+    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
+        let sym = self.symbols[idx];
+        if sym == UNPREDICTABLE {
+            let v = *self
+                .raws
+                .get(self.next_raw)
+                .ok_or_else(|| SzError::Corrupt("raw value stream exhausted".into()))?;
+            self.next_raw += 1;
+            Ok(v)
+        } else {
+            Ok(self.quantizer.recover(sym, pred))
+        }
+    }
+}
+
+/// Walks the array row-major (x fastest), predicting each point from the
+/// reconstructed buffer — or from a block's regression plane when its
+/// slab context says so — and delegating to the codec. `contexts` holds
+/// one optional regression context per 3D slab (one for `D3`, `nw` for
+/// `D4`, none for ranks 1-2).
+fn traverse<C: PointCodec>(
+    dims: Dims,
+    recon: &mut [f64],
+    contexts: &[Option<RegressionContext>],
+    codec: &mut C,
+) -> Result<(), SzError> {
+    match dims {
+        Dims::D1(n) => {
+            for i in 0..n {
+                let pred = lorenzo_1d(recon, i);
+                recon[i] = codec.process(i, pred)?;
+            }
+        }
+        Dims::D2(nx, ny) => {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let idx = x + nx * y;
+                    let pred = lorenzo_2d(recon, nx, x, y);
+                    recon[idx] = codec.process(idx, pred)?;
+                }
+            }
+        }
+        Dims::D3(nx, ny, nz) => {
+            traverse_3d(nx, ny, nz, 0, recon, contexts.first().and_then(|c| c.as_ref()), codec)?;
+        }
+        Dims::D4(nx, ny, nz, nw) => {
+            // Batched 3D: prediction never crosses the w axis.
+            let block = nx * ny * nz;
+            for w in 0..nw {
+                let ctx = contexts.get(w).and_then(|c| c.as_ref());
+                traverse_3d(nx, ny, nz, w * block, recon, ctx, codec)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn traverse_3d<C: PointCodec>(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    base: usize,
+    recon: &mut [f64],
+    ctx: Option<&RegressionContext>,
+    codec: &mut C,
+) -> Result<(), SzError> {
+    let grid = &mut recon[base..base + nx * ny * nz];
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let idx = x + nx * (y + ny * z);
+                let pred = match ctx.and_then(|c| c.predict(x, y, z)) {
+                    Some(p) => p,
+                    None => lorenzo_3d(grid, nx, ny, x, y, z),
+                };
+                grid[idx] = codec.process(base + idx, pred)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds encoder-side regression contexts (one per 3D slab) when the
+/// configuration enables them and the rank is 3 or 4.
+fn build_contexts(data: &[f64], dims: Dims, abs_eb: f64, enabled: bool) -> Vec<Option<RegressionContext>> {
+    if !enabled {
+        return Vec::new();
+    }
+    match dims {
+        Dims::D3(nx, ny, nz) => vec![Some(RegressionContext::build(data, nx, ny, nz, abs_eb))],
+        Dims::D4(nx, ny, nz, nw) => {
+            let block = nx * ny * nz;
+            (0..nw)
+                .map(|w| {
+                    Some(RegressionContext::build(
+                        &data[w * block..(w + 1) * block],
+                        nx,
+                        ny,
+                        nz,
+                        abs_eb,
+                    ))
+                })
+                .collect()
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Compresses `data` with the given shape and configuration.
+///
+/// # Errors
+/// Fails on shape/config validation errors; never fails on data content
+/// (NaN/Inf values are stored verbatim).
+pub fn compress(data: &[f64], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>, SzError> {
+    compress_with_recon(data, dims, cfg).map(|(bytes, _)| bytes)
+}
+
+/// Like [`compress`] but also returns the reconstruction the decompressor
+/// will produce — callers computing distortion metrics (PSNR, power
+/// spectra) can skip a decompression pass.
+pub fn compress_with_recon(
+    data: &[f64],
+    dims: Dims,
+    cfg: &SzConfig,
+) -> Result<(Vec<u8>, Vec<f64>), SzError> {
+    dims.validate(data.len())?;
+    cfg.validate()?;
+    let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        if v.is_finite() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() {
+        // All-NaN/Inf input: any positive bound works, everything is raw.
+        min = 0.0;
+        max = 0.0;
+    }
+    let abs_eb = cfg.error_bound.resolve(min, max)?;
+    let quantizer = Quantizer::new(abs_eb, cfg.capacity);
+    let contexts = build_contexts(data, dims, abs_eb, cfg.regression);
+
+    let mut recon = vec![0.0f64; data.len()];
+    let mut enc = Encoder {
+        data,
+        quantizer,
+        symbols: Vec::with_capacity(data.len()),
+        raws: Vec::new(),
+    };
+    traverse(dims, &mut recon, &contexts, &mut enc)?;
+    let Encoder { symbols, raws, .. } = enc;
+
+    // Predictor side-section: tag + per-slab serialized contexts.
+    let mut pred_section = Vec::new();
+    if contexts.is_empty() {
+        pred_section.push(0u8);
+    } else {
+        pred_section.push(1u8);
+        for ctx in contexts.iter().flatten() {
+            ctx.serialize(abs_eb, &mut pred_section);
+        }
+    }
+
+    // Payload: raw count + raw values + predictor section + Huffman table
+    // + bit length + bits.
+    let huffman = HuffmanCode::from_symbols(&symbols);
+    let mut writer = BitWriter::with_capacity(symbols.len() / 4);
+    huffman.encode(&symbols, &mut writer);
+    let (bits, bit_len) = writer.finish();
+
+    let mut payload = Vec::with_capacity(
+        8 + raws.len() * 8 + pred_section.len() + 8 + huffman.table_size() + 8 + bits.len(),
+    );
+    payload.extend_from_slice(&(raws.len() as u64).to_le_bytes());
+    for &r in &raws {
+        payload.extend_from_slice(&r.to_bits().to_le_bytes());
+    }
+    payload.extend_from_slice(&(pred_section.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&pred_section);
+    huffman.serialize_table(&mut payload);
+    payload.extend_from_slice(&bit_len.to_le_bytes());
+    payload.extend_from_slice(&bits);
+
+    let mut flags = 0u8;
+    let body = if cfg.lossless {
+        let packed = lossless::compress(&payload);
+        if packed.len() < payload.len() {
+            flags |= FLAG_LOSSLESS;
+            packed
+        } else {
+            payload
+        }
+    } else {
+        payload
+    };
+
+    let header = Header {
+        flags,
+        dims,
+        abs_eb,
+        capacity: cfg.capacity as u32,
+    };
+    let mut out = Vec::with_capacity(header.encoded_len() + body.len());
+    header.encode(&mut out);
+    out.extend_from_slice(&body);
+    Ok((out, recon))
+}
+
+/// Decompresses a stream produced by [`compress`], returning the data and
+/// its shape.
+pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
+    let (header, consumed) = Header::decode(bytes)?;
+    let body = &bytes[consumed..];
+    let payload_owned;
+    let payload: &[u8] = if header.flags & FLAG_LOSSLESS != 0 {
+        payload_owned = lossless::decompress(body)?;
+        &payload_owned
+    } else {
+        body
+    };
+
+    let n = header.dims.len();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, len: usize| -> Result<&[u8], SzError> {
+        if *pos + len > payload.len() {
+            return Err(SzError::Corrupt("payload truncated".into()));
+        }
+        let s = &payload[*pos..*pos + len];
+        *pos += len;
+        Ok(s)
+    };
+
+    let n_raw = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    if n_raw > n {
+        return Err(SzError::Corrupt(format!(
+            "{n_raw} raw values for {n} points"
+        )));
+    }
+    let mut raws = Vec::with_capacity(n_raw);
+    for _ in 0..n_raw {
+        let bits = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+        raws.push(f64::from_bits(bits));
+    }
+
+    // Predictor side-section.
+    let pred_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let pred_section = take(&mut pos, pred_len)?;
+    let contexts: Vec<Option<RegressionContext>> = if pred_section.is_empty() {
+        return Err(SzError::Corrupt("missing predictor section".into()));
+    } else if pred_section[0] == 0 {
+        Vec::new()
+    } else if pred_section[0] == 1 {
+        let slab_dims = match header.dims {
+            Dims::D3(nx, ny, nz) => Some((nx, ny, nz, 1usize)),
+            Dims::D4(nx, ny, nz, nw) => Some((nx, ny, nz, nw)),
+            _ => None,
+        };
+        let (nx, ny, nz, nw) = slab_dims
+            .ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
+        let mut off = 1usize;
+        let mut ctxs = Vec::with_capacity(nw);
+        for _ in 0..nw {
+            let (ctx, used) = RegressionContext::deserialize(
+                &pred_section[off..],
+                nx,
+                ny,
+                nz,
+                header.abs_eb,
+            )?;
+            off += used;
+            ctxs.push(Some(ctx));
+        }
+        if off != pred_section.len() {
+            return Err(SzError::Corrupt("predictor section has trailing bytes".into()));
+        }
+        ctxs
+    } else {
+        return Err(SzError::Corrupt(format!(
+            "unknown predictor tag {}",
+            pred_section[0]
+        )));
+    };
+
+    let (huffman, table_len) = HuffmanCode::deserialize_table(&payload[pos..])?;
+    pos += table_len;
+    let bit_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let bit_bytes = &payload[pos..];
+    let mut reader = BitReader::new(bit_bytes, bit_len)?;
+    let symbols = huffman.decode(&mut reader, n)?;
+
+    let quantizer = Quantizer::new(header.abs_eb, header.capacity as usize);
+    let mut recon = vec![0.0f64; n];
+    let mut dec = Decoder {
+        quantizer,
+        symbols: &symbols,
+        raws: &raws,
+        next_raw: 0,
+    };
+    traverse(header.dims, &mut recon, &contexts, &mut dec)?;
+    if dec.next_raw != raws.len() {
+        return Err(SzError::Corrupt(format!(
+            "{} raw values unused",
+            raws.len() - dec.next_raw
+        )));
+    }
+    Ok((recon, header.dims))
+}
+
+/// Sanity check available to callers: magic-number sniffing.
+pub fn looks_like_stream(bytes: &[u8]) -> bool {
+    bytes.len() > 5 && bytes[..4] == MAGIC && bytes[4] == VERSION
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn smooth_3d(n: usize) -> Vec<f64> {
+        let mut v = Vec::with_capacity(n * n * n);
+        for z in 0..n {
+            for y in 0..n {
+                for x in 0..n {
+                    let (xf, yf, zf) = (x as f64, y as f64, z as f64);
+                    v.push((xf * 0.2).sin() * (yf * 0.15).cos() + (zf * 0.1).sin() * 2.0);
+                }
+            }
+        }
+        v
+    }
+
+    fn check_bound(orig: &[f64], recon: &[f64], eb: f64) {
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() <= eb * (1.0 + 1e-12), "point {i}: {a} vs {b}");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "non-finite point {i} must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d_abs_bound() {
+        let n = 16;
+        let data = smooth_3d(n);
+        let cfg = SzConfig::abs(1e-3);
+        let bytes = compress(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        let (out, dims) = decompress(&bytes).unwrap();
+        assert_eq!(dims, Dims::D3(n, n, n));
+        check_bound(&data, &out, 1e-3);
+        assert!(bytes.len() < data.len() * 8 / 4, "smooth data should compress 4x+");
+    }
+
+    #[test]
+    fn roundtrip_1d_and_2d() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.01).sin()).collect();
+        let cfg = SzConfig::abs(1e-4);
+        let bytes = compress(&data, Dims::D1(500), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        check_bound(&data, &out, 1e-4);
+
+        let bytes = compress(&data, Dims::D2(25, 20), &cfg).unwrap();
+        let (out, dims) = decompress(&bytes).unwrap();
+        assert_eq!(dims, Dims::D2(25, 20));
+        check_bound(&data, &out, 1e-4);
+    }
+
+    #[test]
+    fn roundtrip_4d_batched() {
+        let n = 8;
+        let blocks = 5;
+        let mut data = Vec::new();
+        for w in 0..blocks {
+            for i in 0..n * n * n {
+                data.push((i as f64 * 0.01 + w as f64).cos());
+            }
+        }
+        let cfg = SzConfig::abs(1e-5);
+        let bytes = compress(&data, Dims::D4(n, n, n, blocks), &cfg).unwrap();
+        let (out, dims) = decompress(&bytes).unwrap();
+        assert_eq!(dims, Dims::D4(n, n, n, blocks));
+        check_bound(&data, &out, 1e-5);
+    }
+
+    #[test]
+    fn relative_bound_resolves_against_range() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect(); // range 999
+        let cfg = SzConfig::rel(1e-3);
+        let bytes = compress(&data, Dims::D1(1000), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        check_bound(&data, &out, 0.999);
+    }
+
+    #[test]
+    fn recon_matches_decompressed_exactly() {
+        let n = 12;
+        let data = smooth_3d(n);
+        let cfg = SzConfig::abs(1e-2);
+        let (bytes, recon) = compress_with_recon(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        for (a, b) in recon.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn handles_nan_and_infinity() {
+        let mut data = smooth_3d(8);
+        data[3] = f64::NAN;
+        data[100] = f64::INFINITY;
+        data[200] = f64::NEG_INFINITY;
+        let cfg = SzConfig::abs(1e-3);
+        let bytes = compress(&data, Dims::D3(8, 8, 8), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        check_bound(&data, &out, 1e-3);
+        assert!(out[3].is_nan());
+        assert_eq!(out[100], f64::INFINITY);
+        assert_eq!(out[200], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn constant_field_compresses_tiny() {
+        let data = vec![7.25f64; 32 * 32 * 32];
+        let cfg = SzConfig::rel(1e-4);
+        let bytes = compress(&data, Dims::D3(32, 32, 32), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        assert_eq!(out, data);
+        assert!(bytes.len() < 600, "constant field took {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn random_data_still_respects_bound() {
+        // Worst case for prediction: white noise.
+        let data: Vec<f64> = (0..4096u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let cfg = SzConfig::abs(0.5);
+        let bytes = compress(&data, Dims::D3(16, 16, 16), &cfg).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        check_bound(&data, &out, 0.5);
+    }
+
+    #[test]
+    fn lossless_flag_reduces_or_preserves_size() {
+        let n = 16;
+        let data = smooth_3d(n);
+        let with = compress(&data, Dims::D3(n, n, n), &SzConfig::abs(1e-3)).unwrap();
+        let without =
+            compress(&data, Dims::D3(n, n, n), &SzConfig::abs(1e-3).without_lossless()).unwrap();
+        assert!(with.len() <= without.len() + 16);
+        let (a, _) = decompress(&with).unwrap();
+        let (b, _) = decompress(&without).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let data = vec![0.0; 10];
+        assert!(matches!(
+            compress(&data, Dims::D2(3, 4), &SzConfig::abs(1.0)),
+            Err(SzError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_not_panicking() {
+        let data = smooth_3d(8);
+        let mut bytes = compress(&data, Dims::D3(8, 8, 8), &SzConfig::abs(1e-3)).unwrap();
+        // Flip bytes throughout the stream; decompression must error or
+        // produce output, never panic.
+        for i in (0..bytes.len()).step_by(7) {
+            bytes[i] ^= 0xFF;
+            let _ = decompress(&bytes);
+            bytes[i] ^= 0xFF;
+        }
+        // Truncations likewise.
+        for cut in [0, 1, 5, 17, bytes.len() / 2] {
+            assert!(decompress(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn stream_sniffing() {
+        let data = vec![1.0; 8];
+        let bytes = compress(&data, Dims::D1(8), &SzConfig::abs(1.0)).unwrap();
+        assert!(looks_like_stream(&bytes));
+        assert!(!looks_like_stream(b"not a stream"));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        for n in 1..=4usize {
+            let data: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
+            let bytes = compress(&data, Dims::D1(n), &SzConfig::abs(0.1)).unwrap();
+            let (out, _) = decompress(&bytes).unwrap();
+            check_bound(&data, &out, 0.1);
+        }
+    }
+}

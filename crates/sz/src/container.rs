@@ -1,0 +1,221 @@
+//! On-disk container format for a single compressed array.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  [u8; 4] = "TSZ1"
+//! version u8    = 1
+//! flags   u8      bit 0: payload is LZSS-compressed
+//! rank    u8      1..=4
+//! dims    rank x u64
+//! abs_eb  f64     resolved absolute error bound
+//! capacity u32    quantizer bins
+//! payload ...     (see compress.rs)
+//! ```
+
+use crate::config::Dims;
+use crate::error::SzError;
+
+/// Stream magic number.
+pub const MAGIC: [u8; 4] = *b"TSZ1";
+/// Current format version.
+pub const VERSION: u8 = 1;
+/// Flag bit: payload passed through the LZSS stage.
+pub const FLAG_LOSSLESS: u8 = 0b0000_0001;
+
+/// Decoded stream header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Header {
+    /// Flag bits (see `FLAG_*`).
+    pub flags: u8,
+    /// Array shape.
+    pub dims: Dims,
+    /// Resolved absolute error bound used by the quantizer.
+    pub abs_eb: f64,
+    /// Quantizer capacity.
+    pub capacity: u32,
+}
+
+impl Header {
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        4 + 1 + 1 + 1 + self.dims.rank() as usize * 8 + 8 + 4
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.flags);
+        out.push(self.dims.rank());
+        let mut push_dim = |d: usize| out.extend_from_slice(&(d as u64).to_le_bytes());
+        match self.dims {
+            Dims::D1(a) => push_dim(a),
+            Dims::D2(a, b) => {
+                push_dim(a);
+                push_dim(b);
+            }
+            Dims::D3(a, b, c) => {
+                push_dim(a);
+                push_dim(b);
+                push_dim(c);
+            }
+            Dims::D4(a, b, c, d) => {
+                push_dim(a);
+                push_dim(b);
+                push_dim(c);
+                push_dim(d);
+            }
+        }
+        out.extend_from_slice(&self.abs_eb.to_le_bytes());
+        out.extend_from_slice(&self.capacity.to_le_bytes());
+    }
+
+    /// Decodes a header, returning it and the bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(Self, usize), SzError> {
+        if bytes.len() < 7 {
+            return Err(SzError::Corrupt("stream shorter than header".into()));
+        }
+        if bytes[..4] != MAGIC {
+            return Err(SzError::UnsupportedFormat(format!(
+                "bad magic {:02x?}",
+                &bytes[..4]
+            )));
+        }
+        if bytes[4] != VERSION {
+            return Err(SzError::UnsupportedFormat(format!(
+                "version {} (expected {VERSION})",
+                bytes[4]
+            )));
+        }
+        let flags = bytes[5];
+        let rank = bytes[6];
+        let need = 7 + rank as usize * 8 + 8 + 4;
+        if !(1..=4).contains(&rank) {
+            return Err(SzError::Corrupt(format!("invalid rank {rank}")));
+        }
+        if bytes.len() < need {
+            return Err(SzError::Corrupt("header truncated".into()));
+        }
+        let mut pos = 7;
+        let dim = |pos: &mut usize| -> usize {
+            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            v as usize
+        };
+        let dims = match rank {
+            1 => Dims::D1(dim(&mut pos)),
+            2 => Dims::D2(dim(&mut pos), dim(&mut pos)),
+            3 => Dims::D3(dim(&mut pos), dim(&mut pos), dim(&mut pos)),
+            _ => Dims::D4(dim(&mut pos), dim(&mut pos), dim(&mut pos), dim(&mut pos)),
+        };
+        if dims.is_empty() {
+            return Err(SzError::Corrupt("zero-sized dimensions".into()));
+        }
+        // Reject absurd sizes before the decompressor allocates (declared
+        // dims drive a vec![0.0; n] allocation).
+        if dims.len() > (1usize << 40) {
+            return Err(SzError::Corrupt(format!(
+                "declared element count {} is implausible",
+                dims.len()
+            )));
+        }
+        let abs_eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let capacity = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        if !(abs_eb > 0.0) || !abs_eb.is_finite() {
+            return Err(SzError::Corrupt(format!("invalid stored eb {abs_eb}")));
+        }
+        if capacity < 4 || capacity % 2 != 0 {
+            return Err(SzError::Corrupt(format!("invalid stored capacity {capacity}")));
+        }
+        Ok((
+            Header {
+                flags,
+                dims,
+                abs_eb,
+                capacity,
+            },
+            pos,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_all_ranks() {
+        for dims in [
+            Dims::D1(100),
+            Dims::D2(10, 20),
+            Dims::D3(4, 5, 6),
+            Dims::D4(2, 3, 4, 5),
+        ] {
+            let h = Header {
+                flags: FLAG_LOSSLESS,
+                dims,
+                abs_eb: 1.5e-4,
+                capacity: 65536,
+            };
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            assert_eq!(buf.len(), h.encoded_len());
+            let (h2, consumed) = Header::decode(&buf).unwrap();
+            assert_eq!(consumed, buf.len());
+            assert_eq!(h2, h);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_version() {
+        let h = Header {
+            flags: 0,
+            dims: Dims::D1(10),
+            abs_eb: 1.0,
+            capacity: 1024,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Header::decode(&bad),
+            Err(SzError::UnsupportedFormat(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Header::decode(&bad),
+            Err(SzError::UnsupportedFormat(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_invalid_fields() {
+        let h = Header {
+            flags: 0,
+            dims: Dims::D1(10),
+            abs_eb: 1.0,
+            capacity: 1024,
+        };
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // rank byte
+        let mut bad = buf.clone();
+        bad[6] = 9;
+        assert!(Header::decode(&bad).is_err());
+        // truncation
+        assert!(Header::decode(&buf[..10]).is_err());
+        // zero dims
+        let zero = Header {
+            dims: Dims::D1(0),
+            ..h
+        };
+        let mut buf0 = Vec::new();
+        zero.encode(&mut buf0);
+        assert!(Header::decode(&buf0).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # tac-sz
+//!
+//! A from-scratch, SZ-style **error-bounded lossy compressor** for
+//! floating-point scientific data — the substrate the TAC paper (HPDC'22)
+//! builds on. The pipeline mirrors the three SZ stages the paper describes:
+//!
+//! 1. **Prediction** — Lorenzo predictors (1D/2D/3D, plus batched-3D for
+//!    rank-4 inputs) evaluated on *reconstructed* neighbours
+//!    ([`mod@predictor`]);
+//! 2. **Error-controlled quantization** — linear-scaling bins of width
+//!    `2*eb` with verbatim fallback for unpredictable points
+//!    ([`Quantizer`]);
+//! 3. **Entropy + dictionary coding** — canonical Huffman over the
+//!    quantization codes followed by an LZSS lossless stage
+//!    ([`HuffmanCode`], [`mod@lossless`]).
+//!
+//! The guarantee: for every finite input value `v` and its reconstruction
+//! `v'`, `|v - v'| <= eb` (absolute mode) or `|v - v'| <= eb * range`
+//! (value-range-relative mode). Non-finite values round-trip bit-exactly.
+//!
+//! ```
+//! use tac_sz::{compress, decompress, Dims, SzConfig};
+//!
+//! let data: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.01).sin()).collect();
+//! let bytes = compress(&data, Dims::D3(16, 16, 16), &SzConfig::abs(1e-4)).unwrap();
+//! let (restored, dims) = decompress(&bytes).unwrap();
+//! assert_eq!(dims, Dims::D3(16, 16, 16));
+//! for (a, b) in data.iter().zip(&restored) {
+//!     assert!((a - b).abs() <= 1e-4);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitstream;
+mod compress;
+mod config;
+mod container;
+mod error;
+pub mod huffman;
+pub mod lossless;
+pub mod predictor;
+mod quantizer;
+pub mod regression;
+mod stats;
+
+pub use compress::{compress, compress_with_recon, decompress, looks_like_stream};
+pub use config::{Dims, ErrorBound, SzConfig};
+pub use container::Header;
+pub use error::SzError;
+pub use huffman::HuffmanCode;
+pub use quantizer::{Quantized, Quantizer, UNPREDICTABLE};
+pub use regression::{RegressionContext, REGRESSION_BLOCK};
+pub use stats::CompressionStats;

@@ -1,0 +1,80 @@
+//! Compression accounting: ratio, bit-rate, and simple distortion summary.
+
+use serde::{Deserialize, Serialize};
+
+/// Size accounting for one compression run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionStats {
+    /// Bytes of the original array (`8 * element count` for `f64`).
+    pub original_bytes: usize,
+    /// Bytes of the compressed stream (including all metadata).
+    pub compressed_bytes: usize,
+    /// Number of scalar elements.
+    pub elements: usize,
+}
+
+impl CompressionStats {
+    /// Builds stats from element count and compressed size.
+    pub fn new(elements: usize, compressed_bytes: usize) -> Self {
+        CompressionStats {
+            original_bytes: elements * std::mem::size_of::<f64>(),
+            compressed_bytes,
+            elements,
+        }
+    }
+
+    /// Compression ratio `original / compressed`.
+    pub fn ratio(&self) -> f64 {
+        self.original_bytes as f64 / self.compressed_bytes.max(1) as f64
+    }
+
+    /// Amortized storage cost in bits per value.
+    pub fn bit_rate(&self) -> f64 {
+        self.compressed_bytes as f64 * 8.0 / self.elements.max(1) as f64
+    }
+
+    /// Merges accounting across independently compressed pieces (e.g.,
+    /// per-level streams of an AMR dataset).
+    pub fn merge(&self, other: &CompressionStats) -> CompressionStats {
+        CompressionStats {
+            original_bytes: self.original_bytes + other.original_bytes,
+            compressed_bytes: self.compressed_bytes + other.compressed_bytes,
+            elements: self.elements + other.elements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_bitrate() {
+        let s = CompressionStats::new(1000, 1000);
+        assert!((s.ratio() - 8.0).abs() < 1e-12);
+        assert!((s.bit_rate() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_times_bitrate_is_word_size() {
+        let s = CompressionStats::new(12345, 6789);
+        assert!((s.ratio() * s.bit_rate() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = CompressionStats::new(100, 50);
+        let b = CompressionStats::new(300, 75);
+        let m = a.merge(&b);
+        assert_eq!(m.elements, 400);
+        assert_eq!(m.original_bytes, 3200);
+        assert_eq!(m.compressed_bytes, 125);
+    }
+
+    #[test]
+    fn degenerate_sizes_do_not_divide_by_zero() {
+        let s = CompressionStats::new(0, 0);
+        assert!(s.ratio().is_finite());
+        assert!(s.bit_rate().is_finite());
+    }
+}

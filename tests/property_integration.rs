@@ -1,0 +1,218 @@
+//! Property-based tests over the whole stack: random AMR structures and
+//! fields must round-trip within bounds for every method and strategy.
+
+use proptest::prelude::*;
+use tac_amr::{AmrDataset, AmrLevel};
+use tac_core::{
+    compress_dataset, decompress_dataset, plan_opst_from_occupancy, zmesh_order, Method,
+    Strategy, TacConfig,
+};
+use tac_sz::{compress, decompress, Dims, ErrorBound, SzConfig};
+
+/// Builds a valid two-level tree AMR dataset from a boolean refinement
+/// mask over the coarse grid and a value seed.
+fn dataset_from_refinement(coarse_dim: usize, refine: &[bool], seed: u64) -> AmrDataset {
+    let fine_dim = coarse_dim * 2;
+    let mut fine = AmrLevel::empty(fine_dim);
+    let mut coarse = AmrLevel::empty(coarse_dim);
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0 - 50.0
+    };
+    for z in 0..coarse_dim {
+        for y in 0..coarse_dim {
+            for x in 0..coarse_dim {
+                if refine[x + coarse_dim * (y + coarse_dim * z)] {
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                fine.set_value(2 * x + dx, 2 * y + dy, 2 * z + dz, next());
+                            }
+                        }
+                    }
+                } else {
+                    coarse.set_value(x, y, z, next());
+                }
+            }
+        }
+    }
+    AmrDataset::new("prop", vec![fine, coarse])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sz_roundtrip_respects_bound_on_random_data(
+        values in prop::collection::vec(-1e6f64..1e6, 64..256),
+        eb_exp in -6i32..-1,
+    ) {
+        let eb = 10f64.powi(eb_exp) * 1e6;
+        let n = values.len();
+        let bytes = compress(&values, Dims::D1(n), &SzConfig::abs(eb)).unwrap();
+        let (out, dims) = decompress(&bytes).unwrap();
+        prop_assert_eq!(dims, Dims::D1(n));
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= eb * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn sz_3d_roundtrip_random_grids(
+        seed in 0u64..1000,
+        eb_exp in -5i32..-2,
+    ) {
+        let n = 8usize;
+        let mut state = seed | 1;
+        let values: Vec<f64> = (0..n * n * n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        }).collect();
+        let eb = 10f64.powi(eb_exp);
+        let bytes = compress(&values, Dims::D3(n, n, n), &SzConfig::abs(eb)).unwrap();
+        let (out, _) = decompress(&bytes).unwrap();
+        for (a, b) in values.iter().zip(&out) {
+            prop_assert!((a - b).abs() <= eb * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn opst_partition_is_exact_for_random_occupancy(
+        occ in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let nb = 4;
+        let plan = plan_opst_from_occupancy(&occ, nb);
+        let mut covered = vec![0u32; nb * nb * nb];
+        for &(x0, y0, z0, s) in &plan.cubes {
+            prop_assert!(x0 + s <= nb && y0 + s <= nb && z0 + s <= nb);
+            for z in z0..z0 + s {
+                for y in y0..y0 + s {
+                    for x in x0..x0 + s {
+                        covered[x + nb * (y + nb * z)] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..occ.len() {
+            prop_assert_eq!(covered[i], occ[i] as u32);
+        }
+    }
+
+    #[test]
+    fn amr_roundtrip_all_methods_random_structure(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..500,
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        ds.validate().unwrap();
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(0.5),
+            ..Default::default()
+        };
+        for method in [Method::Tac, Method::Baseline1D, Method::ZMesh, Method::Baseline3D] {
+            let cd = compress_dataset(&ds, &cfg, method).unwrap();
+            let out = decompress_dataset(&cd).unwrap();
+            for (a, b) in ds.levels().iter().zip(out.levels()) {
+                prop_assert_eq!(a.mask(), b.mask());
+                for i in a.mask().iter_ones() {
+                    prop_assert!(
+                        (a.data()[i] - b.data()[i]).abs() <= 0.5 * (1.0 + 1e-9),
+                        "method {:?} level cell {}", method, i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zmesh_order_is_a_bijection(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..100,
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        let masks: Vec<&tac_amr::BitMask> = ds.levels().iter().map(|l| l.mask()).collect();
+        let order = zmesh_order(&masks, ds.finest_dim());
+        prop_assert_eq!(order.len(), ds.total_present());
+        let mut seen = std::collections::HashSet::new();
+        for e in &order {
+            prop_assert!(seen.insert(*e));
+        }
+    }
+
+    #[test]
+    fn forced_strategies_roundtrip_random_structure(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..100,
+        strategy_idx in 0usize..5,
+    ) {
+        let strategy = [
+            Strategy::ZeroFill,
+            Strategy::NaST,
+            Strategy::OpST,
+            Strategy::AkdTree,
+            Strategy::Gsp,
+        ][strategy_idx];
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(0.25),
+            forced_strategy: Some(strategy),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        let out = decompress_dataset(&cd).unwrap();
+        for (a, b) in ds.levels().iter().zip(out.levels()) {
+            for i in a.mask().iter_ones() {
+                prop_assert!((a.data()[i] - b.data()[i]).abs() <= 0.25 * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn container_bytes_roundtrip_random(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..100,
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(1.0),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        let bytes = cd.to_bytes();
+        let parsed = tac_core::CompressedDataset::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(parsed, cd);
+    }
+}
+
+/// Lossless LZSS fuzz outside proptest macro (byte-oriented).
+#[test]
+fn lzss_roundtrips_structured_buffers() {
+    for seed in 0u64..20 {
+        let mut state = seed | 1;
+        let len = (seed as usize * 977) % 40_000;
+        let data: Vec<u8> = (0..len)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                if (state >> 60) < 12 {
+                    (state >> 33) as u8
+                } else {
+                    (i % 17) as u8 // long structured runs
+                }
+            })
+            .collect();
+        let c = tac_sz::lossless::compress(&data);
+        let d = tac_sz::lossless::decompress(&c).unwrap();
+        assert_eq!(d, data, "seed {seed}");
+    }
+}
