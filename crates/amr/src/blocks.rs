@@ -23,7 +23,10 @@ impl BlockGrid {
     /// Panics if `unit` does not divide the level dimension.
     pub fn build(level: &AmrLevel, unit: usize) -> Self {
         let dim = level.dim();
-        assert!(unit > 0 && dim % unit == 0, "unit {unit} must divide dim {dim}");
+        assert!(
+            unit > 0 && dim % unit == 0,
+            "unit {unit} must divide dim {dim}"
+        );
         let nb = dim / unit;
         let mut counts = vec![0u32; nb * nb * nb];
         // Walk cells once; derive the owning block from the coordinates.
@@ -126,7 +129,10 @@ pub fn copy_region(
     (x0, y0, z0): (usize, usize, usize),
     (w, h, d): (usize, usize, usize),
 ) -> Vec<f64> {
-    assert!(x0 + w <= dim && y0 + h <= dim && z0 + d <= dim, "region out of bounds");
+    assert!(
+        x0 + w <= dim && y0 + h <= dim && z0 + d <= dim,
+        "region out of bounds"
+    );
     let mut out = Vec::with_capacity(w * h * d);
     for z in z0..z0 + d {
         for y in y0..y0 + h {
@@ -146,7 +152,10 @@ pub fn paste_region(
     (w, h, d): (usize, usize, usize),
     src: &[f64],
 ) {
-    assert!(x0 + w <= dim && y0 + h <= dim && z0 + d <= dim, "region out of bounds");
+    assert!(
+        x0 + w <= dim && y0 + h <= dim && z0 + d <= dim,
+        "region out of bounds"
+    );
     assert_eq!(src.len(), w * h * d, "source buffer size mismatch");
     let mut i = 0;
     for z in z0..z0 + d {

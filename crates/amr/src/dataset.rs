@@ -184,9 +184,11 @@ impl AmrDataset {
 }
 
 #[cfg(test)]
+pub(crate) use tests::half_refined;
+
+#[cfg(test)]
 mod tests {
     use super::*;
-
 
     /// Two-level dataset: the +x half of the domain refined, the -x half
     /// coarse.
@@ -272,6 +274,3 @@ mod tests {
         assert!((d[1] - 0.5).abs() < 1e-12);
     }
 }
-
-#[cfg(test)]
-pub(crate) use tests::half_refined;

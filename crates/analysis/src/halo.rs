@@ -114,7 +114,7 @@ pub fn find_halos(field: &[f64], n: usize, cfg: &HaloFinderConfig) -> HaloCatalo
         best: (usize, f64),
     }
     let mut clusters: HashMap<u32, Agg> = HashMap::new();
-    for i in 0..field.len() {
+    for (i, &v) in field.iter().enumerate() {
         if !is_candidate(i) {
             continue;
         }
@@ -125,9 +125,9 @@ pub fn find_halos(field: &[f64], n: usize, cfg: &HaloFinderConfig) -> HaloCatalo
             best: (i, f64::NEG_INFINITY),
         });
         e.count += 1;
-        e.mass += field[i];
-        if field[i] > e.best.1 {
-            e.best = (i, field[i]);
+        e.mass += v;
+        if v > e.best.1 {
+            e.best = (i, v);
         }
     }
 
@@ -143,7 +143,11 @@ pub fn find_halos(field: &[f64], n: usize, cfg: &HaloFinderConfig) -> HaloCatalo
             }
         })
         .collect();
-    halos.sort_by(|a, b| b.mass.partial_cmp(&a.mass).unwrap_or(std::cmp::Ordering::Equal));
+    halos.sort_by(|a, b| {
+        b.mass
+            .partial_cmp(&a.mass)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     HaloCatalog {
         halos,
         threshold,
@@ -194,7 +198,12 @@ mod tests {
     use super::*;
 
     /// Background 1.0 with a dense cube of the given side at `origin`.
-    fn field_with_blob(n: usize, origin: (usize, usize, usize), side: usize, value: f64) -> Vec<f64> {
+    fn field_with_blob(
+        n: usize,
+        origin: (usize, usize, usize),
+        side: usize,
+        value: f64,
+    ) -> Vec<f64> {
         let mut f = vec![1.0; n * n * n];
         for dz in 0..side {
             for dy in 0..side {
@@ -259,10 +268,10 @@ mod tests {
     fn periodic_wraparound_merges_clusters() {
         let n = 8;
         let mut f = vec![1.0; n * n * n];
-        // Candidates straddling the x boundary: x = 7 and x = 0.
+        // Candidates straddling the x boundary: x = 7 and x = 0, at z = 0.
         for y in 0..2 {
-            f[7 + n * (y + n * 0)] = 1000.0;
-            f[0 + n * (y + n * 0)] = 1000.0;
+            f[7 + n * y] = 1000.0;
+            f[n * y] = 1000.0;
         }
         let cat = find_halos(&f, n, &cfg(4));
         assert_eq!(cat.halos.len(), 1);

@@ -22,11 +22,7 @@ mod metrics;
 mod power_spectrum;
 mod rate_distortion;
 
-pub use halo::{
-    compare_catalogs, find_halos, Halo, HaloCatalog, HaloComparison, HaloFinderConfig,
-};
+pub use halo::{compare_catalogs, find_halos, Halo, HaloCatalog, HaloComparison, HaloFinderConfig};
 pub use metrics::{amr_distortion, distortion, Distortion};
-pub use power_spectrum::{
-    power_spectrum, relative_error, spectrum_acceptable, PowerSpectrum,
-};
+pub use power_spectrum::{power_spectrum, relative_error, spectrum_acceptable, PowerSpectrum};
 pub use rate_distortion::{measure_amr_rd, RdCurve, RdPoint};

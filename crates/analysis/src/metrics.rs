@@ -68,7 +68,10 @@ pub fn distortion(original: &[f64], reconstructed: &[f64]) -> Distortion {
 /// PSNR over the present cells of corresponding AMR levels — the
 /// distortion number the rate-distortion figures plot. The value range is
 /// the *global* range over all levels (one field, one range).
-pub fn amr_distortion(original: &tac_amr::AmrDataset, reconstructed: &tac_amr::AmrDataset) -> Distortion {
+pub fn amr_distortion(
+    original: &tac_amr::AmrDataset,
+    reconstructed: &tac_amr::AmrDataset,
+) -> Distortion {
     assert_eq!(
         original.num_levels(),
         reconstructed.num_levels(),
@@ -105,7 +108,11 @@ pub fn amr_distortion(original: &tac_amr::AmrDataset, reconstructed: &tac_amr::A
     };
     Distortion {
         psnr,
-        nrmse: if range > 0.0 { mse.sqrt() / range } else { mse.sqrt() },
+        nrmse: if range > 0.0 {
+            mse.sqrt() / range
+        } else {
+            mse.sqrt()
+        },
         max_abs_error: max_err,
         value_range: range,
     }

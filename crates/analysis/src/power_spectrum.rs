@@ -137,8 +137,9 @@ mod tests {
             for y in 0..n {
                 for x in 0..n {
                     f[x + n * (y + n * z)] = 1.0
-                        + amp * (2.0 * std::f64::consts::PI * mode as f64 * x as f64 / n as f64)
-                            .cos();
+                        + amp
+                            * (2.0 * std::f64::consts::PI * mode as f64 * x as f64 / n as f64)
+                                .cos();
                 }
             }
         }
@@ -150,14 +151,18 @@ mod tests {
         let n = 32;
         let ps = power_spectrum(&cosine_field(n, 4, 0.5), n);
         // Bin with k ~= 4 must hold essentially all power.
-        let total: f64 = ps.power.iter().zip(&ps.counts).map(|(p, &c)| p * c as f64).sum();
-        let at4: f64 = ps
-            .k
+        let total: f64 = ps
+            .power
             .iter()
-            .zip(ps.power.iter().zip(&ps.counts))
-            .filter(|(&k, _)| (k - 4.0).abs() < 0.5)
-            .map(|(_, (p, &c))| p * c as f64)
+            .zip(&ps.counts)
+            .map(|(p, &c)| p * c as f64)
             .sum();
+        let at4: f64 =
+            ps.k.iter()
+                .zip(ps.power.iter().zip(&ps.counts))
+                .filter(|(&k, _)| (k - 4.0).abs() < 0.5)
+                .map(|(_, (p, &c))| p * c as f64)
+                .sum();
         assert!(at4 / total > 0.999, "power at k=4: {at4} of {total}");
     }
 

@@ -19,8 +19,14 @@ fn bench_sz(c: &mut Criterion) {
     for (label, cfg) in [
         ("compress/rel1e-3", SzConfig::rel(1e-3)),
         ("compress/rel1e-5", SzConfig::rel(1e-5)),
-        ("compress/no_regression", SzConfig::rel(1e-3).without_regression()),
-        ("compress/no_lossless", SzConfig::rel(1e-3).without_lossless()),
+        (
+            "compress/no_regression",
+            SzConfig::rel(1e-3).without_regression(),
+        ),
+        (
+            "compress/no_lossless",
+            SzConfig::rel(1e-3).without_lossless(),
+        ),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| compress(black_box(&data), dims, &cfg).unwrap())

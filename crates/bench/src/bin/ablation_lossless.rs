@@ -15,8 +15,14 @@ fn main() {
         for (label, cfg) in [
             ("full (regression + LZSS)", SzConfig::rel(rel)),
             ("no LZSS", SzConfig::rel(rel).without_lossless()),
-            ("no regression (SZ1.4-style)", SzConfig::rel(rel).without_regression()),
-            ("neither", SzConfig::rel(rel).without_lossless().without_regression()),
+            (
+                "no regression (SZ1.4-style)",
+                SzConfig::rel(rel).without_regression(),
+            ),
+            (
+                "neither",
+                SzConfig::rel(rel).without_lossless().without_regression(),
+            ),
         ] {
             let bytes = compress(&data, dims, &cfg).unwrap();
             println!(

@@ -5,8 +5,10 @@
 
 use tac_bench::experiments as ex;
 
+type Section = (&'static str, fn() -> String);
+
 fn main() {
-    let sections: Vec<(&str, fn() -> String)> = vec![
+    let sections: Vec<Section> = vec![
         ("Fig. 7", ex::fig07::report),
         ("Fig. 11", ex::fig11::report),
         ("Fig. 12", ex::fig12::report),

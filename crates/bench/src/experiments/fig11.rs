@@ -28,7 +28,7 @@ const EBS: &[f64] = &[1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5];
 pub fn report() -> String {
     let scale = default_scale();
     let unit = default_unit(scale);
-    let quick = std::env::var("TAC_BENCH_QUICK").is_ok();
+    let quick = crate::support::quick_mode();
     let ebs: &[f64] = if quick { &EBS[..3] } else { EBS };
 
     let mut out = String::new();

@@ -29,11 +29,20 @@ pub fn report() -> String {
         abs_eb,
         unit
     ));
-    out.push_str(&format!("  {:<9} {:>10} {:>12}\n", "method", "CR", "PSNR (dB)"));
+    out.push_str(&format!(
+        "  {:<9} {:>10} {:>12}\n",
+        "method", "CR", "PSNR (dB)"
+    ));
     let zf = measure_level(coarse, Strategy::ZeroFill, abs_eb, unit);
     let gsp = measure_level(coarse, Strategy::Gsp, abs_eb, unit);
-    out.push_str(&format!("  {:<9} {:>10.1} {:>12.2}\n", "ZF", zf.ratio, zf.psnr));
-    out.push_str(&format!("  {:<9} {:>10.1} {:>12.2}\n", "GSP", gsp.ratio, gsp.psnr));
+    out.push_str(&format!(
+        "  {:<9} {:>10.1} {:>12.2}\n",
+        "ZF", zf.ratio, zf.psnr
+    ));
+    out.push_str(&format!(
+        "  {:<9} {:>10.1} {:>12.2}\n",
+        "GSP", gsp.ratio, gsp.psnr
+    ));
     out.push_str(&format!(
         "  paper: ZF CR 156.7 / 32.8 dB, GSP CR 161.3 / 33.5 dB (GSP wins both)\n  here : GSP/ZF CR ratio {:.3}, PSNR delta {:+.2} dB\n",
         gsp.ratio / zf.ratio,

@@ -5,8 +5,8 @@
 //! density) and crossing AKDTree around the middle of the range — the
 //! measurement behind the T1 = 50% threshold.
 
-use tac_core::{plan_akdtree, plan_opst};
 use tac_amr::{AmrLevel, BlockGrid};
+use tac_core::{plan_akdtree, plan_opst};
 
 /// Builds a blobby occupancy level of the requested density on a
 /// `dim^3` grid: a smooth threshold field keeps the geometry AMR-like.
@@ -19,7 +19,8 @@ fn level_with_density(dim: usize, density: f64, seed: u64) -> AmrLevel {
         for y in 0..dim {
             for x in 0..dim {
                 let (xf, yf, zf) = (x as f64, y as f64, z as f64);
-                let v = (xf * 0.21 + s).sin() + (yf * 0.17 + 0.3 * s).cos()
+                let v = (xf * 0.21 + s).sin()
+                    + (yf * 0.17 + 0.3 * s).cos()
                     + (zf * 0.13 + 0.1 * s).sin()
                     + ((xf + yf + zf) * 0.05).cos();
                 scores.push(v);
@@ -43,7 +44,7 @@ fn level_with_density(dim: usize, density: f64, seed: u64) -> AmrLevel {
 
 /// Runs the timing sweep.
 pub fn report() -> String {
-    let quick = std::env::var("TAC_BENCH_QUICK").is_ok();
+    let quick = crate::support::quick_mode();
     let dim = if quick { 32 } else { 128 };
     let unit = 2; // many unit blocks -> measurable planner cost
     let densities: &[f64] = if quick {

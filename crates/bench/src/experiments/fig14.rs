@@ -16,14 +16,17 @@ const EBS: &[f64] = &[1e-2, 3e-3, 1e-3, 3e-4, 1e-4, 3e-5, 1e-5];
 
 /// Runs the four-panel sweep.
 pub fn report() -> String {
-    report_for(DATASETS, "Figure 14: rate-distortion on Run 1 (TAC vs 1D, zMesh, 3D)")
+    report_for(
+        DATASETS,
+        "Figure 14: rate-distortion on Run 1 (TAC vs 1D, zMesh, 3D)",
+    )
 }
 
 /// Shared renderer (Figure 15 reuses it for Run 2).
 pub(crate) fn report_for(datasets: &[&str], title: &str) -> String {
     let scale = default_scale();
     let unit = default_unit(scale);
-    let quick = std::env::var("TAC_BENCH_QUICK").is_ok();
+    let quick = crate::support::quick_mode();
     let ebs: &[f64] = if quick { &EBS[..3] } else { EBS };
 
     let mut out = String::new();
@@ -41,15 +44,7 @@ pub(crate) fn report_for(datasets: &[&str], title: &str) -> String {
         ));
         out.push_str(&format!(
             "  {:<9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
-            "rel eb",
-            "TAC b/v",
-            "TAC dB",
-            "1D b/v",
-            "1D dB",
-            "zM b/v",
-            "zM dB",
-            "3D b/v",
-            "3D dB"
+            "rel eb", "TAC b/v", "TAC dB", "1D b/v", "1D dB", "zM b/v", "zM dB", "3D b/v", "3D dB"
         ));
         for &eb in ebs {
             let cfg = TacConfig {

@@ -21,12 +21,14 @@ fn toy() -> AmrDataset {
     for z in 0..coarse_dim {
         for y in 0..coarse_dim {
             for x in 0..coarse_dim {
-                let centre = (x as f64 - 1.5).abs() + (y as f64 - 1.5).abs() + (z as f64 - 1.5).abs();
+                let centre =
+                    (x as f64 - 1.5).abs() + (y as f64 - 1.5).abs() + (z as f64 - 1.5).abs();
                 if centre <= 1.5 {
                     for dz in 0..2 {
                         for dy in 0..2 {
                             for dx in 0..2 {
-                                let v = 8.0 + ((2 * x + dx + 2 * y + dy + 2 * z + dz) as f64) * 0.05;
+                                let v =
+                                    8.0 + ((2 * x + dx + 2 * y + dy + 2 * z + dz) as f64) * 0.05;
                                 fine.set_value(2 * x + dx, 2 * y + dy, 2 * z + dz, v);
                             }
                         }

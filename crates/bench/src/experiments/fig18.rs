@@ -34,7 +34,10 @@ pub fn report() -> String {
             level.density() * 100.0,
             choose_strategy(level, &cfg)
         ));
-        out.push_str(&format!("  {:>10} {:>12} {:>10}\n", "abs eb", "bit-rate", "CR"));
+        out.push_str(&format!(
+            "  {:>10} {:>12} {:>10}\n",
+            "abs eb", "bit-rate", "CR"
+        ));
         let mut prev: Option<f64> = None;
         for &eb in EBS {
             let strategy = choose_strategy(level, &cfg);

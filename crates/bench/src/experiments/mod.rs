@@ -85,18 +85,34 @@ mod tests {
         assert!((m.ratio * m.bit_rate - 64.0).abs() < 1e-6);
     }
 
-    /// Smoke-run every report at a tiny scale so the harnesses stay
-    /// compiling AND running (guards against drift in the library APIs).
-    #[test]
-    fn all_reports_produce_output() {
-        std::env::set_var("TAC_BENCH_SCALE", "32");
-        std::env::set_var("TAC_BENCH_QUICK", "1");
-        for (name, report) in [
-            ("fig07", fig07::report()),
-            ("fig12", fig12::report()),
-            ("fig16", fig16::report()),
-        ] {
-            assert!(report.lines().count() > 3, "{name} report too short:\n{report}");
-        }
+    /// Smoke-runs one report at a tiny scale so the harness behind each
+    /// bench binary stays compiling AND running (guards against drift in
+    /// the library APIs). One test per module keeps slow harnesses
+    /// visible and lets the runner parallelize them. The scale/quick
+    /// knobs are set through the atomic overrides, not `set_var` — env
+    /// mutation races with `getenv` under the parallel test runner.
+    fn smoke(name: &str, report: fn() -> String) {
+        crate::support::set_bench_overrides(32, true);
+        let out = report();
+        assert!(out.lines().count() > 3, "{name} report too short:\n{out}");
+    }
+
+    macro_rules! smoke_tests {
+        ($($module:ident),+ $(,)?) => {
+            $(
+                #[test]
+                fn $module() {
+                    smoke(stringify!($module), super::$module::report);
+                }
+            )+
+        };
+    }
+
+    mod smoke_reports {
+        use super::smoke;
+
+        smoke_tests!(
+            fig07, fig11, fig12, fig13, fig14, fig15, fig16, fig18, fig19, table2, table3,
+        );
     }
 }

@@ -1,21 +1,49 @@
 //! Shared plumbing for the experiment harnesses: dataset loading at the
 //! benchmark scale, CR-matched calibration, spectrum error, timing.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use tac_amr::{to_uniform, AmrDataset};
 use tac_analysis::{amr_distortion, power_spectrum, relative_error};
 use tac_core::{compress_dataset, decompress_dataset, Method, TacConfig};
 use tac_nyx::FieldKind;
 use tac_sz::ErrorBound;
 
+/// Programmatic overrides of the env knobs, for in-process tests:
+/// mutating the environment from the parallel test runner races with
+/// `getenv` in sibling tests. 0 means "no scale override".
+static SCALE_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static QUICK_OVERRIDE: AtomicBool = AtomicBool::new(false);
+
+/// Overrides the benchmark scale and quick mode process-wide, taking
+/// precedence over the `TAC_BENCH_SCALE` / `TAC_BENCH_QUICK` env vars
+/// (`scale = 0` / `quick = false` fall back to the env vars). Thread-safe,
+/// unlike `std::env::set_var` under the parallel test runner — but global:
+/// tests sharing the binary must not assert the no-override defaults.
+#[cfg(test)]
+pub(crate) fn set_bench_overrides(scale: usize, quick: bool) {
+    SCALE_OVERRIDE.store(scale, Ordering::Relaxed);
+    QUICK_OVERRIDE.store(quick, Ordering::Relaxed);
+}
+
 /// Default down-scale factor from the paper's grid sizes (8 maps the
 /// paper's 512^3 levels to 64^3 — one node instead of a cluster).
 /// Override with the `TAC_BENCH_SCALE` environment variable.
 pub fn default_scale() -> usize {
+    let o = SCALE_OVERRIDE.load(Ordering::Relaxed);
+    if o >= 1 {
+        return o;
+    }
     std::env::var("TAC_BENCH_SCALE")
         .ok()
         .and_then(|s| s.parse().ok())
         .filter(|&s: &usize| s >= 1)
         .unwrap_or(8)
+}
+
+/// Whether sweeps should be trimmed for a fast pass (the
+/// `TAC_BENCH_QUICK` env var, or the programmatic override).
+pub fn quick_mode() -> bool {
+    QUICK_OVERRIDE.load(Ordering::Relaxed) || std::env::var("TAC_BENCH_QUICK").is_ok()
 }
 
 /// Unit-block size appropriate for the benchmark scale (the paper's 16

@@ -17,12 +17,15 @@
 use crate::extract::Region;
 use tac_amr::BlockGrid;
 
+/// A full leaf as `(origin, shape)` in unit-block coordinates.
+pub type LeafBox = ((usize, usize, usize), (usize, usize, usize));
+
 /// The extraction plan produced by the k-d tree: full-leaf cuboids in
 /// block coordinates, plus tree statistics.
 #[derive(Debug, Clone)]
 pub struct AkdPlan {
     /// Full leaves as `(origin, shape)` in unit-block coordinates.
-    pub leaves: Vec<((usize, usize, usize), (usize, usize, usize))>,
+    pub leaves: Vec<LeafBox>,
     /// Total nodes visited (tree size).
     pub nodes: usize,
     /// Number of empty leaves (pruned regions).
@@ -79,7 +82,11 @@ impl OccupancySat {
     }
 
     /// Non-empty blocks in `[x0,x1) x [y0,y1) x [z0,z1)`.
-    fn count(&self, (x0, y0, z0): (usize, usize, usize), (x1, y1, z1): (usize, usize, usize)) -> u64 {
+    fn count(
+        &self,
+        (x0, y0, z0): (usize, usize, usize),
+        (x1, y1, z1): (usize, usize, usize),
+    ) -> u64 {
         let n1 = self.nb + 1;
         let at = |x: usize, y: usize, z: usize| self.sat[x + n1 * (y + n1 * z)];
         let v = at(x1, y1, z1) - at(x0, y1, z1) - at(x1, y0, z1) - at(x1, y1, z0)
@@ -99,7 +106,10 @@ impl OccupancySat {
 /// power-of-two level dims and unit sizes).
 pub fn plan_akdtree(grid: &BlockGrid) -> AkdPlan {
     let nb = grid.blocks_per_side();
-    assert!(nb.is_power_of_two(), "block grid side {nb} must be a power of two");
+    assert!(
+        nb.is_power_of_two(),
+        "block grid side {nb} must be a power of two"
+    );
     let sat = OccupancySat::build(grid);
     let mut plan = AkdPlan {
         leaves: Vec::new(),
@@ -111,7 +121,12 @@ pub fn plan_akdtree(grid: &BlockGrid) -> AkdPlan {
 }
 
 /// Recursive adaptive split of the region `[o, o+s)`.
-fn split(sat: &OccupancySat, o: (usize, usize, usize), s: (usize, usize, usize), plan: &mut AkdPlan) {
+fn split(
+    sat: &OccupancySat,
+    o: (usize, usize, usize),
+    s: (usize, usize, usize),
+    plan: &mut AkdPlan,
+) {
     plan.nodes += 1;
     let vol = (s.0 * s.1 * s.2) as u64;
     let count = sat.count(o, (o.0 + s.0, o.1 + s.1, o.2 + s.2));
@@ -299,7 +314,9 @@ mod tests {
             let mut state = seed;
             let occ: Vec<bool> = (0..nb * nb * nb)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) as f64 / (1u64 << 31) as f64) < fill
                 })
                 .collect();

@@ -157,14 +157,17 @@ impl TacConfig {
                 self.unit
             )));
         }
-        if !(0.0..=1.0).contains(&self.t1) || !(0.0..=1.0).contains(&self.t2) || self.t1 > self.t2
-        {
+        if !(0.0..=1.0).contains(&self.t1) || !(0.0..=1.0).contains(&self.t2) || self.t1 > self.t2 {
             return Err(TacError::InvalidConfig(format!(
                 "thresholds must satisfy 0 <= t1 <= t2 <= 1, got t1={} t2={}",
                 self.t1, self.t2
             )));
         }
-        if self.level_eb_scale.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+        if self
+            .level_eb_scale
+            .iter()
+            .any(|&s| s <= 0.0 || !s.is_finite())
+        {
             return Err(TacError::InvalidConfig(
                 "level eb scales must be positive and finite".into(),
             ));
@@ -222,18 +225,26 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_config() {
-        let mut c = TacConfig::default();
-        c.unit = 3;
+        let c = TacConfig {
+            unit: 3,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TacConfig::default();
-        c.t1 = 0.7;
-        c.t2 = 0.6;
+        let c = TacConfig {
+            t1: 0.7,
+            t2: 0.6,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TacConfig::default();
-        c.level_eb_scale = vec![0.0];
+        let c = TacConfig {
+            level_eb_scale: vec![0.0],
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = TacConfig::default();
-        c.threads = 0;
+        let c = TacConfig {
+            threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 }

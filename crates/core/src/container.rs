@@ -225,7 +225,9 @@ impl CompressedDataset {
         let finest_dim = r.get_u64()? as usize;
         let num_levels = r.get_u8()? as usize;
         if num_levels == 0 || num_levels > 16 {
-            return Err(TacError::Corrupt(format!("{num_levels} levels is implausible")));
+            return Err(TacError::Corrupt(format!(
+                "{num_levels} levels is implausible"
+            )));
         }
         let mut masks = Vec::with_capacity(num_levels);
         for l in 0..num_levels {
@@ -257,11 +259,7 @@ impl CompressedDataset {
                     levels.push(match r.get_u8()? {
                         0 => None,
                         1 => Some((r.get_f64()?, r.get_blob()?.to_vec())),
-                        t => {
-                            return Err(TacError::Corrupt(format!(
-                                "unknown 1D level tag {t}"
-                            )))
-                        }
+                        t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
                     });
                 }
                 MethodBody::Baseline1D(levels)

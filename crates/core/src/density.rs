@@ -56,15 +56,30 @@ mod tests {
     #[test]
     fn thresholds_partition_density_axis() {
         let cfg = TacConfig::default();
-        assert_eq!(choose_strategy(&level_with_density(8, 0.0), &cfg), Strategy::Empty);
-        assert_eq!(choose_strategy(&level_with_density(8, 0.23), &cfg), Strategy::OpST);
-        assert_eq!(choose_strategy(&level_with_density(8, 0.49), &cfg), Strategy::OpST);
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.0), &cfg),
+            Strategy::Empty
+        );
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.23), &cfg),
+            Strategy::OpST
+        );
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.49), &cfg),
+            Strategy::OpST
+        );
         assert_eq!(
             choose_strategy(&level_with_density(8, 0.55), &cfg),
             Strategy::AkdTree
         );
-        assert_eq!(choose_strategy(&level_with_density(8, 0.63), &cfg), Strategy::Gsp);
-        assert_eq!(choose_strategy(&level_with_density(8, 0.998), &cfg), Strategy::Gsp);
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.63), &cfg),
+            Strategy::Gsp
+        );
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.998), &cfg),
+            Strategy::Gsp
+        );
         assert_eq!(
             choose_strategy(&level_with_density(8, 1.0), &cfg),
             Strategy::ZeroFill
@@ -74,8 +89,14 @@ mod tests {
     #[test]
     fn forced_strategy_wins_except_for_empty() {
         let cfg = TacConfig::default().with_strategy(Strategy::Gsp);
-        assert_eq!(choose_strategy(&level_with_density(8, 0.1), &cfg), Strategy::Gsp);
-        assert_eq!(choose_strategy(&level_with_density(8, 0.0), &cfg), Strategy::Empty);
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.1), &cfg),
+            Strategy::Gsp
+        );
+        assert_eq!(
+            choose_strategy(&level_with_density(8, 0.0), &cfg),
+            Strategy::Empty
+        );
     }
 
     #[test]
@@ -87,6 +108,9 @@ mod tests {
             choose_strategy(&level_with_density(10, 0.50), &cfg),
             Strategy::AkdTree
         );
-        assert_eq!(choose_strategy(&level_with_density(10, 0.60), &cfg), Strategy::Gsp);
+        assert_eq!(
+            choose_strategy(&level_with_density(10, 0.60), &cfg),
+            Strategy::Gsp
+        );
     }
 }

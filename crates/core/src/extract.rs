@@ -141,14 +141,15 @@ mod tests {
             for z in 0..r.shape.2 {
                 for y in 0..r.shape.1 {
                     for x in 0..r.shape.0 {
-                        let i = (r.origin.0 + x) + dim * ((r.origin.1 + y) + dim * (r.origin.2 + z));
+                        let i =
+                            (r.origin.0 + x) + dim * ((r.origin.1 + y) + dim * (r.origin.2 + z));
                         assert!((out[i] - data[i]).abs() <= 1e-3);
                     }
                 }
             }
         }
-        // Uncovered cell stays zero.
-        assert_eq!(out[15 + dim * (0 + dim * 0)], 0.0);
+        // Uncovered cell (15, 0, 0) stays zero.
+        assert_eq!(out[15], 0.0);
     }
 
     #[test]

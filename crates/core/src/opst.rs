@@ -163,7 +163,11 @@ mod tests {
         }
         for i in 0..occ.len() {
             let want = occ[i] as u32;
-            assert_eq!(covered[i], want, "block {i}: covered {} want {want}", covered[i]);
+            assert_eq!(
+                covered[i], want,
+                "block {i}: covered {} want {want}",
+                covered[i]
+            );
         }
     }
 
@@ -222,7 +226,11 @@ mod tests {
         assert!(biggest >= 4, "biggest cube {biggest}");
         // One 7^3 interior cube + the three boundary faces as singles:
         // still far fewer cubes than occupied blocks.
-        assert!(plan.cubes.len() < (nb * nb * nb - 1) / 2, "{} cubes", plan.cubes.len());
+        assert!(
+            plan.cubes.len() < (nb * nb * nb - 1) / 2,
+            "{} cubes",
+            plan.cubes.len()
+        );
     }
 
     #[test]
@@ -233,7 +241,9 @@ mod tests {
             let mut state = seed;
             let occ: Vec<bool> = (0..nb * nb * nb)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((state >> 33) as f64 / (1u64 << 31) as f64) < fill
                 })
                 .collect();

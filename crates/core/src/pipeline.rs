@@ -17,7 +17,7 @@ use crate::nast::plan_nast;
 use crate::opst::plan_opst;
 use crate::stream::{CompressedLevel, LevelPayload};
 use crate::zmesh::{gather, scatter, zmesh_order};
-use tac_amr::{AmrDataset, AmrLevel, BitMask, BlockGrid, to_uniform};
+use tac_amr::{to_uniform, AmrDataset, AmrLevel, BitMask, BlockGrid};
 use tac_sz::{Dims, ErrorBound};
 
 /// Resolves the configured error bound for one level: applies the
@@ -119,9 +119,9 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
         }
         LevelPayload::Groups(groups) => decompress_groups(groups, dim)?,
     };
-    for i in 0..n {
+    for (i, v) in data.iter_mut().enumerate() {
         if !mask.get(i) {
-            data[i] = 0.0;
+            *v = 0.0;
         }
     }
     Ok(AmrLevel::new(dim, data, mask.clone()))
@@ -166,11 +166,8 @@ pub fn compress_dataset(
                 let abs_eb =
                     resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
                 let values = level.present_values();
-                let stream = tac_sz::compress(
-                    &values,
-                    Dims::D1(values.len()),
-                    &cfg.sz_config(abs_eb),
-                )?;
+                let stream =
+                    tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
                 levels.push(Some((abs_eb, stream)));
             }
             MethodBody::Baseline1D(levels)
@@ -181,7 +178,9 @@ pub fn compress_dataset(
             let data_refs: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
             let values = gather(&order, &data_refs);
             if values.is_empty() {
-                return Err(TacError::InvalidDataset("dataset has no present cells".into()));
+                return Err(TacError::InvalidDataset(
+                    "dataset has no present cells".into(),
+                ));
             }
             let (min, max) = values
                 .iter()
@@ -189,8 +188,7 @@ pub fn compress_dataset(
                     (lo.min(v), hi.max(v))
                 });
             let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream =
-                tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
+            let stream = tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
             MethodBody::ZMesh { abs_eb, stream }
         }
         Method::Baseline3D => {
@@ -448,8 +446,18 @@ mod tests {
         let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
         let strategies = cd.strategies().unwrap();
         // Fine level ~25% dense -> OpST; coarse level ~75% -> GSP.
-        assert_eq!(strategies[0], Strategy::OpST, "fine density {}", ds.densities()[0]);
-        assert_eq!(strategies[1], Strategy::Gsp, "coarse density {}", ds.densities()[1]);
+        assert_eq!(
+            strategies[0],
+            Strategy::OpST,
+            "fine density {}",
+            ds.densities()[0]
+        );
+        assert_eq!(
+            strategies[1],
+            Strategy::Gsp,
+            "coarse density {}",
+            ds.densities()[1]
+        );
     }
 
     #[test]

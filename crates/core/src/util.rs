@@ -15,21 +15,22 @@ where
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let slots = parking_lot::Mutex::new(&mut out);
-    crossbeam::thread::scope(|scope| {
+    let slots = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(items.len()) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(&items[i]);
-                slots.lock()[i] = Some(r);
+                slots.lock().expect("result mutex poisoned")[i] = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|r| r.expect("missing result")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("missing result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -61,7 +61,15 @@ fn visit(
     for dz in 0..2 {
         for dy in 0..2 {
             for dx in 0..2 {
-                visit(masks, finest_dim, l - 1, 2 * x + dx, 2 * y + dy, 2 * z + dz, out);
+                visit(
+                    masks,
+                    finest_dim,
+                    l - 1,
+                    2 * x + dx,
+                    2 * y + dy,
+                    2 * z + dz,
+                    out,
+                );
             }
         }
     }
@@ -69,10 +77,7 @@ fn visit(
 
 /// Gathers level data values into a 1D array following `order`.
 pub fn gather(order: &[ZmeshEntry], level_data: &[&[f64]]) -> Vec<f64> {
-    order
-        .iter()
-        .map(|&(l, idx)| level_data[l][idx])
-        .collect()
+    order.iter().map(|&(l, idx)| level_data[l][idx]).collect()
 }
 
 /// Scatters a 1D array back into per-level dense buffers following

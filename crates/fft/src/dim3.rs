@@ -2,8 +2,8 @@
 //!
 //! The 3D transform is separable: apply the 1D transform along x, then y,
 //! then z. Lines along each axis are independent, so they are distributed
-//! over a crossbeam scoped-thread pool (the fork–join idiom the
-//! hpc-parallel guides recommend; rayon is outside the allowed crate set).
+//! over std scoped threads (the fork–join idiom the hpc-parallel guides
+//! recommend; rayon is outside the allowed crate set).
 
 use crate::complex::Complex;
 use crate::radix2::{Direction, FftPlan};
@@ -129,17 +129,16 @@ impl Fft3Plan {
             return;
         }
         let per_worker = pieces.div_ceil(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker_slice in data.chunks_mut(per_worker * chunk) {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for piece in worker_slice.chunks_exact_mut(chunk) {
                         f(piece);
                     }
                 });
             }
-        })
-        .expect("FFT worker panicked");
+        });
     }
 
     /// Transforms along z. Work is split by y-index; threads receive raw
@@ -175,7 +174,7 @@ impl Fft3Plan {
         let ptr = SendPtr(data.as_mut_ptr());
         let len = data.len();
         let per_worker = ny.div_ceil(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let ptr = &ptr;
             for w in 0..self.threads {
                 let lo = w * per_worker;
@@ -184,7 +183,7 @@ impl Fft3Plan {
                     break;
                 }
                 let run_rows = &run_rows;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     // SAFETY: each worker touches indices x + nx*y + slab*z
                     // only for y in [lo, hi); ranges are disjoint across
                     // workers, so no two threads alias the same element.
@@ -192,8 +191,7 @@ impl Fft3Plan {
                     run_rows(lo..hi, slice);
                 });
             }
-        })
-        .expect("FFT worker panicked");
+        });
     }
 }
 
@@ -241,7 +239,9 @@ mod tests {
         let mut par: Vec<Complex> = field.iter().map(|&v| Complex::from_real(v)).collect();
         let mut seq = par.clone();
         Fft3Plan::cubic(n).process(&mut par, Direction::Forward);
-        Fft3Plan::cubic(n).with_threads(1).process(&mut seq, Direction::Forward);
+        Fft3Plan::cubic(n)
+            .with_threads(1)
+            .process(&mut seq, Direction::Forward);
         for (a, b) in par.iter().zip(&seq) {
             assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
         }
@@ -269,7 +269,9 @@ mod tests {
     #[test]
     fn real_field_spectrum_is_hermitian() {
         let n = 8;
-        let field: Vec<f64> = (0..n * n * n).map(|i| ((i * 7919) % 65536) as f64).collect();
+        let field: Vec<f64> = (0..n * n * n)
+            .map(|i| ((i * 7919) % 65536) as f64)
+            .collect();
         let spec = fft3_real(&field, n, n, n);
         // X(-k) == conj(X(k)) where -k is modular.
         for z in 0..n {

@@ -37,7 +37,10 @@ impl FftPlan {
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT length must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let mut bitrev = vec![0u32; n];
         for (i, slot) in bitrev.iter_mut().enumerate() {
@@ -57,7 +60,11 @@ impl FftPlan {
             }
             m <<= 1;
         }
-        FftPlan { n, bitrev, twiddles }
+        FftPlan {
+            n,
+            bitrev,
+            twiddles,
+        }
     }
 
     /// Transform length this plan was built for.

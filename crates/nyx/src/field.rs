@@ -127,7 +127,11 @@ mod tests {
         let min = f.iter().cloned().fold(f64::MAX, f64::min);
         assert!(min > 0.0, "density must be positive");
         assert!(mean > 1e8 && mean < 1e10, "mean {mean:.3e}");
-        assert!(max > 20.0 * mean, "needs a heavy tail, max/mean = {}", max / mean);
+        assert!(
+            max > 20.0 * mean,
+            "needs a heavy tail, max/mean = {}",
+            max / mean
+        );
     }
 
     #[test]

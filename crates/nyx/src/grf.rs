@@ -147,8 +147,22 @@ mod tests {
         // Mean squared neighbour difference should be much smaller for a
         // red (index -3) field than for a flat (index 0) one.
         let n = 32;
-        let red = gaussian_random_field(n, &SpectrumModel { index: -3.0, cutoff: 1.0 }, 5);
-        let white = gaussian_random_field(n, &SpectrumModel { index: 0.0, cutoff: 10.0 }, 5);
+        let red = gaussian_random_field(
+            n,
+            &SpectrumModel {
+                index: -3.0,
+                cutoff: 1.0,
+            },
+            5,
+        );
+        let white = gaussian_random_field(
+            n,
+            &SpectrumModel {
+                index: 0.0,
+                cutoff: 10.0,
+            },
+            5,
+        );
         let roughness = |f: &[f64]| {
             let mut acc = 0.0;
             for i in 1..f.len() {

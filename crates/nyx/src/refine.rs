@@ -178,7 +178,9 @@ pub fn build_amr(
             for dz in 0..2 {
                 for dy in 0..2 {
                     for dx in 0..2 {
-                        next.push((2 * x + dx) + child_dim * ((2 * y + dy) + child_dim * (2 * z + dz)));
+                        next.push(
+                            (2 * x + dx) + child_dim * ((2 * y + dy) + child_dim * (2 * z + dz)),
+                        );
                     }
                 }
             }

@@ -101,7 +101,15 @@ fn traverse<C: PointCodec>(
             }
         }
         Dims::D3(nx, ny, nz) => {
-            traverse_3d(nx, ny, nz, 0, recon, contexts.first().and_then(|c| c.as_ref()), codec)?;
+            traverse_3d(
+                nx,
+                ny,
+                nz,
+                0,
+                recon,
+                contexts.first().and_then(|c| c.as_ref()),
+                codec,
+            )?;
         }
         Dims::D4(nx, ny, nz, nw) => {
             // Batched 3D: prediction never crosses the w axis.
@@ -142,7 +150,12 @@ fn traverse_3d<C: PointCodec>(
 
 /// Builds encoder-side regression contexts (one per 3D slab) when the
 /// configuration enables them and the rank is 3 or 4.
-fn build_contexts(data: &[f64], dims: Dims, abs_eb: f64, enabled: bool) -> Vec<Option<RegressionContext>> {
+fn build_contexts(
+    data: &[f64],
+    dims: Dims,
+    abs_eb: f64,
+    enabled: bool,
+) -> Vec<Option<RegressionContext>> {
     if !enabled {
         return Vec::new();
     }
@@ -316,23 +329,20 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
             Dims::D4(nx, ny, nz, nw) => Some((nx, ny, nz, nw)),
             _ => None,
         };
-        let (nx, ny, nz, nw) = slab_dims
-            .ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
+        let (nx, ny, nz, nw) =
+            slab_dims.ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
         let mut off = 1usize;
         let mut ctxs = Vec::with_capacity(nw);
         for _ in 0..nw {
-            let (ctx, used) = RegressionContext::deserialize(
-                &pred_section[off..],
-                nx,
-                ny,
-                nz,
-                header.abs_eb,
-            )?;
+            let (ctx, used) =
+                RegressionContext::deserialize(&pred_section[off..], nx, ny, nz, header.abs_eb)?;
             off += used;
             ctxs.push(Some(ctx));
         }
         if off != pred_section.len() {
-            return Err(SzError::Corrupt("predictor section has trailing bytes".into()));
+            return Err(SzError::Corrupt(
+                "predictor section has trailing bytes".into(),
+            ));
         }
         ctxs
     } else {
@@ -375,7 +385,6 @@ pub fn looks_like_stream(bytes: &[u8]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn smooth_3d(n: usize) -> Vec<f64> {
         let mut v = Vec::with_capacity(n * n * n);
@@ -395,7 +404,11 @@ mod tests {
             if a.is_finite() {
                 assert!((a - b).abs() <= eb * (1.0 + 1e-12), "point {i}: {a} vs {b}");
             } else {
-                assert_eq!(a.to_bits(), b.to_bits(), "non-finite point {i} must be exact");
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "non-finite point {i} must be exact"
+                );
             }
         }
     }
@@ -409,7 +422,10 @@ mod tests {
         let (out, dims) = decompress(&bytes).unwrap();
         assert_eq!(dims, Dims::D3(n, n, n));
         check_bound(&data, &out, 1e-3);
-        assert!(bytes.len() < data.len() * 8 / 4, "smooth data should compress 4x+");
+        assert!(
+            bytes.len() < data.len() * 8 / 4,
+            "smooth data should compress 4x+"
+        );
     }
 
     #[test]
@@ -486,7 +502,11 @@ mod tests {
         let bytes = compress(&data, Dims::D3(32, 32, 32), &cfg).unwrap();
         let (out, _) = decompress(&bytes).unwrap();
         assert_eq!(out, data);
-        assert!(bytes.len() < 600, "constant field took {} bytes", bytes.len());
+        assert!(
+            bytes.len() < 600,
+            "constant field took {} bytes",
+            bytes.len()
+        );
     }
 
     #[test]
@@ -509,8 +529,12 @@ mod tests {
         let n = 16;
         let data = smooth_3d(n);
         let with = compress(&data, Dims::D3(n, n, n), &SzConfig::abs(1e-3)).unwrap();
-        let without =
-            compress(&data, Dims::D3(n, n, n), &SzConfig::abs(1e-3).without_lossless()).unwrap();
+        let without = compress(
+            &data,
+            Dims::D3(n, n, n),
+            &SzConfig::abs(1e-3).without_lossless(),
+        )
+        .unwrap();
         assert!(with.len() <= without.len() + 16);
         let (a, _) = decompress(&with).unwrap();
         let (b, _) = decompress(&without).unwrap();

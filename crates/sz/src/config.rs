@@ -23,7 +23,7 @@ impl ErrorBound {
         let abs = match self {
             ErrorBound::Abs(eb) => eb,
             ErrorBound::Rel(rel) => {
-                if !(rel > 0.0) || !rel.is_finite() {
+                if rel <= 0.0 || !rel.is_finite() {
                     return Err(SzError::InvalidErrorBound(format!(
                         "relative bound must be positive and finite, got {rel}"
                     )));
@@ -36,7 +36,7 @@ impl ErrorBound {
                 }
             }
         };
-        if !(abs > 0.0) || !abs.is_finite() {
+        if abs <= 0.0 || !abs.is_finite() {
             return Err(SzError::InvalidErrorBound(format!(
                 "resolved absolute bound must be positive and finite, got {abs}"
             )));

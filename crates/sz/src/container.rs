@@ -124,11 +124,13 @@ impl Header {
         pos += 8;
         let capacity = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
         pos += 4;
-        if !(abs_eb > 0.0) || !abs_eb.is_finite() {
+        if abs_eb <= 0.0 || !abs_eb.is_finite() {
             return Err(SzError::Corrupt(format!("invalid stored eb {abs_eb}")));
         }
         if capacity < 4 || capacity % 2 != 0 {
-            return Err(SzError::Corrupt(format!("invalid stored capacity {capacity}")));
+            return Err(SzError::Corrupt(format!(
+                "invalid stored capacity {capacity}"
+            )));
         }
         Ok((
             Header {

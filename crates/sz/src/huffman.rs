@@ -191,11 +191,11 @@ impl<'a> CanonicalDecoder<'a> {
         let mut levels = Vec::with_capacity(max_len);
         let mut next_code = 0u64;
         let mut first_index = 0u32;
-        for len in 1..=max_len {
+        for &count in &counts[1..=max_len] {
             next_code <<= 1;
-            levels.push((next_code, first_index, counts[len]));
-            next_code += counts[len] as u64;
-            first_index += counts[len];
+            levels.push((next_code, first_index, count));
+            next_code += count as u64;
+            first_index += count;
         }
         CanonicalDecoder {
             code,
@@ -246,10 +246,7 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     impl Ord for Item {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse for a min-heap; tie-break on node id for determinism.
-            other
-                .freq
-                .cmp(&self.freq)
-                .then(other.node.cmp(&self.node))
+            other.freq.cmp(&self.freq).then(other.node.cmp(&self.node))
         }
     }
     impl PartialOrd for Item {

@@ -206,7 +206,11 @@ mod tests {
     fn roundtrip_zeros_rle() {
         let data = vec![0u8; 100_000];
         let c = compress(&data);
-        assert!(c.len() < 2000, "zero run should compress hard, got {}", c.len());
+        assert!(
+            c.len() < 2000,
+            "zero run should compress hard, got {}",
+            c.len()
+        );
         roundtrip(&data);
     }
 

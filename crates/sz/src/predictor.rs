@@ -113,8 +113,7 @@ mod tests {
         // each variable except the xyz term).
         let n = 5;
         let f = |x: usize, y: usize, z: usize| {
-            1.0 + 2.0 * x as f64 - 3.0 * y as f64 + 0.5 * z as f64
-                + 0.25 * (x * y) as f64
+            1.0 + 2.0 * x as f64 - 3.0 * y as f64 + 0.5 * z as f64 + 0.25 * (x * y) as f64
                 - 0.125 * (x * z) as f64
                 + 0.0625 * (y * z) as f64
         };

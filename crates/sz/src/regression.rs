@@ -309,7 +309,8 @@ fn regression_loses(
             for x in 0..w {
                 let (gx, gy, gz) = (x0 + x, y0 + y, z0 + z);
                 let v = data[idx(gx, gy, gz)];
-                let pred_r = fit.b0 + fit.b[0] * x as f64 + fit.b[1] * y as f64 + fit.b[2] * z as f64;
+                let pred_r =
+                    fit.b0 + fit.b[0] * x as f64 + fit.b[1] * y as f64 + fit.b[2] * z as f64;
                 sae_reg += (v - pred_r).abs();
                 let pred_l = crate::predictor::lorenzo_3d(data, nx, ny, gx, gy, gz);
                 sae_lor += (v - pred_l).abs();
@@ -393,7 +394,11 @@ mod tests {
                 for x in 0..nx {
                     let p = ctx.predict(x, y, z).expect("regression mode");
                     let v = data[x + nx * (y + ny * z)];
-                    assert!((p - v).abs() <= eb / 2.0, "drift {} at ({x},{y},{z})", p - v);
+                    assert!(
+                        (p - v).abs() <= eb / 2.0,
+                        "drift {} at ({x},{y},{z})",
+                        p - v
+                    );
                 }
             }
         }

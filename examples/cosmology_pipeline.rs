@@ -55,7 +55,10 @@ fn main() {
     let ps_dec = power_spectrum(&uni_dec, n);
     let errs = relative_error(&ps_orig, &ps_dec);
     println!("\n--- power spectrum (baryon density) ---");
-    println!("{:>6} {:>14} {:>14} {:>10}", "k", "P(k) orig", "P(k) dec", "rel err");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "k", "P(k) orig", "P(k) dec", "rel err"
+    );
     for ((k, (p, q)), e) in ps_orig
         .k
         .iter()
@@ -80,7 +83,10 @@ fn main() {
     };
     let cat_orig = find_halos(&uni_orig, n, &hf);
     let cat_dec = find_halos(&uni_dec, n, &hf);
-    println!("\n--- halo finder (threshold {:.1}x mean) ---", hf.threshold_factor);
+    println!(
+        "\n--- halo finder (threshold {:.1}x mean) ---",
+        hf.threshold_factor
+    );
     println!("halos in original    : {}", cat_orig.halos.len());
     println!("halos in decompressed: {}", cat_dec.halos.len());
     if let Some(big) = cat_orig.biggest() {

@@ -89,6 +89,9 @@ fn render(
         }
         writeln!(pgm, "{row}").unwrap();
     }
-    let path = out_dir.join(format!("{}_z{z}.pgm", format!("{strategy:?}").to_lowercase()));
+    let path = out_dir.join(format!(
+        "{}_z{z}.pgm",
+        format!("{strategy:?}").to_lowercase()
+    ));
     std::fs::write(&path, pgm).expect("write pgm");
 }

@@ -13,9 +13,10 @@ use tac_sz::ErrorBound;
 fn main() {
     // 1. Generate a stand-in for the paper's Run1_Z10 snapshot (two AMR
     //    levels, 23% / 77% density) at 1/8 scale: 64^3 fine, 32^3 coarse.
-    let dataset = entry("Run1_Z10")
-        .expect("catalog entry")
-        .generate(FieldKind::BaryonDensity, 8, 42);
+    let dataset =
+        entry("Run1_Z10")
+            .expect("catalog entry")
+            .generate(FieldKind::BaryonDensity, 8, 42);
     dataset.validate().expect("valid tree-based AMR");
 
     println!("dataset      : {}", dataset.name());

@@ -1,0 +1,201 @@
+//! Offline shim for [`criterion`](https://docs.rs/criterion).
+//!
+//! Implements the macro/API surface the `tac-bench` benches use — groups,
+//! throughput annotation, `iter`/`iter_batched` — with a small
+//! warmup-then-measure loop that reports median wall-clock time per
+//! iteration. No statistics engine, no HTML reports; swap the workspace
+//! dependency to the registry crate for publication-grade numbers.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Controls how `iter_batched` amortizes setup cost. The shim times every
+/// routine invocation individually, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            throughput: None,
+            sample_size: 30,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Number of timed samples per benchmark (min 10 in real criterion).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time (and throughput if
+    /// annotated).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        let rate = match (self.throughput, median) {
+            (Some(Throughput::Bytes(b)), Some(t)) if t > Duration::ZERO => format!(
+                "  {:.1} MiB/s",
+                b as f64 / t.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+            (Some(Throughput::Elements(e)), Some(t)) if t > Duration::ZERO => {
+                format!("  {:.3} Melem/s", e as f64 / t.as_secs_f64() / 1e6)
+            }
+            _ => String::new(),
+        };
+        match median {
+            Some(t) => eprintln!("  {}/{id}: {t:?}/iter{rate}", self.name),
+            None => eprintln!("  {}/{id}: no samples", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (match for real criterion's API; the shim has no
+    /// deferred reporting).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over `sample_size` iterations (plus one warmup).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4); // warmup + 3 samples
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 2,
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.samples.len(), 2);
+    }
+}

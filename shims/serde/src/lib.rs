@@ -1,0 +1,15 @@
+//! Offline shim for [`serde`](https://docs.rs/serde).
+//!
+//! Re-exports no-op `Serialize`/`Deserialize` derives and declares the
+//! marker traits of the same names. The workspace's own wire formats are
+//! hand-rolled, so nothing depends on real serde behaviour; this exists so
+//! type definitions annotated for downstream consumers keep compiling in
+//! the offline build environment.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline shim for `serde_derive`: the derive macros expand to nothing.
+//!
+//! Nothing in this workspace serializes through serde at runtime (the wire
+//! formats are hand-rolled), so `#[derive(Serialize, Deserialize)]` only
+//! needs to parse. If a future PR adds a real serde backend, swap the
+//! `serde`/`serde_derive` workspace dependencies to the registry versions.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

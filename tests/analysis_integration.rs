@@ -4,8 +4,7 @@
 
 use tac_amr::to_uniform;
 use tac_analysis::{
-    amr_distortion, compare_catalogs, find_halos, power_spectrum, relative_error,
-    HaloFinderConfig,
+    amr_distortion, compare_catalogs, find_halos, power_spectrum, relative_error, HaloFinderConfig,
 };
 use tac_core::{compress_dataset, decompress_dataset, Method, TacConfig};
 use tac_nyx::{entry, FieldKind};
@@ -96,8 +95,10 @@ fn adaptive_eb_trades_level_fidelity() {
         level_eb_scale: vec![1.5, 0.5], // fine looser, coarse tighter
         ..Default::default()
     };
-    let uni = decompress_dataset(&compress_dataset(&ds, &uniform_cfg, Method::Tac).unwrap()).unwrap();
-    let ada = decompress_dataset(&compress_dataset(&ds, &adaptive_cfg, Method::Tac).unwrap()).unwrap();
+    let uni =
+        decompress_dataset(&compress_dataset(&ds, &uniform_cfg, Method::Tac).unwrap()).unwrap();
+    let ada =
+        decompress_dataset(&compress_dataset(&ds, &adaptive_cfg, Method::Tac).unwrap()).unwrap();
     let coarse_err = |recon: &tac_amr::AmrDataset| {
         let a = &ds.levels()[1];
         let b = &recon.levels()[1];

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use tac_amr::{AmrDataset, AmrLevel};
 use tac_core::{
-    compress_dataset, decompress_dataset, plan_opst_from_occupancy, zmesh_order, Method,
-    Strategy, TacConfig,
+    compress_dataset, decompress_dataset, plan_opst_from_occupancy, zmesh_order, Method, Strategy,
+    TacConfig,
 };
 use tac_sz::{compress, decompress, Dims, ErrorBound, SzConfig};
 

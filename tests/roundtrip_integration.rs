@@ -126,7 +126,8 @@ fn all_seven_catalog_entries_compress_with_tac() {
     for e in tac_nyx::CATALOG {
         let scale = if e.paper_fine_dim >= 512 { 32 } else { 16 };
         let ds = e.generate(FieldKind::BaryonDensity, scale, 11);
-        ds.validate().unwrap_or_else(|err| panic!("{}: {err}", e.name));
+        ds.validate()
+            .unwrap_or_else(|err| panic!("{}: {err}", e.name));
         let cfg = TacConfig {
             unit: 2,
             error_bound: ErrorBound::Rel(1e-3),
