@@ -1,0 +1,237 @@
+//! Axis-aligned bounding boxes over cell coordinates.
+//!
+//! The chunked container format records one [`Aabb`] per compressed
+//! chunk so a region-of-interest decode can skip every chunk that
+//! cannot contribute. Boxes are **half-open**: `min` is the lowest
+//! contained cell, `max` is one past the highest, so `volume` and
+//! intersection tests need no `+1` bookkeeping and an empty box is
+//! simply `min == max`.
+
+/// A half-open axis-aligned box `[min, max)` in cell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Aabb {
+    /// Lowest contained cell (inclusive).
+    pub min: (usize, usize, usize),
+    /// One past the highest contained cell (exclusive).
+    pub max: (usize, usize, usize),
+}
+
+impl Aabb {
+    /// Builds a box from its corners, clamping `max` up to `min` so a
+    /// degenerate input yields an empty box rather than a panic.
+    pub fn new(min: (usize, usize, usize), max: (usize, usize, usize)) -> Self {
+        Aabb {
+            min,
+            max: (max.0.max(min.0), max.1.max(min.1), max.2.max(min.2)),
+        }
+    }
+
+    /// The box covering a whole `dim^3` grid.
+    pub fn whole(dim: usize) -> Self {
+        Aabb {
+            min: (0, 0, 0),
+            max: (dim, dim, dim),
+        }
+    }
+
+    /// The box of a cuboid region: `origin` plus extents `(w, h, d)`.
+    pub fn of_region(origin: (usize, usize, usize), shape: (usize, usize, usize)) -> Self {
+        Aabb {
+            min: origin,
+            max: (origin.0 + shape.0, origin.1 + shape.1, origin.2 + shape.2),
+        }
+    }
+
+    /// Whether the box contains no cells.
+    pub fn is_empty(&self) -> bool {
+        self.min.0 >= self.max.0 || self.min.1 >= self.max.1 || self.min.2 >= self.max.2
+    }
+
+    /// Number of cells covered.
+    pub fn volume(&self) -> usize {
+        if self.is_empty() {
+            0
+        } else {
+            (self.max.0 - self.min.0) * (self.max.1 - self.min.1) * (self.max.2 - self.min.2)
+        }
+    }
+
+    /// Whether the cell at `(x, y, z)` lies inside.
+    pub fn contains(&self, x: usize, y: usize, z: usize) -> bool {
+        self.min.0 <= x
+            && x < self.max.0
+            && self.min.1 <= y
+            && y < self.max.1
+            && self.min.2 <= z
+            && z < self.max.2
+    }
+
+    /// Whether the two boxes share at least one cell.
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.0 < other.max.0
+            && other.min.0 < self.max.0
+            && self.min.1 < other.max.1
+            && other.min.1 < self.max.1
+            && self.min.2 < other.max.2
+            && other.min.2 < self.max.2
+    }
+
+    /// The overlapping box, or `None` when disjoint.
+    pub fn intersection(&self, other: &Aabb) -> Option<Aabb> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Aabb {
+            min: (
+                self.min.0.max(other.min.0),
+                self.min.1.max(other.min.1),
+                self.min.2.max(other.min.2),
+            ),
+            max: (
+                self.max.0.min(other.max.0),
+                self.max.1.min(other.max.1),
+                self.max.2.min(other.max.2),
+            ),
+        })
+    }
+
+    /// Smallest box covering both inputs (an empty side adopts the
+    /// other).
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Aabb {
+            min: (
+                self.min.0.min(other.min.0),
+                self.min.1.min(other.min.1),
+                self.min.2.min(other.min.2),
+            ),
+            max: (
+                self.max.0.max(other.max.0),
+                self.max.1.max(other.max.1),
+                self.max.2.max(other.max.2),
+            ),
+        }
+    }
+
+    /// Maps the box from fine to coarse coordinates, dividing by
+    /// `factor` with a floor on `min` and a ceiling on `max` — the
+    /// coarse box covers every coarse cell any fine cell touches.
+    ///
+    /// # Panics
+    /// Panics if `factor` is zero.
+    pub fn coarsen(&self, factor: usize) -> Aabb {
+        assert!(factor > 0, "coarsening factor must be positive");
+        if self.is_empty() {
+            return Aabb::new(self.min, self.min);
+        }
+        Aabb {
+            min: (
+                self.min.0 / factor,
+                self.min.1 / factor,
+                self.min.2 / factor,
+            ),
+            max: (
+                self.max.0.div_ceil(factor),
+                self.max.1.div_ceil(factor),
+                self.max.2.div_ceil(factor),
+            ),
+        }
+    }
+
+    /// Maps the box from coarse to fine coordinates (multiplies both
+    /// corners by `factor`).
+    pub fn refine(&self, factor: usize) -> Aabb {
+        Aabb {
+            min: (
+                self.min.0 * factor,
+                self.min.1 * factor,
+                self.min.2 * factor,
+            ),
+            max: (
+                self.max.0 * factor,
+                self.max.1 * factor,
+                self.max.2 * factor,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let b = Aabb::of_region((1, 2, 3), (4, 5, 6));
+        assert_eq!(b.max, (5, 7, 9));
+        assert_eq!(b.volume(), 4 * 5 * 6);
+        assert!(b.contains(1, 2, 3));
+        assert!(b.contains(4, 6, 8));
+        assert!(!b.contains(5, 2, 3));
+        assert!(!Aabb::whole(8).is_empty());
+        assert_eq!(Aabb::whole(8).volume(), 512);
+    }
+
+    #[test]
+    fn empty_boxes() {
+        let e = Aabb::new((3, 3, 3), (3, 5, 5));
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0);
+        assert!(!e.intersects(&Aabb::whole(8)));
+        // Degenerate max below min clamps to empty instead of panicking.
+        let d = Aabb::new((4, 4, 4), (2, 2, 2));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Aabb::new((0, 0, 0), (4, 4, 4));
+        let b = Aabb::new((2, 2, 2), (6, 6, 6));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Aabb::new((2, 2, 2), (4, 4, 4)));
+        let u = a.union(&b);
+        assert_eq!(u, Aabb::new((0, 0, 0), (6, 6, 6)));
+        let far = Aabb::new((10, 10, 10), (12, 12, 12));
+        assert!(!a.intersects(&far));
+        assert!(a.intersection(&far).is_none());
+        // Touching faces (half-open) do not intersect.
+        let adj = Aabb::new((4, 0, 0), (8, 4, 4));
+        assert!(!a.intersects(&adj));
+    }
+
+    #[test]
+    fn union_with_empty_adopts_other() {
+        let a = Aabb::new((1, 1, 1), (3, 3, 3));
+        let e = Aabb::new((9, 9, 9), (9, 9, 9));
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn coarsen_floor_and_ceil() {
+        let b = Aabb::new((3, 4, 5), (9, 8, 13));
+        let c = b.coarsen(4);
+        assert_eq!(c, Aabb::new((0, 1, 1), (3, 2, 4)));
+        // Coarsened box covers every original cell.
+        for (x, y, z) in [(3, 4, 5), (8, 7, 12)] {
+            assert!(c.contains(x / 4, y / 4, z / 4));
+        }
+        assert_eq!(b.coarsen(1), b);
+        let r = c.refine(4);
+        assert!(r.contains(3, 4, 5) && r.contains(8, 7, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_coarsen_panics() {
+        Aabb::whole(4).coarsen(0);
+    }
+}

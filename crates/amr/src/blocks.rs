@@ -6,6 +6,7 @@
 //! [`copy_region`]/[`paste_region`] move cell data between the level's
 //! flat array and contiguous extraction buffers.
 
+use crate::aabb::Aabb;
 use crate::level::AmrLevel;
 
 /// Per-unit-block occupancy summary of one AMR level.
@@ -103,6 +104,32 @@ impl BlockGrid {
     /// TAC's density filter consumes).
     pub fn block_density(&self) -> f64 {
         self.num_nonempty() as f64 / self.num_blocks().max(1) as f64
+    }
+
+    /// The cell-coordinate box of unit block `(bx, by, bz)`.
+    pub fn block_aabb(&self, bx: usize, by: usize, bz: usize) -> Aabb {
+        Aabb::of_region(
+            (bx * self.unit, by * self.unit, bz * self.unit),
+            (self.unit, self.unit, self.unit),
+        )
+    }
+
+    /// Tight cell-coordinate bounding box of all non-empty unit blocks,
+    /// or `None` when the level is empty. Chunked containers use this as
+    /// the whole-level extent for ROI chunk-table entries.
+    pub fn nonempty_aabb(&self) -> Option<Aabb> {
+        let mut acc: Option<Aabb> = None;
+        for bz in 0..self.nb {
+            for by in 0..self.nb {
+                for bx in 0..self.nb {
+                    if !self.is_empty_block(bx, by, bz) {
+                        let b = self.block_aabb(bx, by, bz);
+                        acc = Some(acc.map_or(b, |a| a.union(&b)));
+                    }
+                }
+            }
+        }
+        acc
     }
 
     /// Sum of counts over the cuboid of blocks `[b0, b1)` (exclusive upper
@@ -207,6 +234,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nonempty_aabb_covers_checkerboard() {
+        let lvl = checkerboard_level(8, 2);
+        let grid = BlockGrid::build(&lvl, 2);
+        // Checkerboard touches every octant: bbox is the whole grid.
+        assert_eq!(grid.nonempty_aabb().unwrap(), Aabb::whole(8));
+        assert_eq!(grid.block_aabb(1, 2, 3), Aabb::new((2, 4, 6), (4, 6, 8)));
+        // A level with one occupied corner block gets a tight box.
+        let mut corner = AmrLevel::empty(8);
+        corner.set_value(7, 6, 7, 1.0);
+        let grid = BlockGrid::build(&corner, 2);
+        assert_eq!(
+            grid.nonempty_aabb().unwrap(),
+            Aabb::new((6, 6, 6), (8, 8, 8))
+        );
+        // Empty level: no box.
+        let grid = BlockGrid::build(&AmrLevel::empty(8), 2);
+        assert!(grid.nonempty_aabb().is_none());
     }
 
     #[test]

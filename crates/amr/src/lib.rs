@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+mod aabb;
 mod blocks;
 mod dataset;
 mod level;
@@ -34,6 +35,7 @@ mod mask;
 mod morton;
 mod upsample;
 
+pub use aabb::Aabb;
 pub use blocks::{copy_region, paste_region, BlockGrid};
 pub use dataset::{AmrDataset, AmrValidationError};
 pub use level::AmrLevel;

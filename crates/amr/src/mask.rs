@@ -5,6 +5,8 @@
 //! 64x cheaper than a `Vec<bool>` for the 1024^3-scale grids the paper
 //! works with.
 
+use crate::aabb::Aabb;
+
 /// A fixed-length bit mask.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitMask {
@@ -97,6 +99,67 @@ impl BitMask {
                 }
             })
         })
+    }
+
+    /// Tight bounding box of the set bits, interpreting the mask as a
+    /// `dim^3` grid (x fastest), or `None` when no bit is set. This is
+    /// the box the chunked container records for whole-level payloads so
+    /// ROI decoding can skip levels entirely.
+    ///
+    /// Scans word-wise, one `(y, z)` row at a time (a row is `dim`
+    /// consecutive bits), so the cost is ~`dim^3 / 64` word operations
+    /// rather than per-bit div/mod — this runs on every container
+    /// serialization.
+    ///
+    /// # Panics
+    /// Panics if `len != dim^3`.
+    pub fn bounding_box(&self, dim: usize) -> Option<Aabb> {
+        assert_eq!(self.len, dim * dim * dim, "mask is not a {dim}^3 grid");
+        let mut lo = (usize::MAX, usize::MAX, usize::MAX);
+        let mut hi = (0usize, 0usize, 0usize);
+        let mut any = false;
+        for z in 0..dim {
+            for y in 0..dim {
+                if let Some((first_x, last_x)) = self.range_of_ones(dim * (y + dim * z), dim) {
+                    any = true;
+                    lo = (lo.0.min(first_x), lo.1.min(y), lo.2.min(z));
+                    hi = (hi.0.max(last_x), hi.1.max(y), hi.2.max(z));
+                }
+            }
+        }
+        any.then(|| Aabb::new(lo, (hi.0 + 1, hi.1 + 1, hi.2 + 1)))
+    }
+
+    /// First and last set-bit offsets within the bit range
+    /// `[start, start + len)`, relative to `start`; `None` when the
+    /// range is all zero. Word-wise: masks the partial words at both
+    /// ends and uses trailing/leading-zero counts.
+    fn range_of_ones(&self, start: usize, len: usize) -> Option<(usize, usize)> {
+        debug_assert!(start + len <= self.len);
+        if len == 0 {
+            return None;
+        }
+        let (w0, w1) = (start / 64, (start + len - 1) / 64);
+        let mut first: Option<usize> = None;
+        let mut last: Option<usize> = None;
+        for wi in w0..=w1 {
+            let mut word = self.words[wi];
+            if wi == w0 {
+                word &= u64::MAX << (start % 64);
+            }
+            if wi == w1 {
+                let tail = (start + len - 1) % 64;
+                if tail < 63 {
+                    word &= (1u64 << (tail + 1)) - 1;
+                }
+            }
+            if word != 0 {
+                let base = wi * 64;
+                first.get_or_insert(base + word.trailing_zeros() as usize - start);
+                last = Some(base + 63 - word.leading_zeros() as usize - start);
+            }
+        }
+        Some((first?, last.expect("last set with first")))
     }
 
     /// Zeroes any bits beyond `len` in the last word (keeps `count_ones`
@@ -212,6 +275,54 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_get_panics() {
         BitMask::zeros(8).get(8);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let dim = 4;
+        let mut m = BitMask::zeros(dim * dim * dim);
+        assert!(m.bounding_box(dim).is_none());
+        // Set (1,2,0) and (3,0,2).
+        m.set(1 + dim * 2, true);
+        m.set(3 + dim * dim * 2, true);
+        let b = m.bounding_box(dim).unwrap();
+        assert_eq!(b, Aabb::new((1, 0, 0), (4, 3, 3)));
+        let full = BitMask::ones(dim * dim * dim);
+        assert_eq!(full.bounding_box(dim).unwrap(), Aabb::whole(dim));
+    }
+
+    #[test]
+    fn bounding_box_matches_brute_force_on_random_masks() {
+        // Exercises rows smaller than a word (dim 4), word-aligned rows
+        // (dim 8 on word boundaries), and multi-word rows (dim 128 won't
+        // fit here, dim 16 rows span word boundaries at odd offsets).
+        for dim in [2usize, 4, 8, 16] {
+            for seed in 0u64..8 {
+                let n = dim * dim * dim;
+                let mut m = BitMask::zeros(n);
+                let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                for i in 0..n {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state % 7 == 0 {
+                        m.set(i, true);
+                    }
+                }
+                // Brute force with per-bit coordinates.
+                let mut lo = (usize::MAX, usize::MAX, usize::MAX);
+                let mut hi = (0usize, 0usize, 0usize);
+                let mut any = false;
+                for i in m.iter_ones() {
+                    let (x, y, z) = (i % dim, (i / dim) % dim, i / (dim * dim));
+                    lo = (lo.0.min(x), lo.1.min(y), lo.2.min(z));
+                    hi = (hi.0.max(x), hi.1.max(y), hi.2.max(z));
+                    any = true;
+                }
+                let expect = any.then(|| Aabb::new(lo, (hi.0 + 1, hi.1 + 1, hi.2 + 1)));
+                assert_eq!(m.bounding_box(dim), expect, "dim {dim} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Criterion benchmarks for the block-sharded parallel engine: full
+//! TAC dataset compression serial vs N worker threads (the fig14-scale
+//! Run1_Z10 snapshot), parallel decompression, and ROI decode vs full
+//! decode through the v2 chunk table.
+//!
+//! Quick mode (`TAC_BENCH_QUICK=1`) additionally writes a
+//! machine-readable `BENCH_par.json` (threads -> end-to-end throughput
+//! in MB/s) to the current directory so CI can archive the numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tac_amr::Aabb;
+use tac_bench::experiments::par_speedup::{bench_config, measure_sweep, THREAD_SWEEP};
+use tac_bench::{default_scale, load_dataset};
+use tac_core::{
+    compress_dataset, decompress_dataset_par, decompress_region, CompressedDataset, Method,
+    TacConfig,
+};
+
+fn fig14_scale_setup() -> (tac_amr::AmrDataset, TacConfig) {
+    let scale = default_scale();
+    let unit = tac_bench::support::default_unit(scale);
+    let ds = load_dataset("Run1_Z10", scale, 14);
+    let cfg = bench_config(unit, ds.finest_dim(), 1);
+    (ds, cfg)
+}
+
+fn bench_parallel_compress(c: &mut Criterion) {
+    let (ds, base_cfg) = fig14_scale_setup();
+    let bytes = (ds.total_present() * 8) as u64;
+
+    let mut group = c.benchmark_group("par_compress");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for &threads in THREAD_SWEEP {
+        let cfg = TacConfig {
+            parallelism: tac_core::Parallelism::Threads(threads),
+            ..base_cfg.clone()
+        };
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| compress_dataset(black_box(&ds), &cfg, Method::Tac).unwrap())
+        });
+    }
+    group.finish();
+
+    let cd = compress_dataset(&ds, &base_cfg, Method::Tac).unwrap();
+    let mut group = c.benchmark_group("par_decompress");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for &threads in THREAD_SWEEP {
+        let par = tac_core::Parallelism::Threads(threads);
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| decompress_dataset_par(black_box(&cd), par).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_roi_decode(c: &mut Criterion) {
+    let (ds, cfg) = fig14_scale_setup();
+    let container = compress_dataset(&ds, &cfg, Method::Tac).unwrap().to_bytes();
+    let half = ds.finest_dim() / 2;
+    let roi = Aabb::new((0, 0, 0), (half, half, half));
+
+    let mut group = c.benchmark_group("roi_decode");
+    group.sample_size(10);
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let cd = CompressedDataset::from_bytes(black_box(&container)).unwrap();
+            decompress_dataset_par(&cd, tac_core::Parallelism::Serial).unwrap()
+        })
+    });
+    group.bench_function("corner_eighth", |b| {
+        b.iter(|| decompress_region(black_box(&container), roi).unwrap())
+    });
+    group.finish();
+}
+
+/// Quick mode drops a `BENCH_par.json` next to the bench run: a small
+/// `{threads: [...], throughput_mb_s: [...], bit_identical: bool}`
+/// object CI archives to catch throughput/bit-identity regressions.
+fn emit_quick_json() {
+    if std::env::var("TAC_BENCH_QUICK").is_err() {
+        return;
+    }
+    let (ds, cfg) = fig14_scale_setup();
+    let (rows, identical) = measure_sweep(&ds, cfg.unit, 2);
+    let threads: Vec<String> = rows.iter().map(|r| r.threads.to_string()).collect();
+    let tp: Vec<String> = rows
+        .iter()
+        .map(|r| format!("{:.3}", r.throughput_mb_s))
+        .collect();
+    let json = format!(
+        "{{\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"threads\": [{}],\n  \"throughput_mb_s\": [{}],\n  \"bit_identical\": {}\n}}\n",
+        ds.finest_dim(),
+        threads.join(", "),
+        tp.join(", "),
+        identical
+    );
+    // Anchor at the workspace root regardless of the bench's cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_parallel_compress(c);
+    bench_roi_decode(c);
+    emit_quick_json();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

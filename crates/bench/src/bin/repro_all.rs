@@ -1,7 +1,12 @@
 //! Runs every table/figure harness in sequence — the full reproduction
-//! of the paper's evaluation section. Expect several minutes at the
-//! default scale; set `TAC_BENCH_SCALE=16` or `TAC_BENCH_QUICK=1` for a
-//! faster pass.
+//! of the paper's evaluation section plus the parallel-engine section.
+//! Expect several minutes at the default scale; set `TAC_BENCH_SCALE=16`
+//! or `TAC_BENCH_QUICK=1` for a faster pass.
+//!
+//! Flags:
+//!   --only <substr>   run only sections whose name contains <substr>
+//!                     (case-insensitive; e.g. `--only par`, `--only table`)
+//!   --list            print section names and exit
 
 use tac_bench::experiments as ex;
 
@@ -20,11 +25,42 @@ fn main() {
         ("Fig. 19", ex::fig19::report),
         ("Table 2", ex::table2::report),
         ("Table 3", ex::table3::report),
+        ("Parallel + ROI", ex::par_speedup::report),
     ];
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &sections {
+            println!("{name}");
+        }
+        return;
+    }
+    let only = match args.iter().position(|a| a == "--only") {
+        Some(i) => match args.get(i + 1) {
+            Some(pat) => Some(pat.to_lowercase()),
+            None => {
+                eprintln!("--only requires a section name substring (try --list)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
+    let mut ran = 0;
     for (name, f) in sections {
+        if let Some(pat) = &only {
+            if !name.to_lowercase().contains(pat) {
+                continue;
+            }
+        }
+        ran += 1;
         let t0 = std::time::Instant::now();
         println!("==================== {name} ====================");
         print!("{}", f());
         println!("  [{name} took {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    if ran == 0 {
+        eprintln!("no section matched the --only filter (try --list)");
+        std::process::exit(2);
     }
 }

@@ -10,6 +10,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig18;
 pub mod fig19;
+pub mod par_speedup;
 pub mod table2;
 pub mod table3;
 
@@ -112,7 +113,18 @@ mod tests {
         use super::smoke;
 
         smoke_tests!(
-            fig07, fig11, fig12, fig13, fig14, fig15, fig16, fig18, fig19, table2, table3,
+            fig07,
+            fig11,
+            fig12,
+            fig13,
+            fig14,
+            fig15,
+            fig16,
+            fig18,
+            fig19,
+            par_speedup,
+            table2,
+            table3,
         );
     }
 }

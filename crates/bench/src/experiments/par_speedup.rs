@@ -1,0 +1,176 @@
+//! Parallel compression speedup and ROI decode latency — beyond the
+//! paper's own evaluation, following its successors: TAC+ (TPDS'23)
+//! motivates pre-planned parallel partitions, AMRIC (SC'23) chunked
+//! seekable output for in-situ I/O.
+//!
+//! Two tables:
+//! 1. end-to-end TAC compress/decompress wall time and throughput at
+//!    1/2/4/8 worker threads (same dataset and bounds as Fig. 14's
+//!    Run1_Z10 panel), with a bit-identity check across thread counts;
+//! 2. full decode vs region-of-interest decode of a 1/8-volume corner
+//!    through the v2 chunk table, with payload-byte accounting.
+//!
+//! Expected shapes: near-linear compression speedup while physical
+//! cores last (the per-group tasks dominate and the scheduler keeps
+//! workers busy); ROI decode reads a fraction of the payload bytes and
+//! finishes proportionally faster. On a single-core host both collapse
+//! to ~1x — the table says what the hardware allowed.
+
+use crate::support::{default_scale, default_unit, load_dataset, quick_mode};
+use tac_amr::Aabb;
+use tac_core::{
+    compress_dataset, decompress_dataset_par, decompress_region, CompressedDataset, Method,
+    Parallelism, TacConfig,
+};
+use tac_sz::ErrorBound;
+
+/// Thread counts the speedup table sweeps.
+pub const THREAD_SWEEP: &[usize] = &[1, 2, 4, 8];
+
+/// One row of the speedup table.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupRow {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Compression wall time (seconds, best of reps).
+    pub compress_s: f64,
+    /// Decompression wall time (seconds, best of reps).
+    pub decompress_s: f64,
+    /// End-to-end throughput in MB/s over present-cell bytes.
+    pub throughput_mb_s: f64,
+}
+
+/// The benchmark configuration shared by the table, the criterion
+/// bench, and `BENCH_par.json`.
+pub fn bench_config(unit: usize, fine_dim: usize, threads: usize) -> TacConfig {
+    TacConfig {
+        unit,
+        error_bound: ErrorBound::Rel(1e-3),
+        parallelism: Parallelism::Threads(threads),
+        roi_tile: Some((fine_dim / 2).max(unit)),
+        ..Default::default()
+    }
+}
+
+/// Measures the thread sweep on a dataset, returning one row per thread
+/// count plus whether every thread count produced identical container
+/// bytes.
+pub fn measure_sweep(
+    ds: &tac_amr::AmrDataset,
+    unit: usize,
+    reps: usize,
+) -> (Vec<SpeedupRow>, bool) {
+    let original_bytes = ds.total_present() * 8;
+    let mut rows = Vec::new();
+    let mut reference: Option<Vec<u8>> = None;
+    let mut identical = true;
+    for &threads in THREAD_SWEEP {
+        let cfg = bench_config(unit, ds.finest_dim(), threads);
+        let mut best_c = f64::INFINITY;
+        let mut best_d = f64::INFINITY;
+        let mut bytes = Vec::new();
+        for _ in 0..reps.max(1) {
+            let t0 = std::time::Instant::now();
+            let cd = compress_dataset(ds, &cfg, Method::Tac).expect("compress");
+            best_c = best_c.min(t0.elapsed().as_secs_f64());
+            let t1 = std::time::Instant::now();
+            decompress_dataset_par(&cd, cfg.parallelism).expect("decompress");
+            best_d = best_d.min(t1.elapsed().as_secs_f64());
+            bytes = cd.to_bytes();
+        }
+        match &reference {
+            None => reference = Some(bytes),
+            Some(r) => identical &= *r == bytes,
+        }
+        rows.push(SpeedupRow {
+            threads,
+            compress_s: best_c,
+            decompress_s: best_d,
+            throughput_mb_s: original_bytes as f64 / 1e6 / (best_c + best_d),
+        });
+    }
+    (rows, identical)
+}
+
+/// Runs the speedup + ROI report.
+pub fn report() -> String {
+    let scale = default_scale();
+    let unit = default_unit(scale);
+    let reps = if quick_mode() { 1 } else { 3 };
+    let ds = load_dataset("Run1_Z10", scale, 14);
+
+    let mut out = String::new();
+    out.push_str("Parallel engine: TAC compress/decompress at 1/2/4/8 worker threads\n");
+    out.push_str(&format!(
+        "  dataset Run1_Z10, finest {}^3, {} present cells, hardware threads: {}\n",
+        ds.finest_dim(),
+        ds.total_present(),
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    ));
+    out.push_str(&format!(
+        "  {:<8} {:>12} {:>12} {:>12} {:>10}\n",
+        "threads", "compress s", "decomp s", "MB/s", "speedup"
+    ));
+    let (rows, identical) = measure_sweep(&ds, unit, reps);
+    let serial = rows[0].compress_s + rows[0].decompress_s;
+    for r in &rows {
+        out.push_str(&format!(
+            "  {:<8} {:>12.4} {:>12.4} {:>12.2} {:>9.2}x\n",
+            r.threads,
+            r.compress_s,
+            r.decompress_s,
+            r.throughput_mb_s,
+            serial / (r.compress_s + r.decompress_s)
+        ));
+    }
+    out.push_str(&format!(
+        "  container bytes identical across thread counts: {}\n",
+        if identical { "yes" } else { "NO (bug!)" }
+    ));
+
+    // ROI decode: a 1/8-volume corner against the full decode.
+    let cfg = bench_config(unit, ds.finest_dim(), 1);
+    let cd = compress_dataset(&ds, &cfg, Method::Tac).expect("compress");
+    let bytes = cd.to_bytes();
+    let half = ds.finest_dim() / 2;
+    let roi = Aabb::new((0, 0, 0), (half, half, half));
+
+    let t0 = std::time::Instant::now();
+    let parsed = CompressedDataset::from_bytes(&bytes).expect("parse");
+    decompress_dataset_par(&parsed, cfg.parallelism).expect("full decode");
+    let full_s = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let (_, stats) = decompress_region(&bytes, roi).expect("roi decode");
+    let roi_s = t1.elapsed().as_secs_f64();
+
+    out.push_str("\nROI decode (v2 chunk table), 1/8-volume corner:\n");
+    out.push_str(&format!(
+        "  full decode {:.4}s reading {} payload bytes; ROI decode {:.4}s reading {} ({:.0}% skipped, {}/{} chunks)\n",
+        full_s,
+        stats.payload_bytes_total,
+        roi_s,
+        stats.payload_bytes_read,
+        stats.skipped_fraction() * 100.0,
+        stats.chunks_read,
+        stats.chunks_total,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_bit_identical_and_positive() {
+        crate::support::set_bench_overrides(32, true);
+        let ds = load_dataset("Run1_Z10", 32, 3);
+        let (rows, identical) = measure_sweep(&ds, 2, 1);
+        assert!(identical, "thread count changed container bytes");
+        assert_eq!(rows.len(), THREAD_SWEEP.len());
+        for r in rows {
+            assert!(r.compress_s > 0.0 && r.throughput_mb_s > 0.0);
+        }
+    }
+}

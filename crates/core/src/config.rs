@@ -3,6 +3,7 @@
 
 use crate::error::TacError;
 use serde::{Deserialize, Serialize};
+use tac_par::Parallelism;
 use tac_sz::ErrorBound;
 
 /// The pre-process strategy applied to one AMR level before 3D
@@ -85,9 +86,17 @@ pub struct TacConfig {
     /// Whether SZ's block-regression predictor runs (SZ2-style; disable
     /// for SZ-1.4-style pure Lorenzo).
     pub sz_regression: bool,
-    /// Worker threads for per-level / per-group compression (1 =
-    /// sequential).
-    pub threads: usize,
+    /// Worker budget for the block-sharded compression engine. The
+    /// engine shards the dataset into per-level, per-region tasks and
+    /// runs them on this many work-stealing threads; output bytes are
+    /// identical for every setting.
+    pub parallelism: Parallelism,
+    /// Spatial tile side (in cells, per level) bounding how far apart
+    /// regions may sit and still share one SZ batch. `None` merges by
+    /// shape alone (maximum batching); `Some(t)` keeps chunks local so
+    /// the v2 container's region-of-interest decode can skip more of
+    /// the payload.
+    pub roi_tile: Option<usize>,
 }
 
 impl Default for TacConfig {
@@ -103,10 +112,8 @@ impl Default for TacConfig {
             sz_capacity: 65536,
             sz_lossless: true,
             sz_regression: true,
-            threads: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-                .min(16),
+            parallelism: Parallelism::Auto,
+            roi_tile: None,
         }
     }
 }
@@ -144,6 +151,19 @@ impl TacConfig {
         self
     }
 
+    /// Sets the engine's worker budget.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the ROI chunk tile (spatially-local grouping for the v2
+    /// container's region-of-interest decode).
+    pub fn with_roi_tile(mut self, tile: usize) -> Self {
+        self.roi_tile = Some(tile);
+        self
+    }
+
     /// Error-bound multiplier for level `l` (1.0 when unspecified).
     pub fn level_scale(&self, level: usize) -> f64 {
         self.level_eb_scale.get(level).copied().unwrap_or(1.0)
@@ -172,8 +192,15 @@ impl TacConfig {
                 "level eb scales must be positive and finite".into(),
             ));
         }
-        if self.threads == 0 {
-            return Err(TacError::InvalidConfig("threads must be >= 1".into()));
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err(TacError::InvalidConfig(
+                "parallelism thread count must be >= 1".into(),
+            ));
+        }
+        if self.roi_tile == Some(0) {
+            return Err(TacError::InvalidConfig(
+                "roi tile must be positive when set".into(),
+            ));
         }
         Ok(())
     }
@@ -242,9 +269,24 @@ mod tests {
         };
         assert!(c.validate().is_err());
         let c = TacConfig {
-            threads: 0,
+            parallelism: Parallelism::Threads(0),
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = TacConfig {
+            roi_tile: Some(0),
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_and_tile_builders() {
+        let c = TacConfig::default()
+            .with_parallelism(Parallelism::Threads(3))
+            .with_roi_tile(8);
+        assert_eq!(c.parallelism, Parallelism::Threads(3));
+        assert_eq!(c.roi_tile, Some(8));
+        assert!(c.validate().is_ok());
     }
 }

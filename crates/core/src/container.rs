@@ -5,18 +5,34 @@
 //! structure — LZSS-packed, and accounted separately from the payload
 //! because every method shares it, mirroring how AMReX stores box lists
 //! outside the field data), and the method-specific payload.
+//!
+//! Two wire formats coexist behind the version byte:
+//!
+//! * **v1** — the original monolithic layout: payload streams inline,
+//!   decodable only front to back. Still written by
+//!   [`CompressedDataset::to_bytes_v1`] and always readable.
+//! * **v2** (default) — a chunked, seekable layout built for
+//!   region-of-interest decoding (the AMRIC-style in-situ scenario):
+//!   a fixed header (method metadata + masks), the payload as a flat
+//!   run of independent chunks (one per whole-level stream or region
+//!   group), a **chunk table** mapping each chunk to its level, byte
+//!   range, and cell-coordinate bounding box, and a trailing table
+//!   offset so file readers can seek straight to the table. See
+//!   [`crate::roi::decompress_region`] for the selective decoder.
 
 use crate::config::Strategy;
 use crate::error::TacError;
-use crate::stream::{CompressedLevel, Reader, Writer};
+use crate::stream::{CompressedLevel, LevelPayload, Reader, Writer};
 use serde::{Deserialize, Serialize};
-use tac_amr::BitMask;
+use tac_amr::{Aabb, BitMask};
 use tac_sz::CompressionStats;
 
 /// Container magic number.
 const MAGIC: &[u8; 4] = b"TACD";
-/// Container format version.
-const VERSION: u8 = 1;
+/// Original monolithic container format.
+const VERSION_V1: u8 = 1;
+/// Chunked random-access container format.
+const VERSION_V2: u8 = 2;
 
 /// Which compressor produced a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -166,14 +182,16 @@ impl CompressedDataset {
         CompressionStats::new(self.total_present(), self.payload_bytes())
     }
 
-    /// Serializes the container.
+    /// Serializes the container in the current (v2, chunked) format.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_v2()
+    }
+
+    /// Serializes the legacy monolithic v1 container.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.put_u8(MAGIC[0]);
-        w.put_u8(MAGIC[1]);
-        w.put_u8(MAGIC[2]);
-        w.put_u8(MAGIC[3]);
-        w.put_u8(VERSION);
+        w.put_bytes(MAGIC);
+        w.put_u8(VERSION_V1);
         w.put_u8(self.method().tag());
         w.put_str(&self.name);
         w.put_u64(self.finest_dim as u64);
@@ -207,84 +225,579 @@ impl CompressedDataset {
         w.into_bytes()
     }
 
-    /// Parses a container written by [`CompressedDataset::to_bytes`].
+    /// Serializes the chunked v2 container.
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_bytes(MAGIC);
+        w.put_u8(VERSION_V2);
+        w.put_u8(self.method().tag());
+        w.put_str(&self.name);
+        w.put_u64(self.finest_dim as u64);
+        w.put_u8(self.masks.len() as u8);
+        for m in &self.masks {
+            w.put_blob(&tac_sz::lossless::compress(&m.to_bytes()));
+        }
+
+        // Method metadata (everything except the streams themselves).
+        match &self.body {
+            MethodBody::Tac(levels) => {
+                for l in levels {
+                    w.put_u8(l.strategy.tag());
+                    w.put_u64(l.dim as u64);
+                    w.put_f64(l.abs_eb);
+                    match &l.payload {
+                        LevelPayload::Empty => w.put_u8(0),
+                        LevelPayload::Whole(_) => w.put_u8(1),
+                        LevelPayload::Groups(groups) => {
+                            w.put_u8(2);
+                            w.put_u32(groups.len() as u32);
+                        }
+                    }
+                }
+            }
+            MethodBody::Baseline1D(levels) => {
+                for l in levels {
+                    match l {
+                        None => w.put_u8(0),
+                        Some((eb, _)) => {
+                            w.put_u8(1);
+                            w.put_f64(*eb);
+                        }
+                    }
+                }
+            }
+            MethodBody::ZMesh { abs_eb, .. } | MethodBody::Baseline3D { abs_eb, .. } => {
+                w.put_f64(*abs_eb);
+            }
+        }
+
+        // Payload chunks + their table entries.
+        let mut payload = Writer::new();
+        let mut entries: Vec<ChunkEntry> = Vec::new();
+        let push = |entries: &mut Vec<ChunkEntry>,
+                    payload: &Writer,
+                    level: usize,
+                    len_before: usize,
+                    bbox: Aabb| {
+            entries.push(ChunkEntry {
+                level: level as u8,
+                offset: len_before,
+                len: payload.len() - len_before,
+                bbox,
+            });
+        };
+        match &self.body {
+            MethodBody::Tac(levels) => {
+                for (l, cl) in levels.iter().enumerate() {
+                    let level_bbox = self
+                        .masks
+                        .get(l)
+                        .and_then(|m| m.bounding_box(cl.dim))
+                        .unwrap_or_else(|| Aabb::whole(cl.dim));
+                    match &cl.payload {
+                        LevelPayload::Empty => {}
+                        LevelPayload::Whole(stream) => {
+                            let before = payload.len();
+                            payload.put_bytes(stream);
+                            push(&mut entries, &payload, l, before, level_bbox);
+                        }
+                        LevelPayload::Groups(groups) => {
+                            for g in groups {
+                                let before = payload.len();
+                                g.write(&mut payload);
+                                push(&mut entries, &payload, l, before, g.aabb());
+                            }
+                        }
+                    }
+                }
+            }
+            MethodBody::Baseline1D(levels) => {
+                for (l, entry) in levels.iter().enumerate() {
+                    if let Some((_, stream)) = entry {
+                        let dim = self.finest_dim >> l;
+                        let bbox = self
+                            .masks
+                            .get(l)
+                            .and_then(|m| m.bounding_box(dim))
+                            .unwrap_or_else(|| Aabb::whole(dim));
+                        let before = payload.len();
+                        payload.put_bytes(stream);
+                        push(&mut entries, &payload, l, before, bbox);
+                    }
+                }
+            }
+            MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => {
+                let before = payload.len();
+                payload.put_bytes(stream);
+                push(
+                    &mut entries,
+                    &payload,
+                    0,
+                    before,
+                    Aabb::whole(self.finest_dim),
+                );
+            }
+        }
+        w.put_blob(&payload.into_bytes());
+
+        // Chunk table, then its offset as the footer (a file reader can
+        // seek to the last 8 bytes, then to the table, then to exactly
+        // the chunks it needs).
+        let table_pos = w.len();
+        w.put_u32(entries.len() as u32);
+        for e in &entries {
+            e.write(&mut w);
+        }
+        w.put_u64(table_pos as u64);
+        w.into_bytes()
+    }
+
+    /// Parses a container written by [`CompressedDataset::to_bytes`] (v2)
+    /// or [`CompressedDataset::to_bytes_v1`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TacError> {
         let mut r = Reader::new(bytes);
-        let magic = [r.get_u8()?, r.get_u8()?, r.get_u8()?, r.get_u8()?];
-        if &magic != MAGIC {
-            return Err(TacError::Corrupt(format!("bad magic {magic:02x?}")));
+        let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
+        match version {
+            VERSION_V1 => parse_v1_body(&mut r, method, name, finest_dim, masks),
+            VERSION_V2 => {
+                let layout = parse_v2_tail(&mut r, method, name, finest_dim, masks)?;
+                layout.assemble()
+            }
+            v => Err(TacError::Corrupt(format!(
+                "unsupported container version {v}"
+            ))),
         }
-        let version = r.get_u8()?;
-        if version != VERSION {
+    }
+}
+
+/// Shared front matter of both container versions: magic, version byte,
+/// method, name, finest dim, packed masks.
+fn parse_prelude(
+    r: &mut Reader<'_>,
+) -> Result<(u8, Method, String, usize, Vec<BitMask>), TacError> {
+    let magic = r.get_bytes(4)?;
+    if magic != MAGIC {
+        return Err(TacError::Corrupt(format!("bad magic {magic:02x?}")));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(TacError::Corrupt(format!(
+            "unsupported container version {version}"
+        )));
+    }
+    let method = Method::from_tag(r.get_u8()?)?;
+    let name = r.get_str()?;
+    let finest_dim = r.get_u64()? as usize;
+    let num_levels = r.get_u8()? as usize;
+    if num_levels == 0 || num_levels > 16 {
+        return Err(TacError::Corrupt(format!(
+            "{num_levels} levels is implausible"
+        )));
+    }
+    let mut masks = Vec::with_capacity(num_levels);
+    for l in 0..num_levels {
+        let packed = r.get_blob()?;
+        let raw = tac_sz::lossless::decompress(packed)?;
+        let mask = BitMask::from_bytes(&raw)
+            .ok_or_else(|| TacError::Corrupt(format!("level {l} mask malformed")))?;
+        let dim = finest_dim >> l;
+        if mask.len() != dim * dim * dim {
             return Err(TacError::Corrupt(format!(
-                "unsupported container version {version}"
+                "level {l} mask has {} bits, expected {}",
+                mask.len(),
+                dim * dim * dim
             )));
         }
-        let method = Method::from_tag(r.get_u8()?)?;
-        let name = r.get_str()?;
-        let finest_dim = r.get_u64()? as usize;
-        let num_levels = r.get_u8()? as usize;
-        if num_levels == 0 || num_levels > 16 {
+        masks.push(mask);
+    }
+    Ok((version, method, name, finest_dim, masks))
+}
+
+/// Parses the v1 (monolithic) body.
+fn parse_v1_body(
+    r: &mut Reader<'_>,
+    method: Method,
+    name: String,
+    finest_dim: usize,
+    masks: Vec<BitMask>,
+) -> Result<CompressedDataset, TacError> {
+    let num_levels = masks.len();
+    let body = match method {
+        Method::Tac => {
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                levels.push(CompressedLevel::read(r)?);
+            }
+            MethodBody::Tac(levels)
+        }
+        Method::Baseline1D => {
+            let mut levels = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                levels.push(match r.get_u8()? {
+                    0 => None,
+                    1 => Some((r.get_f64()?, r.get_blob()?.to_vec())),
+                    t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
+                });
+            }
+            MethodBody::Baseline1D(levels)
+        }
+        Method::ZMesh => MethodBody::ZMesh {
+            abs_eb: r.get_f64()?,
+            stream: r.get_blob()?.to_vec(),
+        },
+        Method::Baseline3D => MethodBody::Baseline3D {
+            abs_eb: r.get_f64()?,
+            stream: r.get_blob()?.to_vec(),
+        },
+    };
+    if r.remaining() != 0 {
+        return Err(TacError::Corrupt(format!(
+            "{} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(CompressedDataset {
+        name,
+        finest_dim,
+        masks,
+        body,
+    })
+}
+
+/// One chunk-table row: which level the chunk belongs to, where its
+/// bytes live in the payload, and the cell-coordinate box it covers
+/// (level-local coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChunkEntry {
+    pub level: u8,
+    pub offset: usize,
+    pub len: usize,
+    pub bbox: Aabb,
+}
+
+impl ChunkEntry {
+    fn write(&self, w: &mut Writer) {
+        w.put_u8(self.level);
+        w.put_u64(self.offset as u64);
+        w.put_u64(self.len as u64);
+        let (x0, y0, z0) = self.bbox.min;
+        let (x1, y1, z1) = self.bbox.max;
+        for v in [x0, y0, z0, x1, y1, z1] {
+            w.put_u32(v as u32);
+        }
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, TacError> {
+        let level = r.get_u8()?;
+        let offset = r.get_u64()? as usize;
+        let len = r.get_u64()? as usize;
+        let mut c = [0usize; 6];
+        for v in &mut c {
+            *v = r.get_u32()? as usize;
+        }
+        // The writer only ever records non-empty boxes; a degenerate one
+        // here is corruption, and accepting it would make ROI decoding
+        // silently skip a live chunk.
+        if c[3] <= c[0] || c[4] <= c[1] || c[5] <= c[2] {
             return Err(TacError::Corrupt(format!(
-                "{num_levels} levels is implausible"
+                "chunk bbox [{:?}, {:?}) is empty",
+                (c[0], c[1], c[2]),
+                (c[3], c[4], c[5])
             )));
         }
-        let mut masks = Vec::with_capacity(num_levels);
-        for l in 0..num_levels {
-            let packed = r.get_blob()?;
-            let raw = tac_sz::lossless::decompress(packed)?;
-            let mask = BitMask::from_bytes(&raw)
-                .ok_or_else(|| TacError::Corrupt(format!("level {l} mask malformed")))?;
-            let dim = finest_dim >> l;
-            if mask.len() != dim * dim * dim {
+        Ok(ChunkEntry {
+            level,
+            offset,
+            len,
+            bbox: Aabb::new((c[0], c[1], c[2]), (c[3], c[4], c[5])),
+        })
+    }
+}
+
+/// Per-level metadata of a v2 TAC payload.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TacLevelMeta {
+    pub strategy: Strategy,
+    pub dim: usize,
+    pub abs_eb: f64,
+    /// 0 = empty, 1 = whole-grid stream, 2 = region groups.
+    pub kind: u8,
+    /// Number of group chunks (kind 2 only).
+    pub group_count: usize,
+}
+
+impl TacLevelMeta {
+    /// Chunks the table must list for this level — the single source of
+    /// the kind -> count mapping.
+    pub fn expected_chunks(&self) -> usize {
+        match self.kind {
+            0 => 0,
+            1 => 1,
+            _ => self.group_count,
+        }
+    }
+}
+
+/// Method metadata of a parsed v2 container.
+#[derive(Debug, Clone)]
+pub(crate) enum V2Meta {
+    Tac(Vec<TacLevelMeta>),
+    /// Per level: the resolved bound for present levels.
+    Baseline1D(Vec<Option<f64>>),
+    ZMesh(f64),
+    Baseline3D(f64),
+}
+
+/// A parsed v2 container with the payload still in serialized form:
+/// chunks decode on demand (the whole point of the format).
+#[derive(Debug)]
+pub(crate) struct V2Layout<'a> {
+    pub name: String,
+    pub finest_dim: usize,
+    pub masks: Vec<BitMask>,
+    pub meta: V2Meta,
+    pub payload: &'a [u8],
+    pub entries: Vec<ChunkEntry>,
+}
+
+/// Parses a v2 container down to its layout without decoding any chunk.
+pub(crate) fn parse_v2(bytes: &[u8]) -> Result<V2Layout<'_>, TacError> {
+    let mut r = Reader::new(bytes);
+    let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
+    if version != VERSION_V2 {
+        return Err(TacError::Corrupt(format!(
+            "chunk-table access needs a v2 container (found v{version})"
+        )));
+    }
+    parse_v2_tail(&mut r, method, name, finest_dim, masks)
+}
+
+/// Parses everything after the shared prelude of a v2 container.
+fn parse_v2_tail<'a>(
+    r: &mut Reader<'a>,
+    method: Method,
+    name: String,
+    finest_dim: usize,
+    masks: Vec<BitMask>,
+) -> Result<V2Layout<'a>, TacError> {
+    let num_levels = masks.len();
+    let meta = match method {
+        Method::Tac => {
+            let mut metas = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                let strategy = Strategy::from_tag(r.get_u8()?)?;
+                let dim = r.get_u64()? as usize;
+                let abs_eb = r.get_f64()?;
+                let kind = r.get_u8()?;
+                let group_count = match kind {
+                    0 | 1 => 0,
+                    2 => r.get_u32()? as usize,
+                    k => return Err(TacError::Corrupt(format!("unknown payload kind {k}"))),
+                };
+                metas.push(TacLevelMeta {
+                    strategy,
+                    dim,
+                    abs_eb,
+                    kind,
+                    group_count,
+                });
+            }
+            V2Meta::Tac(metas)
+        }
+        Method::Baseline1D => {
+            let mut ebs = Vec::with_capacity(num_levels);
+            for _ in 0..num_levels {
+                ebs.push(match r.get_u8()? {
+                    0 => None,
+                    1 => Some(r.get_f64()?),
+                    t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
+                });
+            }
+            V2Meta::Baseline1D(ebs)
+        }
+        Method::ZMesh => V2Meta::ZMesh(r.get_f64()?),
+        Method::Baseline3D => V2Meta::Baseline3D(r.get_f64()?),
+    };
+
+    let payload = r.get_blob()?;
+    let table_pos = r.position();
+    let num_chunks = r.get_u32()? as usize;
+    // Each serialized entry is 41 bytes (level u8 + offset/len u64 +
+    // bbox 6 x u32); bound the allocation by what the buffer can hold.
+    if num_chunks > r.remaining() / 41 {
+        return Err(TacError::Corrupt(format!(
+            "table declares {num_chunks} chunks but only {} bytes remain",
+            r.remaining()
+        )));
+    }
+    let mut entries = Vec::with_capacity(num_chunks);
+    for _ in 0..num_chunks {
+        let e = ChunkEntry::read(r)?;
+        // checked_add: a crafted offset near u64::MAX must fail cleanly,
+        // not wrap past the bound and panic at slice time.
+        let in_bounds = e
+            .offset
+            .checked_add(e.len)
+            .is_some_and(|end| end <= payload.len());
+        if !in_bounds {
+            return Err(TacError::Corrupt(format!(
+                "chunk at offset {} len {} exceeds payload of {} bytes",
+                e.offset,
+                e.len,
+                payload.len()
+            )));
+        }
+        if e.level as usize >= num_levels {
+            return Err(TacError::Corrupt(format!(
+                "chunk references level {} of {num_levels}",
+                e.level
+            )));
+        }
+        entries.push(e);
+    }
+    let stored_table_pos = r.get_u64()? as usize;
+    if stored_table_pos != table_pos {
+        return Err(TacError::Corrupt(format!(
+            "table offset footer {stored_table_pos} does not match table at {table_pos}"
+        )));
+    }
+    if r.remaining() != 0 {
+        return Err(TacError::Corrupt(format!(
+            "{} trailing bytes",
+            r.remaining()
+        )));
+    }
+    let layout = V2Layout {
+        name,
+        finest_dim,
+        masks,
+        meta,
+        payload,
+        entries,
+    };
+    // Enforce the table/metadata chunk-count invariants once here, so
+    // every consumer (full assemble, ROI decode) agrees on what a valid
+    // container is by construction.
+    layout.validate_chunk_counts()?;
+    Ok(layout)
+}
+
+impl V2Layout<'_> {
+    /// Checks that the chunk table lists exactly the chunks the method
+    /// metadata promises, per level.
+    fn validate_chunk_counts(&self) -> Result<(), TacError> {
+        let check = |level: usize, want: usize| -> Result<(), TacError> {
+            let have = self.level_entries(level).count();
+            if have != want {
                 return Err(TacError::Corrupt(format!(
-                    "level {l} mask has {} bits, expected {}",
-                    mask.len(),
-                    dim * dim * dim
+                    "level {level}: expected {want} chunks, table lists {have}"
                 )));
             }
-            masks.push(mask);
+            Ok(())
+        };
+        match &self.meta {
+            V2Meta::Tac(metas) => {
+                for (l, meta) in metas.iter().enumerate() {
+                    check(l, meta.expected_chunks())?;
+                }
+            }
+            V2Meta::Baseline1D(ebs) => {
+                for (l, eb) in ebs.iter().enumerate() {
+                    check(l, usize::from(eb.is_some()))?;
+                }
+            }
+            V2Meta::ZMesh(_) | V2Meta::Baseline3D(_) => {
+                if self.entries.len() != 1 {
+                    return Err(TacError::Corrupt(format!(
+                        "expected exactly one chunk, table lists {}",
+                        self.entries.len()
+                    )));
+                }
+            }
         }
-        let body = match method {
-            Method::Tac => {
-                let mut levels = Vec::with_capacity(num_levels);
-                for _ in 0..num_levels {
-                    levels.push(CompressedLevel::read(&mut r)?);
+        Ok(())
+    }
+    /// Chunk-table rows belonging to `level`, in payload order.
+    pub fn level_entries(&self, level: usize) -> impl Iterator<Item = &ChunkEntry> {
+        self.entries
+            .iter()
+            .filter(move |e| e.level as usize == level)
+    }
+
+    /// The serialized bytes of one chunk.
+    pub fn chunk_bytes(&self, e: &ChunkEntry) -> &[u8] {
+        &self.payload[e.offset..e.offset + e.len]
+    }
+
+    /// Decodes every chunk, reassembling the full in-memory container
+    /// (the v2 equivalent of the v1 front-to-back parse). Chunk counts
+    /// were already validated against the metadata at parse time.
+    /// Consumes the layout so the name and masks move instead of
+    /// cloning.
+    pub fn assemble(self) -> Result<CompressedDataset, TacError> {
+        let body = match &self.meta {
+            V2Meta::Tac(metas) => {
+                let mut levels = Vec::with_capacity(metas.len());
+                for (l, meta) in metas.iter().enumerate() {
+                    let chunks: Vec<&ChunkEntry> = self.level_entries(l).collect();
+                    let payload = match meta.kind {
+                        0 => LevelPayload::Empty,
+                        1 => LevelPayload::Whole(self.chunk_bytes(chunks[0]).to_vec()),
+                        _ => {
+                            let mut groups = Vec::with_capacity(chunks.len());
+                            for c in &chunks {
+                                groups.push(self.parse_group(c)?);
+                            }
+                            LevelPayload::Groups(groups)
+                        }
+                    };
+                    levels.push(CompressedLevel {
+                        strategy: meta.strategy,
+                        dim: meta.dim,
+                        abs_eb: meta.abs_eb,
+                        payload,
+                    });
                 }
                 MethodBody::Tac(levels)
             }
-            Method::Baseline1D => {
-                let mut levels = Vec::with_capacity(num_levels);
-                for _ in 0..num_levels {
-                    levels.push(match r.get_u8()? {
-                        0 => None,
-                        1 => Some((r.get_f64()?, r.get_blob()?.to_vec())),
-                        t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
-                    });
+            V2Meta::Baseline1D(ebs) => {
+                let mut levels = Vec::with_capacity(ebs.len());
+                for (l, eb) in ebs.iter().enumerate() {
+                    levels.push(eb.map(|eb| {
+                        let chunk = self.level_entries(l).next().expect("validated chunk");
+                        (eb, self.chunk_bytes(chunk).to_vec())
+                    }));
                 }
                 MethodBody::Baseline1D(levels)
             }
-            Method::ZMesh => MethodBody::ZMesh {
-                abs_eb: r.get_f64()?,
-                stream: r.get_blob()?.to_vec(),
+            V2Meta::ZMesh(abs_eb) => MethodBody::ZMesh {
+                abs_eb: *abs_eb,
+                stream: self.chunk_bytes(&self.entries[0]).to_vec(),
             },
-            Method::Baseline3D => MethodBody::Baseline3D {
-                abs_eb: r.get_f64()?,
-                stream: r.get_blob()?.to_vec(),
+            V2Meta::Baseline3D(abs_eb) => MethodBody::Baseline3D {
+                abs_eb: *abs_eb,
+                stream: self.chunk_bytes(&self.entries[0]).to_vec(),
             },
         };
+        Ok(CompressedDataset {
+            name: self.name,
+            finest_dim: self.finest_dim,
+            masks: self.masks,
+            body,
+        })
+    }
+
+    /// Parses a group chunk body (must consume the chunk exactly).
+    pub fn parse_group(&self, e: &ChunkEntry) -> Result<crate::stream::BlockGroup, TacError> {
+        let mut r = Reader::new(self.chunk_bytes(e));
+        let g = crate::stream::BlockGroup::read(&mut r)?;
         if r.remaining() != 0 {
             return Err(TacError::Corrupt(format!(
-                "{} trailing bytes",
+                "{} trailing bytes in group chunk",
                 r.remaining()
             )));
         }
-        Ok(CompressedDataset {
-            name,
-            finest_dim,
-            masks,
-            body,
-        })
+        Ok(g)
     }
 }
 
@@ -302,9 +815,8 @@ mod tests {
         vec![fine, coarse]
     }
 
-    #[test]
-    fn container_roundtrip_tac() {
-        let cd = CompressedDataset {
+    fn sample_tac() -> CompressedDataset {
+        CompressedDataset {
             name: "Run1_Z10".into(),
             finest_dim: 4,
             masks: sample_masks(),
@@ -313,7 +825,11 @@ mod tests {
                     strategy: Strategy::OpST,
                     dim: 4,
                     abs_eb: 1e-3,
-                    payload: crate::stream::LevelPayload::Empty,
+                    payload: crate::stream::LevelPayload::Groups(vec![crate::stream::BlockGroup {
+                        shape: (2, 2, 2),
+                        origins: vec![(0, 0, 0), (2, 2, 2)],
+                        stream: vec![4, 5, 6],
+                    }]),
                 },
                 CompressedLevel {
                     strategy: Strategy::Gsp,
@@ -322,19 +838,29 @@ mod tests {
                     payload: crate::stream::LevelPayload::Whole(vec![1, 2, 3]),
                 },
             ]),
-        };
-        let bytes = cd.to_bytes();
-        let back = CompressedDataset::from_bytes(&bytes).unwrap();
-        assert_eq!(back, cd);
-        assert_eq!(back.method(), Method::Tac);
-        assert_eq!(
-            back.strategies().unwrap(),
-            vec![Strategy::OpST, Strategy::Gsp]
-        );
+        }
     }
 
     #[test]
-    fn container_roundtrip_baselines() {
+    fn container_roundtrip_tac_both_versions() {
+        let cd = sample_tac();
+        for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+            let back = CompressedDataset::from_bytes(&bytes).unwrap();
+            assert_eq!(back, cd);
+            assert_eq!(back.method(), Method::Tac);
+            assert_eq!(
+                back.strategies().unwrap(),
+                vec![Strategy::OpST, Strategy::Gsp]
+            );
+        }
+        // Default serialization is v2.
+        assert_eq!(cd.to_bytes(), cd.to_bytes_v2());
+        assert_eq!(cd.to_bytes()[4], VERSION_V2);
+        assert_eq!(cd.to_bytes_v1()[4], VERSION_V1);
+    }
+
+    #[test]
+    fn container_roundtrip_baselines_both_versions() {
         for body in [
             MethodBody::Baseline1D(vec![Some((1e-3, vec![7, 8])), None]),
             MethodBody::ZMesh {
@@ -352,11 +878,32 @@ mod tests {
                 masks: sample_masks(),
                 body,
             };
-            let bytes = cd.to_bytes();
-            let back = CompressedDataset::from_bytes(&bytes).unwrap();
-            assert_eq!(back, cd);
-            assert!(back.strategies().is_none());
+            for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+                let back = CompressedDataset::from_bytes(&bytes).unwrap();
+                assert_eq!(back, cd);
+                assert!(back.strategies().is_none());
+            }
         }
+    }
+
+    #[test]
+    fn v2_chunk_table_maps_payload() {
+        let cd = sample_tac();
+        let bytes = cd.to_bytes_v2();
+        let layout = parse_v2(&bytes).unwrap();
+        // One group chunk on the fine level, one whole chunk on the
+        // coarse level.
+        assert_eq!(layout.entries.len(), 2);
+        assert_eq!(layout.level_entries(0).count(), 1);
+        assert_eq!(layout.level_entries(1).count(), 1);
+        let fine = layout.level_entries(0).next().unwrap();
+        assert_eq!(fine.bbox, Aabb::new((0, 0, 0), (4, 4, 4)));
+        let coarse = layout.level_entries(1).next().unwrap();
+        // Coarse mask has a single present cell at the origin.
+        assert_eq!(coarse.bbox, Aabb::new((0, 0, 0), (1, 1, 1)));
+        assert_eq!(layout.chunk_bytes(coarse), &[1, 2, 3]);
+        // v1 bytes have no chunk table.
+        assert!(parse_v2(&cd.to_bytes_v1()).is_err());
     }
 
     #[test]
@@ -388,14 +935,41 @@ mod tests {
                 stream: vec![3; 5],
             },
         };
-        let bytes = cd.to_bytes();
-        assert!(CompressedDataset::from_bytes(&bytes[..bytes.len() - 1]).is_err());
-        assert!(CompressedDataset::from_bytes(&bytes[1..]).is_err());
-        let mut extra = bytes.clone();
-        extra.push(0);
-        assert!(CompressedDataset::from_bytes(&extra).is_err());
-        let mut bad_version = bytes.clone();
-        bad_version[4] = 77;
-        assert!(CompressedDataset::from_bytes(&bad_version).is_err());
+        for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+            assert!(CompressedDataset::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+            assert!(CompressedDataset::from_bytes(&bytes[1..]).is_err());
+            let mut extra = bytes.clone();
+            extra.push(0);
+            assert!(CompressedDataset::from_bytes(&extra).is_err());
+            let mut bad_version = bytes.clone();
+            bad_version[4] = 77;
+            assert!(CompressedDataset::from_bytes(&bad_version).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_chunk_bbox_is_rejected_not_skipped() {
+        let cd = sample_tac();
+        let mut bytes = cd.to_bytes_v2();
+        // Locate the first table entry via the footer; its bbox starts
+        // 4 (count) + 17 (level/offset/len) bytes into the table. Write
+        // min.x > max.x: accepting this as an "empty" box would make
+        // ROI decoding silently drop the chunk's data.
+        let table_pos = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()) as usize;
+        let bbox_at = table_pos + 4 + 17;
+        bytes[bbox_at..bbox_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(CompressedDataset::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_v2_is_rejected_at_every_cut() {
+        let cd = sample_tac();
+        let bytes = cd.to_bytes_v2();
+        for cut in 5..bytes.len() {
+            assert!(
+                CompressedDataset::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
     }
 }

@@ -1,0 +1,358 @@
+//! The block-sharded parallel compression engine.
+//!
+//! TAC's pipeline splits naturally into three phases:
+//!
+//! 1. **Plan** (serial, cheap): per level, pick the strategy, resolve
+//!    the error bound, run the partition planner (OpST / AKDTree / NaST
+//!    region extraction, GSP padding), and group regions into
+//!    compression jobs. This mirrors TAC+'s observation that the
+//!    partitioning stage can be pre-planned before any compression
+//!    runs.
+//! 2. **Execute** (parallel): flatten every job across every level into
+//!    one task list and run it on `tac-par`'s work-stealing scheduler,
+//!    weighted by cell count. Each task is an independent SZ
+//!    compression (or decompression) of one whole-grid buffer or one
+//!    region group.
+//! 3. **Assemble** (serial, cheap): collect results back into per-level
+//!    payloads in plan order.
+//!
+//! Because tasks are planned before execution and results are keyed by
+//! task index, the assembled output is **byte-identical for every
+//! worker count** — a serial run and an 8-thread run produce the same
+//! container.
+
+use crate::akdtree::plan_akdtree;
+use crate::config::{Strategy, TacConfig};
+use crate::error::TacError;
+use crate::extract::{compress_group, decode_group, paste_group, plan_groups, GroupPlan};
+use crate::gsp::pad_ghost_shell;
+use crate::nast::plan_nast;
+use crate::opst::plan_opst;
+use crate::stream::{BlockGroup, CompressedLevel, LevelPayload};
+use tac_amr::{AmrLevel, BitMask, BlockGrid};
+use tac_sz::{Dims, SzConfig};
+
+/// Effective unit-block size for a level: the configured unit, clamped
+/// down to the level dimension when the level is smaller than one unit.
+///
+/// # Errors
+/// Rejects a degenerate result of zero (dimension-0 level or zero unit)
+/// instead of letting `BlockGrid::build` panic downstream.
+pub(crate) fn unit_for(dim: usize, unit: usize) -> Result<usize, TacError> {
+    let effective = unit.min(dim);
+    if effective == 0 {
+        return Err(TacError::InvalidConfig(format!(
+            "unit block size resolves to 0 (unit {unit}, level dim {dim})"
+        )));
+    }
+    Ok(effective)
+}
+
+/// Where a whole-grid compression task reads its input.
+#[derive(Debug)]
+pub(crate) enum WholeSource {
+    /// The level's own flat array (ZeroFill).
+    Level,
+    /// An owned pre-processed buffer (GSP's padded grid).
+    Owned(Vec<f64>),
+}
+
+/// The planned work for one level.
+#[derive(Debug)]
+pub(crate) enum LevelWork {
+    /// Nothing to compress.
+    Empty,
+    /// One whole-grid rank-3 stream.
+    Whole(WholeSource),
+    /// Extracted region groups, each an independent task.
+    Groups(Vec<GroupPlan>),
+}
+
+/// A fully planned level, ready for the execute phase.
+#[derive(Debug)]
+pub(crate) struct LevelPlan {
+    pub strategy: Strategy,
+    pub dim: usize,
+    pub abs_eb: f64,
+    pub work: LevelWork,
+}
+
+/// Plans one level: partition planning and pre-processing, no
+/// compression.
+pub(crate) fn plan_level(
+    level: &AmrLevel,
+    strategy: Strategy,
+    abs_eb: f64,
+    cfg: &TacConfig,
+) -> Result<LevelPlan, TacError> {
+    let dim = level.dim();
+    let work = match strategy {
+        Strategy::Empty => LevelWork::Empty,
+        Strategy::ZeroFill => LevelWork::Whole(WholeSource::Level),
+        Strategy::Gsp => {
+            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit)?);
+            let (padded, _) = pad_ghost_shell(level, &grid);
+            LevelWork::Whole(WholeSource::Owned(padded))
+        }
+        Strategy::NaST => {
+            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit)?);
+            let regions = plan_nast(&grid);
+            LevelWork::Groups(plan_groups(&regions, cfg.roi_tile))
+        }
+        Strategy::OpST => {
+            let unit = unit_for(dim, cfg.unit)?;
+            let grid = BlockGrid::build(level, unit);
+            let regions = plan_opst(&grid).regions(unit);
+            LevelWork::Groups(plan_groups(&regions, cfg.roi_tile))
+        }
+        Strategy::AkdTree => {
+            let unit = unit_for(dim, cfg.unit)?;
+            let grid = BlockGrid::build(level, unit);
+            let regions = plan_akdtree(&grid).regions(unit);
+            LevelWork::Groups(plan_groups(&regions, cfg.roi_tile))
+        }
+    };
+    Ok(LevelPlan {
+        strategy,
+        dim,
+        abs_eb,
+        work,
+    })
+}
+
+/// One flattened compression task (borrowing the plan and level data).
+struct CompressTask<'a> {
+    dim: usize,
+    sz_cfg: SzConfig,
+    kind: CompressKind<'a>,
+}
+
+enum CompressKind<'a> {
+    Whole(&'a [f64]),
+    /// A region group plus the flat array of its owning level.
+    Group(&'a GroupPlan, &'a [f64]),
+}
+
+impl CompressTask<'_> {
+    fn cost(&self) -> u64 {
+        match &self.kind {
+            CompressKind::Whole(_) => (self.dim * self.dim * self.dim) as u64,
+            CompressKind::Group(p, _) => p.num_cells() as u64,
+        }
+    }
+}
+
+enum TaskOut {
+    Stream(Vec<u8>),
+    Group(BlockGroup),
+}
+
+/// Executes the planned levels on `workers` threads and assembles the
+/// per-level compressed payloads in plan order. `level_data[i]` is the
+/// flat array of the i-th planned level (read by ZeroFill tasks and
+/// region-group tasks).
+pub(crate) fn compress_plans(
+    plans: &[LevelPlan],
+    level_data: &[&[f64]],
+    cfg: &TacConfig,
+    workers: usize,
+) -> Result<Vec<CompressedLevel>, TacError> {
+    assert_eq!(plans.len(), level_data.len());
+    // Flatten: tasks are generated level-major, groups in plan order, so
+    // task index order is deterministic.
+    let mut tasks: Vec<CompressTask<'_>> = Vec::new();
+    for (plan, &data) in plans.iter().zip(level_data) {
+        let sz_cfg = cfg.sz_config(plan.abs_eb);
+        match &plan.work {
+            LevelWork::Empty => {}
+            LevelWork::Whole(source) => tasks.push(CompressTask {
+                dim: plan.dim,
+                sz_cfg,
+                kind: CompressKind::Whole(match source {
+                    WholeSource::Level => data,
+                    WholeSource::Owned(buf) => buf,
+                }),
+            }),
+            LevelWork::Groups(groups) => {
+                for g in groups {
+                    tasks.push(CompressTask {
+                        dim: plan.dim,
+                        sz_cfg,
+                        kind: CompressKind::Group(g, data),
+                    });
+                }
+            }
+        }
+    }
+
+    let results = tac_par::execute(
+        workers,
+        &tasks,
+        CompressTask::cost,
+        |t| -> Result<TaskOut, TacError> {
+            match &t.kind {
+                CompressKind::Whole(data) => {
+                    let stream = tac_sz::compress(data, Dims::D3(t.dim, t.dim, t.dim), &t.sz_cfg)?;
+                    Ok(TaskOut::Stream(stream))
+                }
+                CompressKind::Group(plan, data) => Ok(TaskOut::Group(compress_group(
+                    data, t.dim, plan, &t.sz_cfg,
+                )?)),
+            }
+        },
+    );
+
+    // Assemble in plan order, consuming results sequentially.
+    let mut out = Vec::with_capacity(plans.len());
+    let mut next = results.into_iter();
+    for plan in plans {
+        let payload = match &plan.work {
+            LevelWork::Empty => LevelPayload::Empty,
+            LevelWork::Whole(_) => match next.next().expect("missing whole-grid result")? {
+                TaskOut::Stream(stream) => LevelPayload::Whole(stream),
+                TaskOut::Group(_) => unreachable!("whole task produced a group"),
+            },
+            LevelWork::Groups(groups) => {
+                let mut collected = Vec::with_capacity(groups.len());
+                for _ in groups {
+                    match next.next().expect("missing group result")? {
+                        TaskOut::Group(g) => collected.push(g),
+                        TaskOut::Stream(_) => unreachable!("group task produced a stream"),
+                    }
+                }
+                LevelPayload::Groups(collected)
+            }
+        };
+        out.push(CompressedLevel {
+            strategy: plan.strategy,
+            dim: plan.dim,
+            abs_eb: plan.abs_eb,
+            payload,
+        });
+    }
+    Ok(out)
+}
+
+/// One flattened decompression task.
+struct DecompressTask<'a> {
+    level: usize,
+    dim: usize,
+    kind: DecompressKind<'a>,
+}
+
+enum DecompressKind<'a> {
+    Whole(&'a [u8]),
+    Group(&'a BlockGroup),
+}
+
+impl DecompressTask<'_> {
+    fn cost(&self) -> u64 {
+        match &self.kind {
+            DecompressKind::Whole(_) => (self.dim * self.dim * self.dim) as u64,
+            DecompressKind::Group(g) => {
+                (g.shape.0 * g.shape.1 * g.shape.2 * g.origins.len()) as u64
+            }
+        }
+    }
+}
+
+/// Decompresses TAC per-level payloads on `workers` threads: every
+/// whole-grid stream and every region group decodes as an independent
+/// task; pasting and mask application stay serial.
+pub(crate) fn decompress_tac_levels(
+    compressed: &[CompressedLevel],
+    masks: &[BitMask],
+    workers: usize,
+) -> Result<Vec<AmrLevel>, TacError> {
+    // Validate masks up front (decode tasks do not see them).
+    for (l, (cl, mask)) in compressed.iter().zip(masks).enumerate() {
+        let n = cl.dim * cl.dim * cl.dim;
+        if mask.len() != n {
+            return Err(TacError::Corrupt(format!(
+                "level {l}: mask has {} bits for a {}^3 level",
+                mask.len(),
+                cl.dim
+            )));
+        }
+    }
+    let mut tasks: Vec<DecompressTask<'_>> = Vec::new();
+    for (l, cl) in compressed.iter().enumerate() {
+        match &cl.payload {
+            LevelPayload::Empty => {}
+            LevelPayload::Whole(stream) => tasks.push(DecompressTask {
+                level: l,
+                dim: cl.dim,
+                kind: DecompressKind::Whole(stream),
+            }),
+            LevelPayload::Groups(groups) => {
+                for g in groups {
+                    tasks.push(DecompressTask {
+                        level: l,
+                        dim: cl.dim,
+                        kind: DecompressKind::Group(g),
+                    });
+                }
+            }
+        }
+    }
+
+    let results = tac_par::execute(
+        workers,
+        &tasks,
+        DecompressTask::cost,
+        |t| -> Result<Vec<f64>, TacError> {
+            match &t.kind {
+                DecompressKind::Whole(stream) => {
+                    let (values, dims) = tac_sz::decompress(stream)?;
+                    if dims != Dims::D3(t.dim, t.dim, t.dim) {
+                        return Err(TacError::Corrupt(format!(
+                            "whole-grid stream dims {dims:?} for a {}^3 level",
+                            t.dim
+                        )));
+                    }
+                    Ok(values)
+                }
+                DecompressKind::Group(g) => decode_group(g),
+            }
+        },
+    );
+
+    // Assemble: paste decoded buffers level by level, then mask.
+    let mut grids: Vec<Vec<f64>> = compressed
+        .iter()
+        .map(|cl| vec![0.0f64; cl.dim * cl.dim * cl.dim])
+        .collect();
+    for (task, result) in tasks.iter().zip(results) {
+        let values = result?;
+        match &task.kind {
+            DecompressKind::Whole(_) => grids[task.level] = values,
+            DecompressKind::Group(g) => paste_group(&mut grids[task.level], task.dim, g, &values)?,
+        }
+    }
+    Ok(compressed
+        .iter()
+        .zip(grids)
+        .zip(masks)
+        .map(|((cl, mut data), mask)| {
+            for (i, v) in data.iter_mut().enumerate() {
+                if !mask.get(i) {
+                    *v = 0.0;
+                }
+            }
+            AmrLevel::new(cl.dim, data, mask.clone())
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_for_clamps_but_rejects_zero() {
+        assert_eq!(unit_for(16, 4).unwrap(), 4);
+        assert_eq!(unit_for(2, 8).unwrap(), 2);
+        assert!(unit_for(0, 8).is_err());
+        assert!(unit_for(16, 0).is_err());
+    }
+}

@@ -2,13 +2,16 @@
 //!
 //! NaST, OpST, and AKDTree all end the same way: a list of disjoint
 //! cuboid regions covering every non-empty unit block. This module turns
-//! such a plan into compressed [`BlockGroup`]s (same-shape regions merged
-//! into one rank-4 SZ stream, per the paper) and back.
+//! such a plan into per-group compression jobs ([`GroupPlan`] — same-
+//! shape regions merged into one rank-4 SZ stream, per the paper), runs
+//! one job ([`compress_group`]), and reverses the process
+//! ([`decode_group`] / [`paste_group`]). The parallel engine flattens
+//! `GroupPlan`s across levels into its task list; serial callers just
+//! run them in order.
 
 use crate::error::TacError;
 use crate::stream::BlockGroup;
-use crate::util::par_map;
-use tac_amr::{copy_region, paste_region};
+use tac_amr::{copy_region, paste_region, Aabb};
 use tac_sz::{Dims, SzConfig};
 
 /// A cuboid region of a level, in **cell** coordinates.
@@ -25,46 +28,131 @@ impl Region {
     pub fn num_cells(&self) -> usize {
         self.shape.0 * self.shape.1 * self.shape.2
     }
+
+    /// Bounding box of the region.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::of_region(self.origin, self.shape)
+    }
 }
 
-/// Compresses a region plan: groups regions by shape, batches each group
-/// into a rank-4 array, and runs the SZ substrate per group (in parallel).
-pub(crate) fn compress_regions(
-    data: &[f64],
-    dim: usize,
-    regions: &[Region],
-    sz_cfg: &SzConfig,
-    threads: usize,
-) -> Result<Vec<BlockGroup>, TacError> {
-    // Group by shape, preserving first-seen shape order for determinism.
-    let mut shapes: Vec<(usize, usize, usize)> = Vec::new();
-    let mut grouped: Vec<Vec<&Region>> = Vec::new();
+/// One planned compression job: same-shape regions batched into a single
+/// rank-4 SZ stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GroupPlan {
+    /// Sub-block extents in cells.
+    pub shape: (usize, usize, usize),
+    /// Cell-coordinate origins, in plan order.
+    pub origins: Vec<(usize, usize, usize)>,
+}
+
+impl GroupPlan {
+    /// Total cells the job will read (the scheduler's cost estimate).
+    pub fn num_cells(&self) -> usize {
+        self.shape.0 * self.shape.1 * self.shape.2 * self.origins.len()
+    }
+}
+
+/// Groups a region plan into compression jobs. Regions sharing a shape
+/// merge into one job (first-seen shape order, so the plan — and the
+/// bytes assembled from it — is deterministic). With `tile = Some(t)`,
+/// the grouping key additionally buckets region origins into `t`-cell
+/// tiles: jobs then stay spatially local, which bounds chunk extents in
+/// the v2 container and makes region-of-interest decoding selective, at
+/// the cost of slightly smaller SZ batches.
+pub(crate) fn plan_groups(regions: &[Region], tile: Option<usize>) -> Vec<GroupPlan> {
+    type Key = ((usize, usize, usize), (usize, usize, usize));
+    let key_of = |r: &Region| -> Key {
+        let bucket = match tile {
+            Some(t) => (r.origin.0 / t, r.origin.1 / t, r.origin.2 / t),
+            None => (0, 0, 0),
+        };
+        (r.shape, bucket)
+    };
+    // Hash index for O(1) key lookup; the Vec keeps first-seen order so
+    // the plan stays deterministic (this runs in the serial planning
+    // phase, and tiling can make the key count scale with the regions).
+    let mut index: std::collections::HashMap<Key, usize> = std::collections::HashMap::new();
+    let mut plans: Vec<GroupPlan> = Vec::new();
     for r in regions {
-        match shapes.iter().position(|&s| s == r.shape) {
-            Some(i) => grouped[i].push(r),
-            None => {
-                shapes.push(r.shape);
-                grouped.push(vec![r]);
+        match index.entry(key_of(r)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                plans[*e.get()].origins.push(r.origin)
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(plans.len());
+                plans.push(GroupPlan {
+                    shape: r.shape,
+                    origins: vec![r.origin],
+                });
             }
         }
     }
-    let jobs: Vec<(usize, Vec<&Region>)> = grouped.into_iter().enumerate().collect();
-    let results = par_map(threads, &jobs, |(shape_idx, group)| {
-        let (w, h, d) = shapes[*shape_idx];
-        let mut batch = Vec::with_capacity(w * h * d * group.len());
-        let mut origins = Vec::with_capacity(group.len());
-        for r in group {
-            batch.extend_from_slice(&copy_region(data, dim, r.origin, r.shape));
-            origins.push((r.origin.0 as u32, r.origin.1 as u32, r.origin.2 as u32));
+    plans
+}
+
+/// Runs one planned job: gathers the batched region data out of the
+/// level's flat array and compresses it as a rank-4 SZ stream.
+pub(crate) fn compress_group(
+    data: &[f64],
+    dim: usize,
+    plan: &GroupPlan,
+    sz_cfg: &SzConfig,
+) -> Result<BlockGroup, TacError> {
+    let (w, h, d) = plan.shape;
+    let mut batch = Vec::with_capacity(plan.num_cells());
+    let mut origins = Vec::with_capacity(plan.origins.len());
+    for &origin in &plan.origins {
+        batch.extend_from_slice(&copy_region(data, dim, origin, plan.shape));
+        origins.push((origin.0 as u32, origin.1 as u32, origin.2 as u32));
+    }
+    let stream = tac_sz::compress(&batch, Dims::D4(w, h, d, plan.origins.len()), sz_cfg)?;
+    Ok(BlockGroup {
+        shape: plan.shape,
+        origins,
+        stream,
+    })
+}
+
+/// Decodes one group's SZ stream, validating the declared dimensions.
+pub(crate) fn decode_group(g: &BlockGroup) -> Result<Vec<f64>, TacError> {
+    let (w, h, d) = g.shape;
+    let (values, dims) = tac_sz::decompress(&g.stream)?;
+    if dims != Dims::D4(w, h, d, g.origins.len()) {
+        return Err(TacError::Corrupt(format!(
+            "group stream dims {dims:?} do not match shape {:?} x {}",
+            g.shape,
+            g.origins.len()
+        )));
+    }
+    Ok(values)
+}
+
+/// Pastes a decoded group back into a dense `dim^3` grid.
+pub(crate) fn paste_group(
+    out: &mut [f64],
+    dim: usize,
+    g: &BlockGroup,
+    values: &[f64],
+) -> Result<(), TacError> {
+    let (w, h, d) = g.shape;
+    let block = w * h * d;
+    for (i, &(x, y, z)) in g.origins.iter().enumerate() {
+        let (x, y, z) = (x as usize, y as usize, z as usize);
+        if x + w > dim || y + h > dim || z + d > dim {
+            return Err(TacError::Corrupt(format!(
+                "region at ({x},{y},{z}) shape {:?} exceeds grid {dim}",
+                g.shape
+            )));
         }
-        let stream = tac_sz::compress(&batch, Dims::D4(w, h, d, group.len()), sz_cfg)?;
-        Ok::<BlockGroup, TacError>(BlockGroup {
-            shape: (w, h, d),
-            origins,
-            stream,
-        })
-    });
-    results.into_iter().collect()
+        paste_region(
+            out,
+            dim,
+            (x, y, z),
+            (w, h, d),
+            &values[i * block..(i + 1) * block],
+        );
+    }
+    Ok(())
 }
 
 /// Decompresses groups back into a dense `dim^3` grid (cells outside every
@@ -72,32 +160,8 @@ pub(crate) fn compress_regions(
 pub(crate) fn decompress_groups(groups: &[BlockGroup], dim: usize) -> Result<Vec<f64>, TacError> {
     let mut out = vec![0.0f64; dim * dim * dim];
     for g in groups {
-        let (w, h, d) = g.shape;
-        let (values, dims) = tac_sz::decompress(&g.stream)?;
-        if dims != Dims::D4(w, h, d, g.origins.len()) {
-            return Err(TacError::Corrupt(format!(
-                "group stream dims {dims:?} do not match shape {:?} x {}",
-                g.shape,
-                g.origins.len()
-            )));
-        }
-        let block = w * h * d;
-        for (i, &(x, y, z)) in g.origins.iter().enumerate() {
-            let (x, y, z) = (x as usize, y as usize, z as usize);
-            if x + w > dim || y + h > dim || z + d > dim {
-                return Err(TacError::Corrupt(format!(
-                    "region at ({x},{y},{z}) shape {:?} exceeds grid {dim}",
-                    g.shape
-                )));
-            }
-            paste_region(
-                &mut out,
-                dim,
-                (x, y, z),
-                (w, h, d),
-                &values[i * block..(i + 1) * block],
-            );
-        }
+        let values = decode_group(g)?;
+        paste_group(&mut out, dim, g, &values)?;
     }
     Ok(out)
 }
@@ -112,6 +176,19 @@ mod tests {
             error_bound: ErrorBound::Abs(eb),
             ..SzConfig::default()
         }
+    }
+
+    fn compress_all(
+        data: &[f64],
+        dim: usize,
+        regions: &[Region],
+        cfg: &SzConfig,
+        tile: Option<usize>,
+    ) -> Vec<BlockGroup> {
+        plan_groups(regions, tile)
+            .iter()
+            .map(|p| compress_group(data, dim, p, cfg).unwrap())
+            .collect()
     }
 
     #[test]
@@ -134,7 +211,7 @@ mod tests {
                 shape: (4, 4, 4),
             },
         ];
-        let groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-3), 2).unwrap();
+        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-3), None);
         assert_eq!(groups.len(), 2, "two shapes -> two groups");
         let out = decompress_groups(&groups, dim).unwrap();
         for r in &regions {
@@ -162,9 +239,48 @@ mod tests {
                 shape: (8, 8, 2),
             })
             .collect();
-        let groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].origins.len(), 4);
+    }
+
+    #[test]
+    fn tiling_splits_groups_spatially() {
+        let dim = 8;
+        let data = vec![1.0; dim * dim * dim];
+        let regions: Vec<Region> = (0..4)
+            .map(|i| Region {
+                origin: (0, 0, 2 * i),
+                shape: (8, 8, 2),
+            })
+            .collect();
+        // A 4-cell tile buckets origins z=0,2 and z=4,6 separately.
+        let plans = plan_groups(&regions, Some(4));
+        assert_eq!(plans.len(), 2);
+        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), Some(4));
+        assert_eq!(groups[0].aabb(), Aabb::new((0, 0, 0), (8, 8, 4)));
+        assert_eq!(groups[1].aabb(), Aabb::new((0, 0, 4), (8, 8, 8)));
+        // Roundtrip still exact.
+        let out = decompress_groups(&groups, dim).unwrap();
+        assert!(out.iter().all(|&v| (v - 1.0).abs() <= 1e-6));
+    }
+
+    #[test]
+    fn group_plan_reports_cost_and_bbox() {
+        let regions = vec![
+            Region {
+                origin: (0, 0, 0),
+                shape: (4, 4, 4),
+            },
+            Region {
+                origin: (12, 8, 4),
+                shape: (4, 4, 4),
+            },
+        ];
+        let plans = plan_groups(&regions, None);
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].num_cells(), 128);
+        assert_eq!(regions[0].aabb(), Aabb::new((0, 0, 0), (4, 4, 4)));
     }
 
     #[test]
@@ -175,7 +291,7 @@ mod tests {
             origin: (0, 0, 0),
             shape: (4, 4, 4),
         }];
-        let mut groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        let mut groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
         groups[0].origins[0] = (6, 0, 0); // 6 + 4 > 8
         assert!(decompress_groups(&groups, dim).is_err());
     }
@@ -188,23 +304,8 @@ mod tests {
             origin: (0, 0, 0),
             shape: (4, 4, 4),
         }];
-        let mut groups = compress_regions(&data, dim, &regions, &sz_cfg(1e-6), 1).unwrap();
+        let mut groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
         groups[0].shape = (2, 2, 2);
         assert!(decompress_groups(&groups, dim).is_err());
-    }
-
-    #[test]
-    fn parallel_and_sequential_agree() {
-        let dim = 16;
-        let data: Vec<f64> = (0..dim * dim * dim).map(|i| (i % 97) as f64).collect();
-        let regions: Vec<Region> = (0..8)
-            .map(|i| Region {
-                origin: ((i % 2) * 8, ((i / 2) % 2) * 8, (i / 4) * 8),
-                shape: (8, 8, 8),
-            })
-            .collect();
-        let a = compress_regions(&data, dim, &regions, &sz_cfg(1e-4), 1).unwrap();
-        let b = compress_regions(&data, dim, &regions, &sz_cfg(1e-4), 4).unwrap();
-        assert_eq!(a, b);
     }
 }

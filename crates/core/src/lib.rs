@@ -41,14 +41,15 @@ mod akdtree;
 mod config;
 mod container;
 mod density;
+mod engine;
 mod error;
 mod extract;
 mod gsp;
 mod nast;
 mod opst;
 mod pipeline;
+mod roi;
 mod stream;
-mod util;
 mod zmesh;
 
 pub use akdtree::{plan_akdtree, AkdPlan};
@@ -61,8 +62,13 @@ pub use gsp::pad_ghost_shell;
 pub use nast::plan_nast;
 pub use opst::{plan_opst, plan_opst_from_occupancy, OpstPlan};
 pub use pipeline::{
-    compress_dataset, compress_level, decompress_dataset, decompress_level, resolve_level_eb,
-    select_method,
+    compress_dataset, compress_level, decompress_dataset, decompress_dataset_par, decompress_level,
+    resolve_level_eb, select_method,
 };
+pub use roi::{decompress_region, RoiStats};
 pub use stream::{BlockGroup, CompressedLevel, LevelPayload};
 pub use zmesh::{gather, scatter, zmesh_order, ZmeshEntry};
+
+// Re-exported so callers can set `TacConfig::parallelism` without a
+// direct `tac-par` dependency.
+pub use tac_par::Parallelism;

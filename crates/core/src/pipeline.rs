@@ -6,18 +6,16 @@
 //! ([`compress_dataset`] / [`decompress_dataset`]) implement the full
 //! methods compared in Figs. 14-15 and Tables 2-3.
 
-use crate::akdtree::plan_akdtree;
 use crate::config::{Strategy, TacConfig};
 use crate::container::{CompressedDataset, Method, MethodBody};
 use crate::density::choose_strategy;
+use crate::engine;
 use crate::error::TacError;
-use crate::extract::{compress_regions, decompress_groups};
-use crate::gsp::pad_ghost_shell;
-use crate::nast::plan_nast;
-use crate::opst::plan_opst;
+use crate::extract::decompress_groups;
 use crate::stream::{CompressedLevel, LevelPayload};
 use crate::zmesh::{gather, scatter, zmesh_order};
-use tac_amr::{to_uniform, AmrDataset, AmrLevel, BitMask, BlockGrid};
+use tac_amr::{to_uniform, AmrDataset, AmrLevel, BitMask};
+use tac_par::Parallelism;
 use tac_sz::{Dims, ErrorBound};
 
 /// Resolves the configured error bound for one level: applies the
@@ -36,13 +34,10 @@ pub fn resolve_level_eb(
     Ok(scaled.resolve(min, max)?)
 }
 
-/// Effective unit-block size for a level (clamped so it divides the dim).
-fn unit_for(dim: usize, unit: usize) -> usize {
-    unit.min(dim)
-}
-
 /// Compresses a single AMR level with an explicit strategy and resolved
-/// absolute error bound.
+/// absolute error bound. Runs on the block-sharded engine: the level's
+/// region groups compress concurrently under `cfg.parallelism`, and the
+/// output is byte-identical for every worker count.
 pub fn compress_level(
     level: &AmrLevel,
     strategy: Strategy,
@@ -50,49 +45,10 @@ pub fn compress_level(
     cfg: &TacConfig,
 ) -> Result<CompressedLevel, TacError> {
     cfg.validate()?;
-    let dim = level.dim();
-    let sz_cfg = cfg.sz_config(abs_eb);
-    let payload = match strategy {
-        Strategy::Empty => LevelPayload::Empty,
-        Strategy::ZeroFill => {
-            let stream = tac_sz::compress(level.data(), Dims::D3(dim, dim, dim), &sz_cfg)?;
-            LevelPayload::Whole(stream)
-        }
-        Strategy::Gsp => {
-            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit));
-            let (padded, _) = pad_ghost_shell(level, &grid);
-            let stream = tac_sz::compress(&padded, Dims::D3(dim, dim, dim), &sz_cfg)?;
-            LevelPayload::Whole(stream)
-        }
-        Strategy::NaST => {
-            let grid = BlockGrid::build(level, unit_for(dim, cfg.unit));
-            let regions = plan_nast(&grid);
-            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
-            LevelPayload::Groups(groups)
-        }
-        Strategy::OpST => {
-            let unit = unit_for(dim, cfg.unit);
-            let grid = BlockGrid::build(level, unit);
-            let plan = plan_opst(&grid);
-            let regions = plan.regions(unit);
-            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
-            LevelPayload::Groups(groups)
-        }
-        Strategy::AkdTree => {
-            let unit = unit_for(dim, cfg.unit);
-            let grid = BlockGrid::build(level, unit);
-            let plan = plan_akdtree(&grid);
-            let regions = plan.regions(unit);
-            let groups = compress_regions(level.data(), dim, &regions, &sz_cfg, cfg.threads)?;
-            LevelPayload::Groups(groups)
-        }
-    };
-    Ok(CompressedLevel {
-        strategy,
-        dim,
-        abs_eb,
-        payload,
-    })
+    let plans = vec![engine::plan_level(level, strategy, abs_eb, cfg)?];
+    let mut levels =
+        engine::compress_plans(&plans, &[level.data()], cfg, cfg.parallelism.workers())?;
+    Ok(levels.pop().expect("one planned level"))
 }
 
 /// Decompresses a level payload and applies the occupancy mask: absent
@@ -145,31 +101,57 @@ pub fn compress_dataset(
 ) -> Result<CompressedDataset, TacError> {
     cfg.validate()?;
     let masks: Vec<BitMask> = ds.levels().iter().map(|l| l.mask().clone()).collect();
+    let workers = cfg.parallelism.workers();
     let body = match method {
         Method::Tac => {
-            let mut levels = Vec::with_capacity(ds.num_levels());
+            // Plan every level serially (cheap partition planning), then
+            // run all per-level / per-region compression tasks on the
+            // work-stealing scheduler in one flattened batch.
+            let mut plans = Vec::with_capacity(ds.num_levels());
             for (l, level) in ds.levels().iter().enumerate() {
                 let strategy = choose_strategy(level, cfg);
                 let abs_eb =
                     resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
-                levels.push(compress_level(level, strategy, abs_eb, cfg)?);
+                plans.push(engine::plan_level(level, strategy, abs_eb, cfg)?);
             }
-            MethodBody::Tac(levels)
+            let level_data: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
+            MethodBody::Tac(engine::compress_plans(&plans, &level_data, cfg, workers)?)
         }
         Method::Baseline1D => {
-            let mut levels = Vec::with_capacity(ds.num_levels());
+            // One 1D compression task per non-empty level. Tasks borrow
+            // their level and gather present values inside the closure,
+            // so at most `workers` gathered copies are alive at once.
+            let mut jobs: Vec<Option<(f64, &AmrLevel)>> = Vec::with_capacity(ds.num_levels());
             for (l, level) in ds.levels().iter().enumerate() {
                 if level.num_present() == 0 {
-                    levels.push(None);
+                    jobs.push(None);
                     continue;
                 }
                 let abs_eb =
                     resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
-                let values = level.present_values();
-                let stream =
-                    tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
-                levels.push(Some((abs_eb, stream)));
+                jobs.push(Some((abs_eb, level)));
             }
+            let levels = tac_par::execute(
+                workers,
+                &jobs,
+                |j| j.as_ref().map_or(0, |(_, lvl)| lvl.num_present() as u64),
+                |j| -> Result<Option<(f64, Vec<u8>)>, TacError> {
+                    match j {
+                        None => Ok(None),
+                        Some((abs_eb, level)) => {
+                            let values = level.present_values();
+                            let stream = tac_sz::compress(
+                                &values,
+                                Dims::D1(values.len()),
+                                &cfg.sz_config(*abs_eb),
+                            )?;
+                            Ok(Some((*abs_eb, stream)))
+                        }
+                    }
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
             MethodBody::Baseline1D(levels)
         }
         Method::ZMesh => {
@@ -212,8 +194,19 @@ pub fn compress_dataset(
     })
 }
 
-/// Decompresses a container back into an AMR dataset.
+/// Decompresses a container back into an AMR dataset (serial engine).
 pub fn decompress_dataset(cd: &CompressedDataset) -> Result<AmrDataset, TacError> {
+    decompress_dataset_par(cd, Parallelism::Serial)
+}
+
+/// Decompresses a container on the block-sharded engine: every level's
+/// streams and region groups decode as independent work-stealing tasks.
+/// The reconstruction is identical for every worker count.
+pub fn decompress_dataset_par(
+    cd: &CompressedDataset,
+    parallelism: Parallelism,
+) -> Result<AmrDataset, TacError> {
+    let workers = parallelism.workers();
     let finest_dim = cd.finest_dim;
     let levels: Vec<AmrLevel> = match &cd.body {
         MethodBody::Tac(compressed) => {
@@ -224,40 +217,51 @@ pub fn decompress_dataset(cd: &CompressedDataset) -> Result<AmrDataset, TacError
                     cd.masks.len()
                 )));
             }
-            compressed
-                .iter()
-                .zip(&cd.masks)
-                .map(|(cl, mask)| decompress_level(cl, mask))
-                .collect::<Result<_, _>>()?
+            engine::decompress_tac_levels(compressed, &cd.masks, workers)?
         }
         MethodBody::Baseline1D(streams) => {
             if streams.len() != cd.masks.len() {
                 return Err(TacError::Corrupt("level count mismatch".into()));
             }
-            let mut levels = Vec::with_capacity(streams.len());
-            for (l, (entry, mask)) in streams.iter().zip(&cd.masks).enumerate() {
-                let dim = finest_dim >> l;
-                let mut data = vec![0.0f64; dim * dim * dim];
-                if let Some((_, stream)) = entry {
-                    let (values, dims) = tac_sz::decompress(stream)?;
-                    if dims != Dims::D1(mask.count_ones()) {
+            type Job<'a> = (usize, &'a Option<(f64, Vec<u8>)>, &'a BitMask);
+            let jobs: Vec<Job<'_>> = streams
+                .iter()
+                .zip(&cd.masks)
+                .enumerate()
+                .map(|(l, (entry, mask))| (l, entry, mask))
+                .collect();
+            tac_par::execute(
+                workers,
+                &jobs,
+                |(l, _, _)| {
+                    let dim = finest_dim >> l;
+                    (dim * dim * dim) as u64
+                },
+                |&(l, entry, mask)| -> Result<AmrLevel, TacError> {
+                    let dim = finest_dim >> l;
+                    let mut data = vec![0.0f64; dim * dim * dim];
+                    if let Some((_, stream)) = entry {
+                        let (values, dims) = tac_sz::decompress(stream)?;
+                        if dims != Dims::D1(mask.count_ones()) {
+                            return Err(TacError::Corrupt(format!(
+                                "level {l}: stream holds {dims:?}, mask has {} cells",
+                                mask.count_ones()
+                            )));
+                        }
+                        for (slot, v) in mask.iter_ones().zip(values) {
+                            data[slot] = v;
+                        }
+                    } else if mask.count_ones() != 0 {
                         return Err(TacError::Corrupt(format!(
-                            "level {l}: stream holds {dims:?}, mask has {} cells",
+                            "level {l} marked empty but mask has {} cells",
                             mask.count_ones()
                         )));
                     }
-                    for (slot, v) in mask.iter_ones().zip(values) {
-                        data[slot] = v;
-                    }
-                } else if mask.count_ones() != 0 {
-                    return Err(TacError::Corrupt(format!(
-                        "level {l} marked empty but mask has {} cells",
-                        mask.count_ones()
-                    )));
-                }
-                levels.push(AmrLevel::new(dim, data, mask.clone()));
-            }
-            levels
+                    Ok(AmrLevel::new(dim, data, mask.clone()))
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
         }
         MethodBody::ZMesh { stream, .. } => {
             let mask_refs: Vec<&BitMask> = cd.masks.iter().collect();
@@ -379,7 +383,7 @@ mod tests {
         let ds = blobby_dataset(16);
         let cfg = TacConfig {
             unit: 4,
-            threads: 2,
+            parallelism: Parallelism::Threads(2),
             ..Default::default()
         };
         let eb = 1e-3;
@@ -414,7 +418,7 @@ mod tests {
         let cfg = TacConfig {
             unit: 4,
             error_bound: ErrorBound::Abs(1e-3),
-            threads: 2,
+            parallelism: Parallelism::Threads(2),
             ..Default::default()
         };
         for method in [

@@ -3,118 +3,11 @@
 
 use crate::config::Strategy;
 use crate::error::TacError;
-use bytes::{Buf, BufMut};
 
-/// Little-endian byte writer over a growable buffer.
-#[derive(Debug, Default)]
-pub(crate) struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    pub fn new() -> Self {
-        Writer { buf: Vec::new() }
-    }
-
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
-    }
-
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
-    }
-
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
-    }
-
-    pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
-    }
-
-    /// Length-prefixed byte blob.
-    pub fn put_blob(&mut self, v: &[u8]) {
-        self.put_u64(v.len() as u64);
-        self.buf.put_slice(v);
-    }
-
-    /// Length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_blob(v.as_bytes());
-    }
-
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
-    }
-
-    #[allow(dead_code)]
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-}
-
-/// Checked little-endian reader over a byte slice.
-#[derive(Debug)]
-pub(crate) struct Reader<'a> {
-    buf: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
-    }
-
-    fn need(&self, n: usize) -> Result<(), TacError> {
-        if self.buf.remaining() < n {
-            Err(TacError::Corrupt(format!(
-                "need {n} bytes, {} remain",
-                self.buf.remaining()
-            )))
-        } else {
-            Ok(())
-        }
-    }
-
-    pub fn get_u8(&mut self) -> Result<u8, TacError> {
-        self.need(1)?;
-        Ok(self.buf.get_u8())
-    }
-
-    pub fn get_u32(&mut self) -> Result<u32, TacError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
-    }
-
-    pub fn get_u64(&mut self) -> Result<u64, TacError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
-    }
-
-    pub fn get_f64(&mut self) -> Result<f64, TacError> {
-        self.need(8)?;
-        Ok(self.buf.get_f64_le())
-    }
-
-    /// Reads a length-prefixed blob (borrowed).
-    pub fn get_blob(&mut self) -> Result<&'a [u8], TacError> {
-        let len = self.get_u64()? as usize;
-        self.need(len)?;
-        let (head, tail) = self.buf.split_at(len);
-        self.buf = tail;
-        Ok(head)
-    }
-
-    /// Reads a length-prefixed UTF-8 string.
-    pub fn get_str(&mut self) -> Result<String, TacError> {
-        let blob = self.get_blob()?;
-        String::from_utf8(blob.to_vec())
-            .map_err(|_| TacError::Corrupt("invalid UTF-8 string".into()))
-    }
-
-    pub fn remaining(&self) -> usize {
-        self.buf.remaining()
-    }
-}
+// The little-endian wire primitives are shared with the SZ stream header
+// (one implementation, one set of bounds checks). `SzError`s raised on
+// truncated reads convert into `TacError::Sz` through `?`.
+pub(crate) use tac_sz::wire::{ByteReader as Reader, ByteWriter as Writer};
 
 /// A group of same-shape extracted sub-blocks compressed as one rank-4 SZ
 /// stream (the paper's "merge sub-blocks with the same size into the same
@@ -174,6 +67,18 @@ impl BlockGroup {
     /// "metadata overhead" the paper quantifies at ~0.1%.
     pub fn metadata_bytes(&self) -> usize {
         16 + self.origins.len() * 12 + 8
+    }
+
+    /// Cell-coordinate bounding box of the group: the union over its
+    /// batched sub-blocks. Recorded in the v2 chunk table so ROI
+    /// decoding can skip the group wholesale.
+    pub fn aabb(&self) -> tac_amr::Aabb {
+        self.origins
+            .iter()
+            .map(|&(x, y, z)| {
+                tac_amr::Aabb::of_region((x as usize, y as usize, z as usize), self.shape)
+            })
+            .fold(tac_amr::Aabb::new((0, 0, 0), (0, 0, 0)), |a, b| a.union(&b))
     }
 
     /// Total serialized size.
@@ -269,27 +174,6 @@ impl CompressedLevel {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn writer_reader_roundtrip() {
-        let mut w = Writer::new();
-        w.put_u8(7);
-        w.put_u32(0xDEAD);
-        w.put_u64(1 << 40);
-        w.put_f64(-2.5);
-        w.put_blob(b"hello");
-        w.put_str("Run1_Z10");
-        let bytes = w.into_bytes();
-        let mut r = Reader::new(&bytes);
-        assert_eq!(r.get_u8().unwrap(), 7);
-        assert_eq!(r.get_u32().unwrap(), 0xDEAD);
-        assert_eq!(r.get_u64().unwrap(), 1 << 40);
-        assert_eq!(r.get_f64().unwrap(), -2.5);
-        assert_eq!(r.get_blob().unwrap(), b"hello");
-        assert_eq!(r.get_str().unwrap(), "Run1_Z10");
-        assert_eq!(r.remaining(), 0);
-        assert!(r.get_u8().is_err());
-    }
 
     #[test]
     fn block_group_roundtrip() {

@@ -1,0 +1,238 @@
+//! Work-stealing executor over [`std::thread::scope`].
+//!
+//! Each worker owns a deque seeded by the LPT pre-plan
+//! ([`crate::shard::lpt_assign`]). Workers pop their own deque from the
+//! front (heaviest first); a worker whose deque runs dry steals the
+//! *back* half of the fullest victim's deque, so the cheap tail tasks —
+//! where cost estimates are least reliable — are the ones that migrate.
+//!
+//! Results land in per-task slots, making the output order independent
+//! of scheduling: callers that assemble byte streams from the results
+//! get bit-identical output for every worker count.
+
+use crate::shard::lpt_assign;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing one [`execute_with_stats`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Worker threads actually spawned (0 on the inline serial path).
+    pub workers: usize,
+    /// Successful steal operations (batches moved, not single tasks).
+    pub steals: usize,
+    /// Tasks completed by each worker.
+    pub tasks_per_worker: Vec<usize>,
+}
+
+/// Runs `f` over every task on `workers` threads and returns the results
+/// in task order. `weight` estimates relative task cost (any monotone
+/// proxy works; TAC uses cell counts) and drives the LPT pre-plan.
+///
+/// Falls back to a plain sequential loop when `workers <= 1` or there
+/// are fewer than two tasks.
+pub fn execute<T, R, W, F>(workers: usize, tasks: &[T], weight: W, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(&T) -> R + Sync,
+{
+    execute_with_stats(workers, tasks, weight, f).0
+}
+
+/// [`execute`] variant that also reports scheduling counters, for tests
+/// and benchmark harnesses that assert stealing actually happens.
+pub fn execute_with_stats<T, R, W, F>(
+    workers: usize,
+    tasks: &[T],
+    weight: W,
+    f: F,
+) -> (Vec<R>, ExecStats)
+where
+    T: Sync,
+    R: Send,
+    W: Fn(&T) -> u64,
+    F: Fn(&T) -> R + Sync,
+{
+    if workers <= 1 || tasks.len() <= 1 {
+        return (tasks.iter().map(&f).collect(), ExecStats::default());
+    }
+    let nw = workers.min(tasks.len());
+    let weights: Vec<u64> = tasks.iter().map(&weight).collect();
+    let deques: Vec<Mutex<VecDeque<usize>>> = lpt_assign(&weights, nw)
+        .into_iter()
+        .map(|shard| Mutex::new(shard.into()))
+        .collect();
+
+    let mut out: Vec<Option<R>> = (0..tasks.len()).map(|_| None).collect();
+    let slots = Mutex::new(&mut out);
+    let steals = AtomicUsize::new(0);
+    let done_counts: Vec<AtomicUsize> = (0..nw).map(|_| AtomicUsize::new(0)).collect();
+
+    std::thread::scope(|scope| {
+        for (me, done) in done_counts.iter().enumerate() {
+            let deques = &deques;
+            let slots = &slots;
+            let steals = &steals;
+            let f = &f;
+            scope.spawn(move || loop {
+                let next = pop_or_steal(deques, me, steals);
+                match next {
+                    Some(i) => {
+                        let r = f(&tasks[i]);
+                        slots.lock().expect("result mutex poisoned")[i] = Some(r);
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    let stats = ExecStats {
+        workers: nw,
+        steals: steals.load(Ordering::Relaxed),
+        tasks_per_worker: done_counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    };
+    let results = out
+        .into_iter()
+        .map(|r| r.expect("scheduler dropped a task"))
+        .collect();
+    (results, stats)
+}
+
+/// Takes the next task index for worker `me`: front of its own deque,
+/// else the back half of the fullest other deque. `None` when every
+/// deque looks empty (a second pass guards against batches caught
+/// mid-migration).
+fn pop_or_steal(
+    deques: &[Mutex<VecDeque<usize>>],
+    me: usize,
+    steals: &AtomicUsize,
+) -> Option<usize> {
+    if let Some(i) = deques[me].lock().expect("deque poisoned").pop_front() {
+        return Some(i);
+    }
+    // Two scan passes: a batch being moved between deques is invisible
+    // to a single scan, and exiting early only costs parallelism at the
+    // very tail, but the second look is free.
+    for _pass in 0..2 {
+        // Pick the victim with the most queued work.
+        let victim = (0..deques.len())
+            .filter(|&v| v != me)
+            .max_by_key(|&v| deques[v].lock().expect("deque poisoned").len())?;
+        let mut stolen: VecDeque<usize> = {
+            let mut vq = deques[victim].lock().expect("deque poisoned");
+            let keep = vq.len().div_ceil(2);
+            vq.split_off(keep)
+        };
+        if let Some(first) = stolen.pop_front() {
+            if !stolen.is_empty() {
+                let mut mine = deques[me].lock().expect("deque poisoned");
+                mine.extend(stolen);
+            }
+            steals.fetch_add(1, Ordering::Relaxed);
+            return Some(first);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_in_task_order() {
+        let tasks: Vec<usize> = (0..200).collect();
+        let out = execute(4, &tasks, |_| 1, |&t| t * 3);
+        assert_eq!(out, (0..200).map(|t| t * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let tasks: Vec<u64> = (0..64).map(|i| (i * 31) % 17).collect();
+        let serial = execute(1, &tasks, |&w| w, |&t| t * t);
+        for workers in [2, 4, 8] {
+            assert_eq!(execute(workers, &tasks, |&w| w, |&t| t * t), serial);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<usize> = (0..500).collect();
+        let out = execute(
+            8,
+            &tasks,
+            |_| 1,
+            |&t| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                t
+            },
+        );
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+
+    #[test]
+    fn stealing_rebalances_bad_estimates() {
+        // Lie about weights: claim uniform cost but make worker 0's
+        // initial shard heavy. With stealing, everyone still finishes.
+        let tasks: Vec<u64> = (0..64).collect();
+        let (out, stats) = execute_with_stats(
+            4,
+            &tasks,
+            |_| 1,
+            |&t| {
+                // Early (heavy-shard) tasks spin longer.
+                let spins = if t < 16 { 200_000 } else { 10 };
+                let mut acc = 0u64;
+                for i in 0..spins {
+                    acc = acc.wrapping_add(std::hint::black_box(i ^ t));
+                }
+                acc
+            },
+        );
+        assert_eq!(out.len(), 64);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 64);
+    }
+
+    #[test]
+    fn workers_capped_by_task_count() {
+        let tasks = vec![1u64, 2];
+        let (out, stats) = execute_with_stats(16, &tasks, |&w| w, |&t| t + 1);
+        assert_eq!(out, vec![2, 3]);
+        assert!(stats.workers <= 2);
+    }
+
+    #[test]
+    fn empty_and_single_task_paths() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(execute(8, &empty, |_| 1, |&t| t).is_empty());
+        assert_eq!(execute(8, &[7u8], |_| 1, |&t| t * 2), vec![14]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_caller_state() {
+        // The executor must accept closures borrowing the caller's stack
+        // (std::thread::scope, not 'static threads).
+        let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let tasks: Vec<usize> = (0..8).collect();
+        let sums = execute(
+            4,
+            &tasks,
+            |_| 1,
+            |&t| data[t * 4..(t + 1) * 4].iter().sum::<f64>(),
+        );
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], 0.0 + 1.0 + 2.0 + 3.0);
+    }
+}

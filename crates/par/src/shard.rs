@@ -1,0 +1,90 @@
+//! Pre-planned shard assignment: longest-processing-time (LPT) list
+//! scheduling.
+//!
+//! TAC+ observes that the partitioning stage can be planned up front:
+//! per-task costs (cell counts) are known before any compression runs,
+//! so a static heaviest-first assignment already lands within 4/3 of the
+//! optimal makespan. Work stealing (see [`crate::executor`]) then mops
+//! up the estimate error at runtime.
+
+/// Assigns task indices `0..weights.len()` to `workers` shards with the
+/// LPT heuristic: tasks are visited heaviest first (ties broken by lower
+/// index), each going to the currently least-loaded shard (ties broken
+/// by lower shard id). Both tie-breaks make the plan fully
+/// deterministic.
+///
+/// Each returned shard lists its task indices heaviest first.
+pub fn lpt_assign(weights: &[u64], workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut loads = vec![0u64; workers];
+    for i in order {
+        let lightest = (0..workers).min_by_key(|&w| (loads[w], w)).expect(">= 1");
+        shards[lightest].push(i);
+        loads[lightest] += weights[i];
+    }
+    shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_assigned_exactly_once() {
+        let weights: Vec<u64> = (0..37).map(|i| (i * 7919) % 100 + 1).collect();
+        let shards = lpt_assign(&weights, 4);
+        assert_eq!(shards.len(), 4);
+        let mut seen = vec![false; weights.len()];
+        for shard in &shards {
+            for &i in shard {
+                assert!(!seen[i], "task {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn heavy_tasks_spread_across_workers() {
+        // Four heavy tasks + noise must land on four distinct workers.
+        let mut weights = vec![1000u64, 1000, 1000, 1000];
+        weights.extend([1u64; 20]);
+        let shards = lpt_assign(&weights, 4);
+        for (w, shard) in shards.iter().enumerate() {
+            let heavies = shard.iter().filter(|&&i| i < 4).count();
+            assert_eq!(heavies, 1, "worker {w} got {heavies} heavy tasks");
+        }
+    }
+
+    #[test]
+    fn balanced_loads_within_lpt_bound() {
+        let weights: Vec<u64> = (1..=64).collect();
+        let shards = lpt_assign(&weights, 8);
+        let loads: Vec<u64> = shards
+            .iter()
+            .map(|s| s.iter().map(|&i| weights[i]).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let total: u64 = weights.iter().sum();
+        // LPT guarantee: makespan <= 4/3 * optimal (here optimal = total/8).
+        assert!(max as f64 <= (total as f64 / 8.0) * (4.0 / 3.0) + 64.0);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let weights = vec![5u64; 16];
+        assert_eq!(lpt_assign(&weights, 3), lpt_assign(&weights, 3));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(lpt_assign(&[], 4), vec![Vec::<usize>::new(); 4]);
+        let one = lpt_assign(&[9], 1);
+        assert_eq!(one, vec![vec![0]]);
+        // workers = 0 is clamped to 1.
+        assert_eq!(lpt_assign(&[1, 2], 0).len(), 1);
+    }
+}

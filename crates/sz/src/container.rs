@@ -15,6 +15,7 @@
 
 use crate::config::Dims;
 use crate::error::SzError;
+use crate::wire::{ByteReader, ByteWriter};
 
 /// Stream magic number.
 pub const MAGIC: [u8; 4] = *b"TSZ1";
@@ -44,70 +45,69 @@ impl Header {
 
     /// Appends the encoded header to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
-        out.push(self.flags);
-        out.push(self.dims.rank());
-        let mut push_dim = |d: usize| out.extend_from_slice(&(d as u64).to_le_bytes());
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(self.flags);
+        w.put_u8(self.dims.rank());
         match self.dims {
-            Dims::D1(a) => push_dim(a),
+            Dims::D1(a) => w.put_u64(a as u64),
             Dims::D2(a, b) => {
-                push_dim(a);
-                push_dim(b);
+                w.put_u64(a as u64);
+                w.put_u64(b as u64);
             }
             Dims::D3(a, b, c) => {
-                push_dim(a);
-                push_dim(b);
-                push_dim(c);
+                w.put_u64(a as u64);
+                w.put_u64(b as u64);
+                w.put_u64(c as u64);
             }
             Dims::D4(a, b, c, d) => {
-                push_dim(a);
-                push_dim(b);
-                push_dim(c);
-                push_dim(d);
+                w.put_u64(a as u64);
+                w.put_u64(b as u64);
+                w.put_u64(c as u64);
+                w.put_u64(d as u64);
             }
         }
-        out.extend_from_slice(&self.abs_eb.to_le_bytes());
-        out.extend_from_slice(&self.capacity.to_le_bytes());
+        w.put_f64(self.abs_eb);
+        w.put_u32(self.capacity);
+        out.extend_from_slice(&w.into_bytes());
     }
 
     /// Decodes a header, returning it and the bytes consumed.
     pub fn decode(bytes: &[u8]) -> Result<(Self, usize), SzError> {
-        if bytes.len() < 7 {
-            return Err(SzError::Corrupt("stream shorter than header".into()));
-        }
-        if bytes[..4] != MAGIC {
+        let mut r = ByteReader::new(bytes);
+        let magic = r
+            .get_bytes(4)
+            .map_err(|_| SzError::Corrupt("stream shorter than header".into()))?;
+        if magic != MAGIC {
             return Err(SzError::UnsupportedFormat(format!(
-                "bad magic {:02x?}",
-                &bytes[..4]
+                "bad magic {magic:02x?}"
             )));
         }
-        if bytes[4] != VERSION {
+        let version = r
+            .get_u8()
+            .map_err(|_| SzError::Corrupt("stream shorter than header".into()))?;
+        if version != VERSION {
             return Err(SzError::UnsupportedFormat(format!(
-                "version {} (expected {VERSION})",
-                bytes[4]
+                "version {version} (expected {VERSION})"
             )));
         }
-        let flags = bytes[5];
-        let rank = bytes[6];
-        let need = 7 + rank as usize * 8 + 8 + 4;
+        let header_err = |_| SzError::Corrupt("header truncated".into());
+        let flags = r.get_u8().map_err(header_err)?;
+        let rank = r.get_u8().map_err(header_err)?;
         if !(1..=4).contains(&rank) {
             return Err(SzError::Corrupt(format!("invalid rank {rank}")));
         }
-        if bytes.len() < need {
-            return Err(SzError::Corrupt("header truncated".into()));
+        fn dim(r: &mut ByteReader<'_>) -> Result<usize, SzError> {
+            r.get_u64()
+                .map(|v| v as usize)
+                .map_err(|_| SzError::Corrupt("header truncated".into()))
         }
-        let mut pos = 7;
-        let dim = |pos: &mut usize| -> usize {
-            let v = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap());
-            *pos += 8;
-            v as usize
-        };
         let dims = match rank {
-            1 => Dims::D1(dim(&mut pos)),
-            2 => Dims::D2(dim(&mut pos), dim(&mut pos)),
-            3 => Dims::D3(dim(&mut pos), dim(&mut pos), dim(&mut pos)),
-            _ => Dims::D4(dim(&mut pos), dim(&mut pos), dim(&mut pos), dim(&mut pos)),
+            1 => Dims::D1(dim(&mut r)?),
+            2 => Dims::D2(dim(&mut r)?, dim(&mut r)?),
+            3 => Dims::D3(dim(&mut r)?, dim(&mut r)?, dim(&mut r)?),
+            _ => Dims::D4(dim(&mut r)?, dim(&mut r)?, dim(&mut r)?, dim(&mut r)?),
         };
         if dims.is_empty() {
             return Err(SzError::Corrupt("zero-sized dimensions".into()));
@@ -120,10 +120,8 @@ impl Header {
                 dims.len()
             )));
         }
-        let abs_eb = f64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap());
-        pos += 8;
-        let capacity = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        pos += 4;
+        let abs_eb = r.get_f64().map_err(header_err)?;
+        let capacity = r.get_u32().map_err(header_err)?;
         if abs_eb <= 0.0 || !abs_eb.is_finite() {
             return Err(SzError::Corrupt(format!("invalid stored eb {abs_eb}")));
         }
@@ -139,7 +137,7 @@ impl Header {
                 abs_eb,
                 capacity,
             },
-            pos,
+            r.position(),
         ))
     }
 }

@@ -43,6 +43,7 @@ pub mod predictor;
 mod quantizer;
 pub mod regression;
 mod stats;
+pub mod wire;
 
 pub use compress::{compress, compress_with_recon, decompress, looks_like_stream};
 pub use config::{Dims, ErrorBound, SzConfig};

@@ -1,0 +1,258 @@
+//! Shared little-endian wire primitives.
+//!
+//! One checked byte-level writer/reader pair used by every hand-rolled
+//! format in the workspace: the SZ stream header in this crate and the
+//! dataset containers (v1 and v2) in `tac-core`. Keeping a single
+//! implementation means one set of bounds checks and one place where
+//! endianness is decided.
+
+use crate::error::SzError;
+
+/// Little-endian byte writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no framing.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u64`-length-prefixed byte blob.
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_blob(v.as_bytes());
+    }
+
+    /// Bytes written so far (offsets recorded by chunked formats).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), SzError> {
+        if self.remaining() < n {
+            Err(SzError::Corrupt(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, SzError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, SzError> {
+        self.need(4)?;
+        let v = u32::from_le_bytes(
+            self.buf[self.pos..self.pos + 4]
+                .try_into()
+                .expect("4 bytes"),
+        );
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, SzError> {
+        self.need(8)?;
+        let v = u64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, SzError> {
+        self.need(8)?;
+        let v = f64::from_le_bytes(
+            self.buf[self.pos..self.pos + 8]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        self.pos += 8;
+        Ok(v)
+    }
+
+    /// Reads `n` raw bytes (borrowed).
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], SzError> {
+        self.need(n)?;
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u64`-length-prefixed blob (borrowed).
+    pub fn get_blob(&mut self) -> Result<&'a [u8], SzError> {
+        let len = self.get_u64()? as usize;
+        self.get_bytes(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, SzError> {
+        let blob = self.get_blob()?;
+        String::from_utf8(blob.to_vec())
+            .map_err(|_| SzError::Corrupt("invalid UTF-8 string".into()))
+    }
+
+    /// Advances past `n` bytes without inspecting them (a seek over an
+    /// uninteresting payload region).
+    pub fn skip(&mut self, n: usize) -> Result<(), SzError> {
+        self.need(n)?;
+        self.pos += n;
+        Ok(())
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Unread bytes left.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD);
+        w.put_u64(1 << 40);
+        w.put_f64(-2.5);
+        w.put_blob(b"hello");
+        w.put_str("Run1_Z10");
+        w.put_bytes(&[1, 2, 3]);
+        assert_eq!(w.len(), 1 + 4 + 8 + 8 + (8 + 5) + (8 + 8) + 3);
+        assert!(!w.is_empty());
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), -2.5);
+        assert_eq!(r.get_blob().unwrap(), b"hello");
+        assert_eq!(r.get_str().unwrap(), "Run1_Z10");
+        assert_eq!(r.get_bytes(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+        assert!(r.get_u8().is_err());
+    }
+
+    #[test]
+    fn skip_and_position_track_offsets() {
+        let mut w = ByteWriter::new();
+        w.put_u64(42);
+        w.put_bytes(&[9; 10]);
+        w.put_u8(5);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u64().unwrap(), 42);
+        assert_eq!(r.position(), 8);
+        r.skip(10).unwrap();
+        assert_eq!(r.position(), 18);
+        assert_eq!(r.get_u8().unwrap(), 5);
+        assert!(r.skip(1).is_err());
+    }
+
+    #[test]
+    fn truncated_reads_fail_cleanly() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u32().is_err());
+        assert!(r.get_u64().is_err());
+        assert!(r.get_f64().is_err());
+        assert!(r.get_blob().is_err());
+        // Failed reads consume nothing.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u8().unwrap(), 1);
+    }
+
+    #[test]
+    fn blob_declaring_absurd_length_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_blob().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_string_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_blob(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_str().is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-crate integration for the block-sharded parallel engine and
+//! the chunked (v2) container: determinism across worker counts for
+//! every method, parallel decompression consistency, and byte-counted
+//! region-of-interest decoding.
+
+use tac_amr::{Aabb, AmrDataset};
+use tac_core::{
+    compress_dataset, decompress_dataset, decompress_dataset_par, decompress_region,
+    CompressedDataset, Method, Parallelism, TacConfig,
+};
+use tac_nyx::{entry, FieldKind};
+use tac_sz::ErrorBound;
+
+fn small_z10() -> AmrDataset {
+    entry("Run1_Z10")
+        .unwrap()
+        .generate(FieldKind::BaryonDensity, 16, 7) // 32^3 fine level
+}
+
+fn cfg_with(threads: usize) -> TacConfig {
+    TacConfig {
+        unit: 4,
+        error_bound: ErrorBound::Rel(1e-3),
+        parallelism: Parallelism::Threads(threads),
+        ..Default::default()
+    }
+}
+
+/// The acceptance bar for the engine: for all four methods, the
+/// serialized container is byte-identical at 1, 2, 4, and 8 worker
+/// threads.
+#[test]
+fn parallel_output_is_byte_identical_for_all_methods() {
+    let ds = small_z10();
+    for method in [
+        Method::Tac,
+        Method::Baseline1D,
+        Method::ZMesh,
+        Method::Baseline3D,
+    ] {
+        let reference = compress_dataset(&ds, &cfg_with(1), method)
+            .unwrap()
+            .to_bytes();
+        for threads in [2, 4, 8] {
+            let bytes = compress_dataset(&ds, &cfg_with(threads), method)
+                .unwrap()
+                .to_bytes();
+            assert_eq!(
+                bytes, reference,
+                "{method:?} differs at {threads} threads from serial"
+            );
+        }
+    }
+}
+
+/// Spatially-tiled grouping (the ROI-friendly layout) must be just as
+/// deterministic.
+#[test]
+fn tiled_parallel_output_is_byte_identical() {
+    let ds = small_z10();
+    let tiled = |threads: usize| TacConfig {
+        roi_tile: Some(16),
+        ..cfg_with(threads)
+    };
+    let reference = compress_dataset(&ds, &tiled(1), Method::Tac)
+        .unwrap()
+        .to_bytes();
+    for threads in [2, 4, 8] {
+        let bytes = compress_dataset(&ds, &tiled(threads), Method::Tac)
+            .unwrap()
+            .to_bytes();
+        assert_eq!(
+            bytes, reference,
+            "tiled output differs at {threads} threads"
+        );
+    }
+}
+
+/// Parallel decompression reconstructs exactly what serial does, for
+/// every method and worker count.
+#[test]
+fn parallel_decompression_matches_serial() {
+    let ds = small_z10();
+    for method in [
+        Method::Tac,
+        Method::Baseline1D,
+        Method::ZMesh,
+        Method::Baseline3D,
+    ] {
+        let cd = compress_dataset(&ds, &cfg_with(4), method).unwrap();
+        let serial = decompress_dataset(&cd).unwrap();
+        for threads in [2, 4, 8] {
+            let par = decompress_dataset_par(&cd, Parallelism::Threads(threads)).unwrap();
+            assert_eq!(par.num_levels(), serial.num_levels());
+            for (a, b) in serial.levels().iter().zip(par.levels()) {
+                assert_eq!(a.mask(), b.mask(), "{method:?} mask at {threads} threads");
+                assert_eq!(a.data(), b.data(), "{method:?} data at {threads} threads");
+            }
+        }
+    }
+}
+
+/// The v2 container round-trips through serialization and still honours
+/// the error bound.
+#[test]
+fn v2_container_roundtrips_with_bound() {
+    let ds = small_z10();
+    let cfg = cfg_with(4);
+    let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+    let bytes = cd.to_bytes();
+    let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+    assert_eq!(parsed, cd);
+    // Serialization is deterministic (the seekable layout included).
+    assert_eq!(parsed.to_bytes(), bytes);
+    let out = decompress_dataset(&parsed).unwrap();
+    for (l, (a, b)) in ds.levels().iter().zip(out.levels()).enumerate() {
+        let (min, max) = a.value_range().unwrap();
+        let eb = 1e-3 * (max - min);
+        for i in a.mask().iter_ones() {
+            assert!(
+                (a.data()[i] - b.data()[i]).abs() <= eb * (1.0 + 1e-9),
+                "level {l} cell {i}"
+            );
+        }
+    }
+}
+
+/// The acceptance bar for the chunked container: decoding a 1/8-volume
+/// ROI reads strictly fewer payload bytes than a full decode, and the
+/// decoded cells match the full reconstruction inside the ROI.
+#[test]
+fn roi_decode_reads_strictly_fewer_bytes() {
+    let ds = small_z10();
+    let cfg = TacConfig {
+        roi_tile: Some(ds.finest_dim() / 2),
+        ..cfg_with(2)
+    };
+    let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+    let bytes = cd.to_bytes();
+    let full = decompress_dataset(&cd).unwrap();
+
+    let half = ds.finest_dim() / 2;
+    let roi = Aabb::new((0, 0, 0), (half, half, half)); // 1/8 volume
+    let (partial, stats) = decompress_region(&bytes, roi).unwrap();
+
+    assert!(
+        stats.payload_bytes_read < stats.payload_bytes_total,
+        "ROI decode read the whole payload ({} bytes)",
+        stats.payload_bytes_total
+    );
+    assert!(stats.chunks_read < stats.chunks_total);
+
+    for (l, (p, f)) in partial.levels().iter().zip(full.levels()).enumerate() {
+        let roi_level = roi.coarsen(1 << l);
+        for z in roi_level.min.2..roi_level.max.2 {
+            for y in roi_level.min.1..roi_level.max.1 {
+                for x in roi_level.min.0..roi_level.max.0 {
+                    assert_eq!(
+                        p.value(x, y, z),
+                        f.value(x, y, z),
+                        "level {l} cell ({x},{y},{z}) inside ROI"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Legacy v1 bytes stay readable and decode to the same dataset as v2.
+#[test]
+fn v1_and_v2_decode_identically() {
+    let ds = small_z10();
+    let cd = compress_dataset(&ds, &cfg_with(1), Method::Tac).unwrap();
+    let via_v1 = CompressedDataset::from_bytes(&cd.to_bytes_v1()).unwrap();
+    let via_v2 = CompressedDataset::from_bytes(&cd.to_bytes_v2()).unwrap();
+    assert_eq!(via_v1, via_v2);
+    let a = decompress_dataset(&via_v1).unwrap();
+    let b = decompress_dataset(&via_v2).unwrap();
+    for (x, y) in a.levels().iter().zip(b.levels()) {
+        assert_eq!(x.data(), y.data());
+    }
+}
+
+/// Auto parallelism resolves and compresses correctly end to end.
+#[test]
+fn auto_parallelism_smoke() {
+    let ds = small_z10();
+    let cfg = TacConfig {
+        unit: 4,
+        error_bound: ErrorBound::Rel(1e-3),
+        parallelism: Parallelism::Auto,
+        ..Default::default()
+    };
+    let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+    let serial = compress_dataset(
+        &ds,
+        &TacConfig {
+            parallelism: Parallelism::Serial,
+            ..cfg.clone()
+        },
+        Method::Tac,
+    )
+    .unwrap();
+    assert_eq!(cd.to_bytes(), serial.to_bytes());
+}

@@ -191,6 +191,86 @@ proptest! {
         let parsed = tac_core::CompressedDataset::from_bytes(&bytes).unwrap();
         prop_assert_eq!(parsed, cd);
     }
+
+    /// Random structures serialize through BOTH container versions and
+    /// decode back within the bound with exact mask equality, for every
+    /// method.
+    #[test]
+    fn both_container_versions_roundtrip_random_structure(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..200,
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(0.5),
+            ..Default::default()
+        };
+        for method in [Method::Tac, Method::Baseline1D, Method::ZMesh, Method::Baseline3D] {
+            let cd = compress_dataset(&ds, &cfg, method).unwrap();
+            for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+                let parsed = tac_core::CompressedDataset::from_bytes(&bytes).unwrap();
+                prop_assert_eq!(&parsed, &cd);
+                let out = decompress_dataset(&parsed).unwrap();
+                for (a, b) in ds.levels().iter().zip(out.levels()) {
+                    prop_assert_eq!(a.mask(), b.mask());
+                    for i in a.mask().iter_ones() {
+                        prop_assert!(
+                            (a.data()[i] - b.data()[i]).abs() <= 0.5 * (1.0 + 1e-9),
+                            "method {:?} cell {}", method, i
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// v2 region-of-interest decoding is a restriction of the full
+    /// decode: inside a random ROI every cell matches the full
+    /// reconstruction, and the decoder never reads more payload than
+    /// the full decode.
+    #[test]
+    fn roi_decode_is_subset_of_full_decode(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..200,
+        corner in 0usize..8,
+        tiled in any::<bool>(),
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(0.5),
+            roi_tile: if tiled { Some(4) } else { None },
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        let bytes = cd.to_bytes();
+        let full = decompress_dataset(&cd).unwrap();
+
+        // One of the eight 4^3 octants of the 8^3 fine grid.
+        let h = ds.finest_dim() / 2;
+        let lo = ((corner & 1) * h, ((corner >> 1) & 1) * h, ((corner >> 2) & 1) * h);
+        let roi = tac_amr::Aabb::new(lo, (lo.0 + h, lo.1 + h, lo.2 + h));
+        let (partial, stats) = tac_core::decompress_region(&bytes, roi).unwrap();
+
+        prop_assert!(stats.payload_bytes_read <= stats.payload_bytes_total);
+        prop_assert_eq!(partial.num_levels(), full.num_levels());
+        for (l, (p, f)) in partial.levels().iter().zip(full.levels()).enumerate() {
+            let roi_level = roi.coarsen(1 << l);
+            for z in roi_level.min.2..roi_level.max.2 {
+                for y in roi_level.min.1..roi_level.max.1 {
+                    for x in roi_level.min.0..roi_level.max.0 {
+                        prop_assert!(
+                            p.value(x, y, z) == f.value(x, y, z),
+                            "level {} cell ({},{},{}) diverges inside ROI", l, x, y, z
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Lossless LZSS fuzz outside proptest macro (byte-oriented).
