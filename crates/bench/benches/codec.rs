@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the scalar-codec backend layer: full TAC
+//! dataset compression and decompression under each registered codec,
+//! plus raw per-stream codec throughput on a representative level.
+//!
+//! Quick mode (`TAC_BENCH_QUICK=1`) additionally writes a
+//! machine-readable `BENCH_codec.json` (method x codec -> ratio and
+//! end-to-end MB/s) to the workspace root so CI can archive the numbers
+//! and catch ratio/throughput regressions per backend.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use tac_bench::experiments::codec_comparison::{bench_config, measure_matrix};
+use tac_bench::{default_scale, load_dataset};
+use tac_core::{
+    codec_for, compress_dataset, decompress_dataset_par, CodecConfig, CodecId, Method, Parallelism,
+};
+
+fn setup() -> (tac_amr::AmrDataset, usize) {
+    let scale = default_scale();
+    let unit = tac_bench::support::default_unit(scale);
+    (load_dataset("Run1_Z10", scale, 14), unit)
+}
+
+fn bench_dataset_by_codec(c: &mut Criterion) {
+    let (ds, unit) = setup();
+    let bytes = (ds.total_present() * 8) as u64;
+
+    let mut group = c.benchmark_group("codec_compress");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for codec in CodecId::all() {
+        let cfg = bench_config(unit, codec);
+        group.bench_function(codec.label(), |b| {
+            b.iter(|| compress_dataset(black_box(&ds), &cfg, Method::Tac).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("codec_decompress");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for codec in CodecId::all() {
+        let cfg = bench_config(unit, codec);
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        group.bench_function(codec.label(), |b| {
+            b.iter(|| decompress_dataset_par(black_box(&cd), Parallelism::Serial).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Raw per-stream throughput: one whole coarse level as a rank-3 array
+/// through each backend, no TAC machinery in the loop.
+fn bench_raw_streams(c: &mut Criterion) {
+    let (ds, _) = setup();
+    let coarse = ds.levels().last().expect("at least one level");
+    let n = coarse.dim();
+    let data = coarse.data().to_vec();
+    let shape = tac_sz::Dims::D3(n, n, n);
+    let cfg = CodecConfig::abs(1e-3);
+
+    let mut group = c.benchmark_group("codec_raw_stream");
+    group
+        .sample_size(10)
+        .throughput(Throughput::Bytes((data.len() * 8) as u64));
+    for codec in CodecId::all() {
+        let backend = codec_for(codec);
+        let stream = backend.compress(&data, shape, &cfg).unwrap();
+        group.bench_function(format!("compress/{}", codec.label()), |b| {
+            b.iter(|| backend.compress(black_box(&data), shape, &cfg).unwrap())
+        });
+        group.bench_function(format!("decompress/{}", codec.label()), |b| {
+            b.iter(|| backend.decompress(black_box(&stream)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Quick mode drops `BENCH_codec.json` next to `BENCH_par.json`: the
+/// method x codec matrix with ratio and throughput per cell.
+fn emit_quick_json() {
+    if std::env::var("TAC_BENCH_QUICK").is_err() {
+        return;
+    }
+    let (ds, unit) = setup();
+    let rows = measure_matrix(&ds, unit, 2);
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}}}",
+                r.method, r.codec, r.ratio, r.throughput_mb_s, r.psnr
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"rel_eb\": 1e-3,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        ds.finest_dim(),
+        cells.join(",\n")
+    );
+    // Anchor at the workspace root regardless of the bench's cwd.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_codec.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_dataset_by_codec(c);
+    bench_raw_streams(c);
+    emit_quick_json();
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

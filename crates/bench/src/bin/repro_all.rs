@@ -26,6 +26,7 @@ fn main() {
         ("Table 2", ex::table2::report),
         ("Table 3", ex::table3::report),
         ("Parallel + ROI", ex::par_speedup::report),
+        ("Codec comparison", ex::codec_comparison::report),
     ];
 
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,6 +1,7 @@
 //! One module per paper table/figure. Every module exposes
 //! `report() -> String` printing the same rows/series the paper shows.
 
+pub mod codec_comparison;
 pub mod fig07;
 pub mod fig11;
 pub mod fig12;
@@ -113,6 +114,7 @@ mod tests {
         use super::smoke;
 
         smoke_tests!(
+            codec_comparison,
             fig07,
             fig11,
             fig12,

@@ -1,0 +1,72 @@
+//! Error type shared by every codec backend.
+
+use std::fmt;
+use tac_sz::SzError;
+
+/// Errors surfaced by scalar-codec compression and decompression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// The SZ substrate failed.
+    Sz(SzError),
+    /// A compressed stream is malformed or truncated.
+    Corrupt(String),
+    /// The configuration is invalid for the backend.
+    InvalidConfig(String),
+    /// A wire tag does not name any registered codec.
+    UnknownCodec(u8),
+    /// The stream was produced by a different codec than the one asked
+    /// to decode it (wire tag / magic number disagreement).
+    WrongCodec {
+        /// The codec that was asked to decode.
+        expected: &'static str,
+        /// What the stream's magic actually looks like.
+        found: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Sz(e) => write!(f, "sz backend: {e}"),
+            CodecError::Corrupt(msg) => write!(f, "corrupt codec stream: {msg}"),
+            CodecError::InvalidConfig(msg) => write!(f, "invalid codec configuration: {msg}"),
+            CodecError::UnknownCodec(tag) => write!(f, "unknown codec wire tag {tag}"),
+            CodecError::WrongCodec { expected, found } => {
+                write!(f, "stream is not a {expected} stream (found {found})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Sz(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SzError> for CodecError {
+    fn from(e: SzError) -> Self {
+        CodecError::Sz(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CodecError::from(SzError::ZeroDimension);
+        assert!(e.to_string().contains("sz backend"));
+        assert!(std::error::Error::source(&e).is_some());
+        let w = CodecError::WrongCodec {
+            expected: "pco-lite",
+            found: "sz magic".into(),
+        };
+        assert!(w.to_string().contains("pco-lite"));
+        assert!(std::error::Error::source(&w).is_none());
+    }
+}

@@ -1,0 +1,329 @@
+//! # tac-codec
+//!
+//! The pluggable **scalar-codec backend layer** of the TAC stack. TAC's
+//! contribution (HPDC'22) is a per-level *pre-process* — the partitioned,
+//! padded, batched arrays it produces can feed *any* error-bounded
+//! compressor, and the follow-up TAC+ swaps prediction backends per level
+//! to improve ratio further. This crate makes that pluggability concrete:
+//!
+//! * [`ScalarCodec`] — the trait every backend implements: error-bounded
+//!   [`compress`](ScalarCodec::compress) /
+//!   [`decompress`](ScalarCodec::decompress) of an `f64` array of known
+//!   [`Dims`], plus [`compress_with_recon`](ScalarCodec::compress_with_recon)
+//!   for distortion metrics without a decode pass and
+//!   [`looks_like`](ScalarCodec::looks_like) stream sniffing;
+//! * [`CodecId`] — a **stable one-byte wire tag** per backend, stored in
+//!   `tac-core`'s level payloads and chunk tables so containers are
+//!   self-describing;
+//! * two registered backends: [`SzCodec`] (the SZ-style
+//!   predict-quantize-encode compressor from `tac-sz`) and [`PcoLite`]
+//!   (a pcodec-inspired delta + per-page adaptive bit-packing codec);
+//! * a registry — [`codec_for`], [`registered`], [`sniff_codec`],
+//!   [`looks_like_stream`] — that `tac-core` dispatches through.
+//!
+//! ```
+//! use tac_codec::{codec_for, CodecConfig, CodecId, Dims};
+//!
+//! let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.02).sin()).collect();
+//! for id in CodecId::all() {
+//!     let codec = codec_for(id);
+//!     let bytes = codec
+//!         .compress(&data, Dims::D3(8, 8, 8), &CodecConfig::abs(1e-4))
+//!         .unwrap();
+//!     let (restored, dims) = codec.decompress(&bytes).unwrap();
+//!     assert_eq!(dims, Dims::D3(8, 8, 8));
+//!     for (a, b) in data.iter().zip(&restored) {
+//!         assert!((a - b).abs() <= 1e-4);
+//!     }
+//! }
+//! ```
+//!
+//! ## Registering a third backend
+//!
+//! 1. Pick the next free wire tag and add a variant to [`CodecId`]
+//!    (tags are append-only: existing numbers are frozen by shipped
+//!    containers; never reuse or renumber them). Extend
+//!    [`CodecId::from_tag`], [`CodecId::label`], and [`CodecId::all`].
+//! 2. Implement [`ScalarCodec`] for a unit struct. The stream your
+//!    `compress` emits must start with a magic number unique among
+//!    backends so [`sniff_codec`] and the container's codec-tag
+//!    validation can tell streams apart, and `decompress` must reject
+//!    foreign or corrupt bytes with an error (never panic, never
+//!    mis-decode).
+//! 3. Return the new backend from [`codec_for`] ([`registered`] and
+//!    the sniffers derive from [`CodecId::all`] automatically).
+//! 4. That is the whole integration: `tac-core` threads any
+//!    `TacConfig { codec, .. }` through planning, the parallel engine,
+//!    the container, and ROI decoding via this registry, and the
+//!    `codec_comparison` experiment in `tac-bench` picks up every
+//!    registered backend automatically.
+//!
+//! The error-bound contract every backend must uphold: for each finite
+//! input value `v` and its reconstruction `v'`, `|v - v'| <= abs_eb`;
+//! non-finite values round-trip bit-exactly.
+
+#![warn(missing_docs)]
+
+mod error;
+mod pco;
+mod sz;
+
+pub use error::CodecError;
+pub use pco::PcoLite;
+pub use sz::SzCodec;
+// The array-shape and bound vocabulary is shared with the SZ substrate.
+pub use tac_sz::{Dims, ErrorBound};
+
+use serde::{Deserialize, Serialize};
+
+/// Stable one-byte identifier of a scalar-codec backend — the tag
+/// `tac-core` writes into level payloads and v3 chunk tables. Wire tags
+/// are append-only; renumbering breaks every shipped container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodecId {
+    /// The SZ-style predict–quantize–encode compressor (`tac-sz`). Wire
+    /// tag 0; the implicit codec of every pre-codec (v1/v2) container.
+    Sz,
+    /// The pcodec-inspired delta + per-page adaptive bit-packing codec.
+    /// Wire tag 1.
+    PcoLite,
+}
+
+impl CodecId {
+    /// The wire tag (stable across releases).
+    pub fn tag(self) -> u8 {
+        match self {
+            CodecId::Sz => 0,
+            CodecId::PcoLite => 1,
+        }
+    }
+
+    /// Inverse of [`CodecId::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self, CodecError> {
+        Ok(match tag {
+            0 => CodecId::Sz,
+            1 => CodecId::PcoLite,
+            _ => return Err(CodecError::UnknownCodec(tag)),
+        })
+    }
+
+    /// Human-readable name used by benchmark tables and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodecId::Sz => "sz",
+            CodecId::PcoLite => "pco-lite",
+        }
+    }
+
+    /// Every registered codec id, in wire-tag order.
+    pub fn all() -> [CodecId; 2] {
+        [CodecId::Sz, CodecId::PcoLite]
+    }
+}
+
+impl Default for CodecId {
+    /// [`CodecId::Sz`] — the codec of every container written before the
+    /// backend layer existed.
+    fn default() -> Self {
+        CodecId::Sz
+    }
+}
+
+impl std::fmt::Display for CodecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Backend-agnostic per-stream compression parameters.
+///
+/// The error bound arrives here already **resolved to an absolute
+/// epsilon** (TAC resolves relative bounds per level, against each
+/// level's own value range). The remaining knobs are hints: a backend
+/// uses the ones that apply to it and ignores the rest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodecConfig {
+    /// Absolute point-wise error bound (`|v - v'| <= abs_eb`).
+    pub abs_eb: f64,
+    /// Quantizer capacity (SZ: number of quantization bins).
+    pub capacity: usize,
+    /// Whether a trailing lossless (LZSS) stage may run.
+    pub lossless: bool,
+    /// Whether block-regression prediction may run (SZ only).
+    pub regression: bool,
+}
+
+impl CodecConfig {
+    /// Configuration with the given absolute bound and default knobs.
+    pub fn abs(abs_eb: f64) -> Self {
+        CodecConfig {
+            abs_eb,
+            capacity: 65536,
+            lossless: true,
+            regression: true,
+        }
+    }
+
+    /// Validates the resolved bound.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        if self.abs_eb <= 0.0 || !self.abs_eb.is_finite() {
+            return Err(CodecError::InvalidConfig(format!(
+                "absolute error bound must be positive and finite, got {}",
+                self.abs_eb
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An error-bounded lossy compressor for flat `f64` arrays of known
+/// shape — the backend interface TAC's per-level pipeline dispatches
+/// through.
+///
+/// Implementations must be deterministic (identical input and
+/// configuration produce identical bytes — the parallel engine's
+/// byte-identity guarantee depends on it) and must uphold the bound
+/// contract: finite values reconstruct within `cfg.abs_eb`, non-finite
+/// values bit-exactly.
+pub trait ScalarCodec: Send + Sync {
+    /// The backend's stable wire identity.
+    fn id(&self) -> CodecId;
+
+    /// Compresses `data` of shape `dims` under `cfg`.
+    fn compress(&self, data: &[f64], dims: Dims, cfg: &CodecConfig) -> Result<Vec<u8>, CodecError>;
+
+    /// Like [`ScalarCodec::compress`], additionally returning the exact
+    /// reconstruction the decompressor will produce, so distortion
+    /// metrics need no decode pass.
+    fn compress_with_recon(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f64>), CodecError>;
+
+    /// Decompresses a stream produced by this backend, returning the
+    /// values and their shape. Foreign or corrupt bytes must error.
+    fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError>;
+
+    /// Cheap magic-number sniff: does `bytes` start like one of this
+    /// backend's streams?
+    fn looks_like(&self, bytes: &[u8]) -> bool;
+}
+
+/// The registered backend for a codec id.
+pub fn codec_for(id: CodecId) -> &'static dyn ScalarCodec {
+    match id {
+        CodecId::Sz => &SzCodec,
+        CodecId::PcoLite => &PcoLite,
+    }
+}
+
+/// Every registered backend, in wire-tag order (derived from
+/// [`CodecId::all`], so a new backend only has to be added there and in
+/// [`codec_for`]).
+pub fn registered() -> [&'static dyn ScalarCodec; 2] {
+    CodecId::all().map(codec_for)
+}
+
+/// Identifies which registered codec produced `bytes`, by magic number.
+/// `None` means no backend recognizes the stream.
+pub fn sniff_codec(bytes: &[u8]) -> Option<CodecId> {
+    registered()
+        .into_iter()
+        .find(|c| c.looks_like(bytes))
+        .map(|c| c.id())
+}
+
+/// Codec-agnostic extension of `tac_sz::looks_like_stream`: true when
+/// **any** registered backend recognizes the bytes as one of its
+/// streams.
+pub fn looks_like_stream(bytes: &[u8]) -> bool {
+    sniff_codec(bytes).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.013).sin() * 4.0 + (i as f64 * 0.002).cos())
+            .collect()
+    }
+
+    #[test]
+    fn codec_ids_roundtrip_and_stay_stable() {
+        assert_eq!(CodecId::Sz.tag(), 0, "Sz wire tag is frozen at 0");
+        assert_eq!(CodecId::PcoLite.tag(), 1, "PcoLite wire tag is frozen at 1");
+        for id in CodecId::all() {
+            assert_eq!(CodecId::from_tag(id.tag()).unwrap(), id);
+            assert_eq!(codec_for(id).id(), id);
+        }
+        assert!(CodecId::from_tag(99).is_err());
+        assert_eq!(CodecId::default(), CodecId::Sz);
+    }
+
+    #[test]
+    fn every_backend_roundtrips_within_bound() {
+        let data = smooth(1000);
+        for id in CodecId::all() {
+            let codec = codec_for(id);
+            for dims in [Dims::D1(1000), Dims::D2(50, 20), Dims::D3(10, 10, 10)] {
+                let cfg = CodecConfig::abs(1e-3);
+                let (bytes, recon) = codec.compress_with_recon(&data, dims, &cfg).unwrap();
+                let (out, out_dims) = codec.decompress(&bytes).unwrap();
+                assert_eq!(out_dims, dims, "{id}");
+                for (i, (a, b)) in data.iter().zip(&out).enumerate() {
+                    assert!((a - b).abs() <= 1e-3 * (1.0 + 1e-12), "{id} point {i}");
+                }
+                // compress_with_recon promises the decoder's exact output.
+                for (a, b) in recon.iter().zip(&out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{id} recon mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sniffing_tells_backends_apart() {
+        let data = smooth(256);
+        let cfg = CodecConfig::abs(1e-4);
+        for id in CodecId::all() {
+            let bytes = codec_for(id).compress(&data, Dims::D1(256), &cfg).unwrap();
+            assert_eq!(sniff_codec(&bytes), Some(id));
+            assert!(looks_like_stream(&bytes));
+            // Every *other* backend must refuse the stream outright.
+            for other in CodecId::all() {
+                if other != id {
+                    assert!(!codec_for(other).looks_like(&bytes));
+                    assert!(
+                        codec_for(other).decompress(&bytes).is_err(),
+                        "{other} decoded a {id} stream"
+                    );
+                }
+            }
+        }
+        assert_eq!(sniff_codec(b"not a stream at all"), None);
+        assert!(!looks_like_stream(&[]));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_by_all_backends() {
+        let data = smooth(8);
+        for id in CodecId::all() {
+            let codec = codec_for(id);
+            for eb in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+                let cfg = CodecConfig::abs(eb);
+                assert!(
+                    codec.compress(&data, Dims::D1(8), &cfg).is_err(),
+                    "{id} accepted eb {eb}"
+                );
+            }
+            // Shape mismatch.
+            assert!(codec
+                .compress(&data, Dims::D2(3, 3), &CodecConfig::abs(1.0))
+                .is_err());
+        }
+    }
+}

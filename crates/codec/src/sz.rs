@@ -1,0 +1,81 @@
+//! The SZ backend: a thin [`ScalarCodec`] wrapper around `tac-sz`.
+
+use crate::{CodecConfig, CodecError, CodecId, ScalarCodec};
+use tac_sz::{Dims, ErrorBound, SzConfig};
+
+/// The SZ-style predict–quantize–encode compressor, wrapped as a
+/// pluggable backend. This is the default codec and the implicit codec
+/// of every container written before the backend layer existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SzCodec;
+
+impl SzCodec {
+    fn sz_config(cfg: &CodecConfig) -> Result<SzConfig, CodecError> {
+        cfg.validate()?;
+        Ok(SzConfig {
+            error_bound: ErrorBound::Abs(cfg.abs_eb),
+            capacity: cfg.capacity,
+            lossless: cfg.lossless,
+            regression: cfg.regression,
+        })
+    }
+}
+
+impl ScalarCodec for SzCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Sz
+    }
+
+    fn compress(&self, data: &[f64], dims: Dims, cfg: &CodecConfig) -> Result<Vec<u8>, CodecError> {
+        Ok(tac_sz::compress(data, dims, &Self::sz_config(cfg)?)?)
+    }
+
+    fn compress_with_recon(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f64>), CodecError> {
+        Ok(tac_sz::compress_with_recon(
+            data,
+            dims,
+            &Self::sz_config(cfg)?,
+        )?)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
+        Ok(tac_sz::decompress(bytes)?)
+    }
+
+    fn looks_like(&self, bytes: &[u8]) -> bool {
+        tac_sz::looks_like_stream(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tac_sz_bit_for_bit() {
+        let data: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).sin()).collect();
+        let cfg = CodecConfig::abs(1e-4);
+        let via_trait = SzCodec.compress(&data, Dims::D3(8, 8, 8), &cfg).unwrap();
+        let direct = tac_sz::compress(
+            &data,
+            Dims::D3(8, 8, 8),
+            &SzConfig {
+                error_bound: ErrorBound::Abs(1e-4),
+                capacity: cfg.capacity,
+                lossless: cfg.lossless,
+                regression: cfg.regression,
+            },
+        )
+        .unwrap();
+        assert_eq!(via_trait, direct, "the wrapper must not change the bytes");
+        assert!(SzCodec.looks_like(&via_trait));
+        let (out, dims) = SzCodec.decompress(&via_trait).unwrap();
+        assert_eq!(dims, Dims::D3(8, 8, 8));
+        assert_eq!(out.len(), data.len());
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::error::TacError;
 use serde::{Deserialize, Serialize};
+use tac_codec::{CodecConfig, CodecId};
 use tac_par::Parallelism;
 use tac_sz::ErrorBound;
 
@@ -79,6 +80,11 @@ pub struct TacConfig {
     /// density exceeds `t2`, compress via the 3D baseline instead of
     /// level-wise TAC.
     pub adaptive_3d_switch: bool,
+    /// Scalar-codec backend every payload stream compresses through
+    /// (see [`tac_codec::ScalarCodec`]). The default, [`CodecId::Sz`],
+    /// reproduces the paper's SZ substrate; [`CodecId::PcoLite`] swaps
+    /// in the pcodec-style delta + bit-packing backend.
+    pub codec: CodecId,
     /// Quantizer capacity handed to the SZ substrate.
     pub sz_capacity: usize,
     /// Whether SZ's lossless backend runs.
@@ -109,6 +115,7 @@ impl Default for TacConfig {
             level_eb_scale: Vec::new(),
             forced_strategy: None,
             adaptive_3d_switch: false,
+            codec: CodecId::Sz,
             sz_capacity: 65536,
             sz_lossless: true,
             sz_regression: true,
@@ -154,6 +161,12 @@ impl TacConfig {
     /// Sets the engine's worker budget.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Selects the scalar-codec backend for every payload stream.
+    pub fn with_codec(mut self, codec: CodecId) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -205,10 +218,12 @@ impl TacConfig {
         Ok(())
     }
 
-    /// The SZ configuration for a given resolved absolute bound.
-    pub(crate) fn sz_config(&self, abs_eb: f64) -> tac_sz::SzConfig {
-        tac_sz::SzConfig {
-            error_bound: ErrorBound::Abs(abs_eb),
+    /// The backend-agnostic codec configuration for a given resolved
+    /// absolute bound (what the engine hands to
+    /// [`tac_codec::ScalarCodec::compress`]).
+    pub(crate) fn codec_config(&self, abs_eb: f64) -> CodecConfig {
+        CodecConfig {
+            abs_eb,
             capacity: self.sz_capacity,
             lossless: self.sz_lossless,
             regression: self.sz_regression,
@@ -288,5 +303,16 @@ mod tests {
         assert_eq!(c.parallelism, Parallelism::Threads(3));
         assert_eq!(c.roi_tile, Some(8));
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn codec_defaults_to_sz_and_builds() {
+        assert_eq!(TacConfig::default().codec, CodecId::Sz);
+        let c = TacConfig::default().with_codec(CodecId::PcoLite);
+        assert_eq!(c.codec, CodecId::PcoLite);
+        assert!(c.validate().is_ok());
+        let cc = c.codec_config(1e-3);
+        assert_eq!(cc.abs_eb, 1e-3);
+        assert_eq!(cc.capacity, c.sz_capacity);
     }
 }

@@ -6,25 +6,35 @@
 //! because every method shares it, mirroring how AMReX stores box lists
 //! outside the field data), and the method-specific payload.
 //!
-//! Two wire formats coexist behind the version byte:
+//! Three wire formats coexist behind the version byte:
 //!
 //! * **v1** — the original monolithic layout: payload streams inline,
 //!   decodable only front to back. Still written by
 //!   [`CompressedDataset::to_bytes_v1`] and always readable.
-//! * **v2** (default) — a chunked, seekable layout built for
-//!   region-of-interest decoding (the AMRIC-style in-situ scenario):
-//!   a fixed header (method metadata + masks), the payload as a flat
-//!   run of independent chunks (one per whole-level stream or region
-//!   group), a **chunk table** mapping each chunk to its level, byte
-//!   range, and cell-coordinate bounding box, and a trailing table
-//!   offset so file readers can seek straight to the table. See
+//! * **v2** — the chunked, seekable layout built for region-of-interest
+//!   decoding (the AMRIC-style in-situ scenario): a fixed header
+//!   (method metadata + masks), the payload as a flat run of
+//!   independent chunks (one per whole-level stream or region group),
+//!   a **chunk table** mapping each chunk to its level, byte range, and
+//!   cell-coordinate bounding box, and a trailing table offset so file
+//!   readers can seek straight to the table. See
 //!   [`crate::roi::decompress_region`] for the selective decoder.
+//! * **v3** — v2 plus a scalar-codec byte ([`CodecId`]) per level in
+//!   the method metadata *and* per chunk-table row, so chunks are
+//!   self-describing whichever backend wrote them.
+//!
+//! [`CompressedDataset::to_bytes`] writes v2 when every stream uses the
+//! default SZ codec — bit-compatible with pre-codec readers — and
+//! promotes to v3 as soon as any other backend is involved. v1 and v2
+//! bytes produced before the codec layer existed parse unchanged and
+//! default to [`CodecId::Sz`].
 
 use crate::config::Strategy;
 use crate::error::TacError;
 use crate::stream::{CompressedLevel, LevelPayload, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use tac_amr::{Aabb, BitMask};
+use tac_codec::{sniff_codec, CodecId};
 use tac_sz::CompressionStats;
 
 /// Container magic number.
@@ -33,6 +43,8 @@ const MAGIC: &[u8; 4] = b"TACD";
 const VERSION_V1: u8 = 1;
 /// Chunked random-access container format.
 const VERSION_V2: u8 = 2;
+/// Chunked format with per-level and per-chunk codec tags.
+const VERSION_V3: u8 = 3;
 
 /// Which compressor produced a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,25 +93,33 @@ impl Method {
     }
 }
 
+/// One non-empty level of the 1D baseline: resolved absolute bound, the
+/// scalar codec of the stream, and the rank-1 stream itself.
+pub type Baseline1DLevel = (f64, CodecId, Vec<u8>);
+
 /// Method-specific compressed payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MethodBody {
     /// One [`CompressedLevel`] per AMR level, fine to coarse.
     Tac(Vec<CompressedLevel>),
-    /// Per level: `None` for empty levels, else `(abs_eb, sz D1 stream)`.
-    Baseline1D(Vec<Option<(f64, Vec<u8>)>>),
+    /// Per level: `None` for empty levels, else a [`Baseline1DLevel`].
+    Baseline1D(Vec<Option<Baseline1DLevel>>),
     /// One stream over the zMesh-ordered concatenation of all levels.
     ZMesh {
         /// Resolved absolute error bound.
         abs_eb: f64,
-        /// SZ rank-1 stream.
+        /// Scalar codec of the stream.
+        codec: CodecId,
+        /// Rank-1 stream.
         stream: Vec<u8>,
     },
     /// One rank-3 stream over the merged uniform grid.
     Baseline3D {
         /// Resolved absolute error bound.
         abs_eb: f64,
-        /// SZ rank-3 stream.
+        /// Scalar codec of the stream.
+        codec: CodecId,
+        /// Rank-3 stream.
         stream: Vec<u8>,
     },
 }
@@ -111,6 +131,20 @@ impl MethodBody {
             MethodBody::Baseline1D(..) => Method::Baseline1D,
             MethodBody::ZMesh { .. } => Method::ZMesh,
             MethodBody::Baseline3D { .. } => Method::Baseline3D,
+        }
+    }
+
+    /// Whether every stream in the payload uses the default SZ codec —
+    /// the condition under which the chunked writer stays on v2 bytes.
+    fn codecs_all_default(&self) -> bool {
+        match self {
+            MethodBody::Tac(levels) => levels.iter().all(|l| l.codec == CodecId::Sz),
+            MethodBody::Baseline1D(levels) => levels
+                .iter()
+                .all(|l| l.as_ref().map_or(true, |(_, c, _)| *c == CodecId::Sz)),
+            MethodBody::ZMesh { codec, .. } | MethodBody::Baseline3D { codec, .. } => {
+                *codec == CodecId::Sz
+            }
         }
     }
 }
@@ -159,7 +193,11 @@ impl CompressedDataset {
             MethodBody::Tac(levels) => levels.iter().map(|l| l.total_bytes()).sum(),
             MethodBody::Baseline1D(levels) => levels
                 .iter()
-                .map(|l| l.as_ref().map_or(1, |(_, s)| 9 + 8 + s.len()))
+                .map(|l| {
+                    l.as_ref().map_or(1, |(_, codec, s)| {
+                        9 + usize::from(*codec != CodecId::Sz) + 8 + s.len()
+                    })
+                })
                 .sum(),
             MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => {
                 8 + 8 + stream.len()
@@ -182,12 +220,21 @@ impl CompressedDataset {
         CompressionStats::new(self.total_present(), self.payload_bytes())
     }
 
-    /// Serializes the container in the current (v2, chunked) format.
+    /// Serializes the container in the current chunked format: v2 bytes
+    /// (bit-compatible with pre-codec readers) when every stream uses
+    /// the default SZ codec, v3 (codec-tagged) otherwise.
     pub fn to_bytes(&self) -> Vec<u8> {
-        self.to_bytes_v2()
+        if self.body.codecs_all_default() {
+            self.to_bytes_chunked(VERSION_V2)
+        } else {
+            self.to_bytes_chunked(VERSION_V3)
+        }
     }
 
-    /// Serializes the legacy monolithic v1 container.
+    /// Serializes the legacy monolithic v1 container. Non-default codecs
+    /// still fit: TAC level payloads carry an explicit codec tag, the 1D
+    /// baseline uses an extended level tag, and the single-stream
+    /// baselines are recovered by magic-number sniffing on read.
     pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_bytes(MAGIC);
@@ -209,15 +256,24 @@ impl CompressedDataset {
                 for l in levels {
                     match l {
                         None => w.put_u8(0),
-                        Some((eb, stream)) => {
+                        // Tag 1 is the legacy (implicitly SZ) encoding;
+                        // tag 2 appends the codec byte.
+                        Some((eb, CodecId::Sz, stream)) => {
                             w.put_u8(1);
+                            w.put_f64(*eb);
+                            w.put_blob(stream);
+                        }
+                        Some((eb, codec, stream)) => {
+                            w.put_u8(2);
+                            w.put_u8(codec.tag());
                             w.put_f64(*eb);
                             w.put_blob(stream);
                         }
                     }
                 }
             }
-            MethodBody::ZMesh { abs_eb, stream } | MethodBody::Baseline3D { abs_eb, stream } => {
+            MethodBody::ZMesh { abs_eb, stream, .. }
+            | MethodBody::Baseline3D { abs_eb, stream, .. } => {
                 w.put_f64(*abs_eb);
                 w.put_blob(stream);
             }
@@ -225,11 +281,18 @@ impl CompressedDataset {
         w.into_bytes()
     }
 
-    /// Serializes the chunked v2 container.
-    pub fn to_bytes_v2(&self) -> Vec<u8> {
+    /// Serializes the chunked (v2/v3) container. v3 additionally writes
+    /// a codec byte per level in the method metadata and per chunk-table
+    /// row; v2 is byte-for-byte the pre-codec format.
+    fn to_bytes_chunked(&self, version: u8) -> Vec<u8> {
+        let tagged = version >= VERSION_V3;
+        debug_assert!(
+            tagged || self.body.codecs_all_default(),
+            "v2 cannot represent non-default codecs"
+        );
         let mut w = Writer::new();
         w.put_bytes(MAGIC);
-        w.put_u8(VERSION_V2);
+        w.put_u8(version);
         w.put_u8(self.method().tag());
         w.put_str(&self.name);
         w.put_u64(self.finest_dim as u64);
@@ -253,21 +316,31 @@ impl CompressedDataset {
                             w.put_u32(groups.len() as u32);
                         }
                     }
+                    if tagged {
+                        w.put_u8(l.codec.tag());
+                    }
                 }
             }
             MethodBody::Baseline1D(levels) => {
                 for l in levels {
                     match l {
                         None => w.put_u8(0),
-                        Some((eb, _)) => {
+                        Some((eb, codec, _)) => {
                             w.put_u8(1);
                             w.put_f64(*eb);
+                            if tagged {
+                                w.put_u8(codec.tag());
+                            }
                         }
                     }
                 }
             }
-            MethodBody::ZMesh { abs_eb, .. } | MethodBody::Baseline3D { abs_eb, .. } => {
+            MethodBody::ZMesh { abs_eb, codec, .. }
+            | MethodBody::Baseline3D { abs_eb, codec, .. } => {
                 w.put_f64(*abs_eb);
+                if tagged {
+                    w.put_u8(codec.tag());
+                }
             }
         }
 
@@ -278,11 +351,13 @@ impl CompressedDataset {
                     payload: &Writer,
                     level: usize,
                     len_before: usize,
+                    codec: CodecId,
                     bbox: Aabb| {
             entries.push(ChunkEntry {
                 level: level as u8,
                 offset: len_before,
                 len: payload.len() - len_before,
+                codec,
                 bbox,
             });
         };
@@ -299,13 +374,13 @@ impl CompressedDataset {
                         LevelPayload::Whole(stream) => {
                             let before = payload.len();
                             payload.put_bytes(stream);
-                            push(&mut entries, &payload, l, before, level_bbox);
+                            push(&mut entries, &payload, l, before, cl.codec, level_bbox);
                         }
                         LevelPayload::Groups(groups) => {
                             for g in groups {
                                 let before = payload.len();
                                 g.write(&mut payload);
-                                push(&mut entries, &payload, l, before, g.aabb());
+                                push(&mut entries, &payload, l, before, cl.codec, g.aabb());
                             }
                         }
                     }
@@ -313,7 +388,7 @@ impl CompressedDataset {
             }
             MethodBody::Baseline1D(levels) => {
                 for (l, entry) in levels.iter().enumerate() {
-                    if let Some((_, stream)) = entry {
+                    if let Some((_, codec, stream)) = entry {
                         let dim = self.finest_dim >> l;
                         let bbox = self
                             .masks
@@ -322,11 +397,12 @@ impl CompressedDataset {
                             .unwrap_or_else(|| Aabb::whole(dim));
                         let before = payload.len();
                         payload.put_bytes(stream);
-                        push(&mut entries, &payload, l, before, bbox);
+                        push(&mut entries, &payload, l, before, *codec, bbox);
                     }
                 }
             }
-            MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => {
+            MethodBody::ZMesh { codec, stream, .. }
+            | MethodBody::Baseline3D { codec, stream, .. } => {
                 let before = payload.len();
                 payload.put_bytes(stream);
                 push(
@@ -334,6 +410,7 @@ impl CompressedDataset {
                     &payload,
                     0,
                     before,
+                    *codec,
                     Aabb::whole(self.finest_dim),
                 );
             }
@@ -346,7 +423,7 @@ impl CompressedDataset {
         let table_pos = w.len();
         w.put_u32(entries.len() as u32);
         for e in &entries {
-            e.write(&mut w);
+            e.write(&mut w, tagged);
         }
         w.put_u64(table_pos as u64);
         w.into_bytes()
@@ -359,8 +436,8 @@ impl CompressedDataset {
         let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
         match version {
             VERSION_V1 => parse_v1_body(&mut r, method, name, finest_dim, masks),
-            VERSION_V2 => {
-                let layout = parse_v2_tail(&mut r, method, name, finest_dim, masks)?;
+            VERSION_V2 | VERSION_V3 => {
+                let layout = parse_chunked_tail(&mut r, version, method, name, finest_dim, masks)?;
                 layout.assemble()
             }
             v => Err(TacError::Corrupt(format!(
@@ -380,7 +457,7 @@ fn parse_prelude(
         return Err(TacError::Corrupt(format!("bad magic {magic:02x?}")));
     }
     let version = r.get_u8()?;
-    if version != VERSION_V1 && version != VERSION_V2 {
+    if !(VERSION_V1..=VERSION_V3).contains(&version) {
         return Err(TacError::Corrupt(format!(
             "unsupported container version {version}"
         )));
@@ -435,20 +512,38 @@ fn parse_v1_body(
             for _ in 0..num_levels {
                 levels.push(match r.get_u8()? {
                     0 => None,
-                    1 => Some((r.get_f64()?, r.get_blob()?.to_vec())),
+                    // Legacy tag: implicitly the SZ codec.
+                    1 => Some((r.get_f64()?, CodecId::Sz, r.get_blob()?.to_vec())),
+                    2 => {
+                        let codec = CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)?;
+                        Some((r.get_f64()?, codec, r.get_blob()?.to_vec()))
+                    }
                     t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
                 });
             }
             MethodBody::Baseline1D(levels)
         }
-        Method::ZMesh => MethodBody::ZMesh {
-            abs_eb: r.get_f64()?,
-            stream: r.get_blob()?.to_vec(),
-        },
-        Method::Baseline3D => MethodBody::Baseline3D {
-            abs_eb: r.get_f64()?,
-            stream: r.get_blob()?.to_vec(),
-        },
+        // The single-stream baselines have no codec tag in v1; the
+        // stream's own magic number says which backend wrote it (every
+        // pre-codec container sniffs as SZ).
+        Method::ZMesh => {
+            let abs_eb = r.get_f64()?;
+            let stream = r.get_blob()?.to_vec();
+            MethodBody::ZMesh {
+                abs_eb,
+                codec: sniff_codec(&stream).unwrap_or_default(),
+                stream,
+            }
+        }
+        Method::Baseline3D => {
+            let abs_eb = r.get_f64()?;
+            let stream = r.get_blob()?.to_vec();
+            MethodBody::Baseline3D {
+                abs_eb,
+                codec: sniff_codec(&stream).unwrap_or_default(),
+                stream,
+            }
+        }
     };
     if r.remaining() != 0 {
         return Err(TacError::Corrupt(format!(
@@ -465,21 +560,32 @@ fn parse_v1_body(
 }
 
 /// One chunk-table row: which level the chunk belongs to, where its
-/// bytes live in the payload, and the cell-coordinate box it covers
-/// (level-local coordinates).
+/// bytes live in the payload, which scalar codec wrote it (v3; v2 rows
+/// imply SZ), and the cell-coordinate box it covers (level-local
+/// coordinates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct ChunkEntry {
     pub level: u8,
     pub offset: usize,
     pub len: usize,
+    pub codec: CodecId,
     pub bbox: Aabb,
 }
 
+/// Serialized chunk-table row size: 41 bytes in v2, 42 (one codec byte)
+/// in v3.
+pub(crate) fn chunk_entry_bytes(tagged: bool) -> usize {
+    41 + usize::from(tagged)
+}
+
 impl ChunkEntry {
-    fn write(&self, w: &mut Writer) {
+    fn write(&self, w: &mut Writer, tagged: bool) {
         w.put_u8(self.level);
         w.put_u64(self.offset as u64);
         w.put_u64(self.len as u64);
+        if tagged {
+            w.put_u8(self.codec.tag());
+        }
         let (x0, y0, z0) = self.bbox.min;
         let (x1, y1, z1) = self.bbox.max;
         for v in [x0, y0, z0, x1, y1, z1] {
@@ -487,10 +593,15 @@ impl ChunkEntry {
         }
     }
 
-    fn read(r: &mut Reader<'_>) -> Result<Self, TacError> {
+    fn read(r: &mut Reader<'_>, tagged: bool) -> Result<Self, TacError> {
         let level = r.get_u8()?;
         let offset = r.get_u64()? as usize;
         let len = r.get_u64()? as usize;
+        let codec = if tagged {
+            CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)?
+        } else {
+            CodecId::Sz
+        };
         let mut c = [0usize; 6];
         for v in &mut c {
             *v = r.get_u32()? as usize;
@@ -509,17 +620,20 @@ impl ChunkEntry {
             level,
             offset,
             len,
+            codec,
             bbox: Aabb::new((c[0], c[1], c[2]), (c[3], c[4], c[5])),
         })
     }
 }
 
-/// Per-level metadata of a v2 TAC payload.
+/// Per-level metadata of a chunked (v2/v3) TAC payload.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct TacLevelMeta {
     pub strategy: Strategy,
     pub dim: usize,
     pub abs_eb: f64,
+    /// Scalar codec of the level's streams (v2: always SZ).
+    pub codec: CodecId,
     /// 0 = empty, 1 = whole-grid stream, 2 = region groups.
     pub kind: u8,
     /// Number of group chunks (kind 2 only).
@@ -538,18 +652,18 @@ impl TacLevelMeta {
     }
 }
 
-/// Method metadata of a parsed v2 container.
+/// Method metadata of a parsed chunked (v2/v3) container.
 #[derive(Debug, Clone)]
 pub(crate) enum V2Meta {
     Tac(Vec<TacLevelMeta>),
-    /// Per level: the resolved bound for present levels.
-    Baseline1D(Vec<Option<f64>>),
-    ZMesh(f64),
-    Baseline3D(f64),
+    /// Per level: the resolved bound and codec for present levels.
+    Baseline1D(Vec<Option<(f64, CodecId)>>),
+    ZMesh(f64, CodecId),
+    Baseline3D(f64, CodecId),
 }
 
-/// A parsed v2 container with the payload still in serialized form:
-/// chunks decode on demand (the whole point of the format).
+/// A parsed chunked container with the payload still in serialized
+/// form: chunks decode on demand (the whole point of the format).
 #[derive(Debug)]
 pub(crate) struct V2Layout<'a> {
     pub name: String,
@@ -560,26 +674,36 @@ pub(crate) struct V2Layout<'a> {
     pub entries: Vec<ChunkEntry>,
 }
 
-/// Parses a v2 container down to its layout without decoding any chunk.
+/// Parses a chunked (v2/v3) container down to its layout without
+/// decoding any chunk.
 pub(crate) fn parse_v2(bytes: &[u8]) -> Result<V2Layout<'_>, TacError> {
     let mut r = Reader::new(bytes);
     let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
-    if version != VERSION_V2 {
-        return Err(TacError::Corrupt(format!(
-            "chunk-table access needs a v2 container (found v{version})"
-        )));
+    if version == VERSION_V1 {
+        return Err(TacError::Corrupt(
+            "chunk-table access needs a chunked (v2+) container (found v1)".into(),
+        ));
     }
-    parse_v2_tail(&mut r, method, name, finest_dim, masks)
+    parse_chunked_tail(&mut r, version, method, name, finest_dim, masks)
 }
 
-/// Parses everything after the shared prelude of a v2 container.
-fn parse_v2_tail<'a>(
+/// Parses everything after the shared prelude of a chunked container.
+fn parse_chunked_tail<'a>(
     r: &mut Reader<'a>,
+    version: u8,
     method: Method,
     name: String,
     finest_dim: usize,
     masks: Vec<BitMask>,
 ) -> Result<V2Layout<'a>, TacError> {
+    let tagged = version >= VERSION_V3;
+    let read_codec = |r: &mut Reader<'_>| -> Result<CodecId, TacError> {
+        if tagged {
+            CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)
+        } else {
+            Ok(CodecId::Sz)
+        }
+    };
     let num_levels = masks.len();
     let meta = match method {
         Method::Tac => {
@@ -594,10 +718,12 @@ fn parse_v2_tail<'a>(
                     2 => r.get_u32()? as usize,
                     k => return Err(TacError::Corrupt(format!("unknown payload kind {k}"))),
                 };
+                let codec = read_codec(r)?;
                 metas.push(TacLevelMeta {
                     strategy,
                     dim,
                     abs_eb,
+                    codec,
                     kind,
                     group_count,
                 });
@@ -609,22 +735,33 @@ fn parse_v2_tail<'a>(
             for _ in 0..num_levels {
                 ebs.push(match r.get_u8()? {
                     0 => None,
-                    1 => Some(r.get_f64()?),
+                    1 => {
+                        let eb = r.get_f64()?;
+                        Some((eb, read_codec(r)?))
+                    }
                     t => return Err(TacError::Corrupt(format!("unknown 1D level tag {t}"))),
                 });
             }
             V2Meta::Baseline1D(ebs)
         }
-        Method::ZMesh => V2Meta::ZMesh(r.get_f64()?),
-        Method::Baseline3D => V2Meta::Baseline3D(r.get_f64()?),
+        Method::ZMesh => {
+            let eb = r.get_f64()?;
+            V2Meta::ZMesh(eb, read_codec(r)?)
+        }
+        Method::Baseline3D => {
+            let eb = r.get_f64()?;
+            V2Meta::Baseline3D(eb, read_codec(r)?)
+        }
     };
 
     let payload = r.get_blob()?;
     let table_pos = r.position();
     let num_chunks = r.get_u32()? as usize;
-    // Each serialized entry is 41 bytes (level u8 + offset/len u64 +
-    // bbox 6 x u32); bound the allocation by what the buffer can hold.
-    if num_chunks > r.remaining() / 41 {
+    // Bound the allocation by what the buffer can hold (entries are
+    // fixed-size: level u8 + offset/len u64 + codec byte on v3 + bbox
+    // 6 x u32).
+    let entry_bytes = chunk_entry_bytes(tagged);
+    if num_chunks > r.remaining() / entry_bytes {
         return Err(TacError::Corrupt(format!(
             "table declares {num_chunks} chunks but only {} bytes remain",
             r.remaining()
@@ -632,7 +769,7 @@ fn parse_v2_tail<'a>(
     }
     let mut entries = Vec::with_capacity(num_chunks);
     for _ in 0..num_chunks {
-        let e = ChunkEntry::read(r)?;
+        let e = ChunkEntry::read(r, tagged)?;
         // checked_add: a crafted offset near u64::MAX must fail cleanly,
         // not wrap past the bound and panic at slice time.
         let in_bounds = e
@@ -684,10 +821,22 @@ fn parse_v2_tail<'a>(
 
 impl V2Layout<'_> {
     /// Checks that the chunk table lists exactly the chunks the method
-    /// metadata promises, per level.
+    /// metadata promises per level, each tagged with the level's codec.
+    /// A codec disagreement between the table and the metadata means the
+    /// container was tampered with — better to refuse than to hand the
+    /// chunk to the wrong backend.
     fn validate_chunk_counts(&self) -> Result<(), TacError> {
-        let check = |level: usize, want: usize| -> Result<(), TacError> {
-            let have = self.level_entries(level).count();
+        let check = |level: usize, want: usize, codec: CodecId| -> Result<(), TacError> {
+            let mut have = 0usize;
+            for e in self.level_entries(level) {
+                have += 1;
+                if e.codec != codec {
+                    return Err(TacError::Corrupt(format!(
+                        "level {level}: chunk tagged {} but metadata says {}",
+                        e.codec, codec
+                    )));
+                }
+            }
             if have != want {
                 return Err(TacError::Corrupt(format!(
                     "level {level}: expected {want} chunks, table lists {have}"
@@ -698,19 +847,26 @@ impl V2Layout<'_> {
         match &self.meta {
             V2Meta::Tac(metas) => {
                 for (l, meta) in metas.iter().enumerate() {
-                    check(l, meta.expected_chunks())?;
+                    check(l, meta.expected_chunks(), meta.codec)?;
                 }
             }
             V2Meta::Baseline1D(ebs) => {
                 for (l, eb) in ebs.iter().enumerate() {
-                    check(l, usize::from(eb.is_some()))?;
+                    let codec = eb.map(|(_, c)| c).unwrap_or_default();
+                    check(l, usize::from(eb.is_some()), codec)?;
                 }
             }
-            V2Meta::ZMesh(_) | V2Meta::Baseline3D(_) => {
+            V2Meta::ZMesh(_, codec) | V2Meta::Baseline3D(_, codec) => {
                 if self.entries.len() != 1 {
                     return Err(TacError::Corrupt(format!(
                         "expected exactly one chunk, table lists {}",
                         self.entries.len()
+                    )));
+                }
+                if self.entries[0].codec != *codec {
+                    return Err(TacError::Corrupt(format!(
+                        "chunk tagged {} but metadata says {codec}",
+                        self.entries[0].codec
                     )));
                 }
             }
@@ -755,6 +911,7 @@ impl V2Layout<'_> {
                         strategy: meta.strategy,
                         dim: meta.dim,
                         abs_eb: meta.abs_eb,
+                        codec: meta.codec,
                         payload,
                     });
                 }
@@ -763,19 +920,21 @@ impl V2Layout<'_> {
             V2Meta::Baseline1D(ebs) => {
                 let mut levels = Vec::with_capacity(ebs.len());
                 for (l, eb) in ebs.iter().enumerate() {
-                    levels.push(eb.map(|eb| {
+                    levels.push(eb.map(|(eb, codec)| {
                         let chunk = self.level_entries(l).next().expect("validated chunk");
-                        (eb, self.chunk_bytes(chunk).to_vec())
+                        (eb, codec, self.chunk_bytes(chunk).to_vec())
                     }));
                 }
                 MethodBody::Baseline1D(levels)
             }
-            V2Meta::ZMesh(abs_eb) => MethodBody::ZMesh {
+            V2Meta::ZMesh(abs_eb, codec) => MethodBody::ZMesh {
                 abs_eb: *abs_eb,
+                codec: *codec,
                 stream: self.chunk_bytes(&self.entries[0]).to_vec(),
             },
-            V2Meta::Baseline3D(abs_eb) => MethodBody::Baseline3D {
+            V2Meta::Baseline3D(abs_eb, codec) => MethodBody::Baseline3D {
                 abs_eb: *abs_eb,
+                codec: *codec,
                 stream: self.chunk_bytes(&self.entries[0]).to_vec(),
             },
         };
@@ -815,7 +974,7 @@ mod tests {
         vec![fine, coarse]
     }
 
-    fn sample_tac() -> CompressedDataset {
+    fn sample_tac_with(codec: CodecId) -> CompressedDataset {
         CompressedDataset {
             name: "Run1_Z10".into(),
             finest_dim: 4,
@@ -825,6 +984,7 @@ mod tests {
                     strategy: Strategy::OpST,
                     dim: 4,
                     abs_eb: 1e-3,
+                    codec,
                     payload: crate::stream::LevelPayload::Groups(vec![crate::stream::BlockGroup {
                         shape: (2, 2, 2),
                         origins: vec![(0, 0, 0), (2, 2, 2)],
@@ -835,16 +995,21 @@ mod tests {
                     strategy: Strategy::Gsp,
                     dim: 2,
                     abs_eb: 2e-3,
+                    codec,
                     payload: crate::stream::LevelPayload::Whole(vec![1, 2, 3]),
                 },
             ]),
         }
     }
 
+    fn sample_tac() -> CompressedDataset {
+        sample_tac_with(CodecId::Sz)
+    }
+
     #[test]
     fn container_roundtrip_tac_both_versions() {
         let cd = sample_tac();
-        for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+        for bytes in [cd.to_bytes_v1(), cd.to_bytes()] {
             let back = CompressedDataset::from_bytes(&bytes).unwrap();
             assert_eq!(back, cd);
             assert_eq!(back.method(), Method::Tac);
@@ -853,43 +1018,103 @@ mod tests {
                 vec![Strategy::OpST, Strategy::Gsp]
             );
         }
-        // Default serialization is v2.
-        assert_eq!(cd.to_bytes(), cd.to_bytes_v2());
+        // Default-codec serialization stays on v2 bytes.
         assert_eq!(cd.to_bytes()[4], VERSION_V2);
         assert_eq!(cd.to_bytes_v1()[4], VERSION_V1);
     }
 
     #[test]
+    fn tagged_codec_promotes_to_v3_and_roundtrips() {
+        let cd = sample_tac_with(CodecId::PcoLite);
+        let chunked = cd.to_bytes();
+        assert_eq!(chunked[4], VERSION_V3, "non-default codec must tag");
+        let v1 = cd.to_bytes_v1();
+        assert_eq!(v1[4], VERSION_V1);
+        for bytes in [v1, chunked] {
+            let back = CompressedDataset::from_bytes(&bytes).unwrap();
+            assert_eq!(back, cd);
+        }
+        // A mixed container (any non-default level) also promotes.
+        let mut mixed = sample_tac();
+        if let MethodBody::Tac(levels) = &mut mixed.body {
+            levels[1].codec = CodecId::PcoLite;
+        }
+        assert_eq!(mixed.to_bytes()[4], VERSION_V3);
+        assert_eq!(
+            CompressedDataset::from_bytes(&mixed.to_bytes()).unwrap(),
+            mixed
+        );
+    }
+
+    #[test]
     fn container_roundtrip_baselines_both_versions() {
-        for body in [
-            MethodBody::Baseline1D(vec![Some((1e-3, vec![7, 8])), None]),
-            MethodBody::ZMesh {
-                abs_eb: 0.5,
-                stream: vec![1; 20],
-            },
-            MethodBody::Baseline3D {
-                abs_eb: 0.25,
-                stream: vec![2; 10],
-            },
-        ] {
-            let cd = CompressedDataset {
-                name: "x".into(),
-                finest_dim: 4,
-                masks: sample_masks(),
-                body,
-            };
-            for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
-                let back = CompressedDataset::from_bytes(&bytes).unwrap();
-                assert_eq!(back, cd);
-                assert!(back.strategies().is_none());
+        for codec in CodecId::all() {
+            for body in [
+                MethodBody::Baseline1D(vec![Some((1e-3, codec, vec![7, 8])), None]),
+                MethodBody::ZMesh {
+                    abs_eb: 0.5,
+                    codec,
+                    stream: vec![1; 20],
+                },
+                MethodBody::Baseline3D {
+                    abs_eb: 0.25,
+                    codec,
+                    stream: vec![2; 10],
+                },
+            ] {
+                let cd = CompressedDataset {
+                    name: "x".into(),
+                    finest_dim: 4,
+                    masks: sample_masks(),
+                    body,
+                };
+                // The single-stream baselines recover their codec from
+                // the stream magic in v1, and `[1; 20]` / `[2; 10]` sniff
+                // as nothing (=> Sz); skip those mismatched combinations.
+                let v1_sniffs =
+                    codec == CodecId::Sz || matches!(cd.body, MethodBody::Baseline1D(_));
+                let mut variants = vec![cd.to_bytes()];
+                if v1_sniffs {
+                    variants.push(cd.to_bytes_v1());
+                }
+                for bytes in variants {
+                    let back = CompressedDataset::from_bytes(&bytes).unwrap();
+                    assert_eq!(back, cd);
+                    assert!(back.strategies().is_none());
+                }
             }
         }
     }
 
     #[test]
+    fn v1_single_stream_baselines_sniff_their_codec() {
+        // A real PcoLite stream round-trips through v1 because the codec
+        // is recovered from the stream's own magic number.
+        let stream = tac_codec::codec_for(CodecId::PcoLite)
+            .compress(
+                &[1.0; 33],
+                tac_codec::Dims::D1(33),
+                &tac_codec::CodecConfig::abs(0.5),
+            )
+            .unwrap();
+        let cd = CompressedDataset {
+            name: "sniffed".into(),
+            finest_dim: 4,
+            masks: sample_masks(),
+            body: MethodBody::ZMesh {
+                abs_eb: 0.5,
+                codec: CodecId::PcoLite,
+                stream,
+            },
+        };
+        let back = CompressedDataset::from_bytes(&cd.to_bytes_v1()).unwrap();
+        assert_eq!(back, cd);
+    }
+
+    #[test]
     fn v2_chunk_table_maps_payload() {
         let cd = sample_tac();
-        let bytes = cd.to_bytes_v2();
+        let bytes = cd.to_bytes();
         let layout = parse_v2(&bytes).unwrap();
         // One group chunk on the fine level, one whole chunk on the
         // coarse level.
@@ -914,6 +1139,7 @@ mod tests {
             masks: sample_masks(),
             body: MethodBody::ZMesh {
                 abs_eb: 1.0,
+                codec: CodecId::Sz,
                 stream: vec![0; 33],
             },
         };
@@ -932,10 +1158,11 @@ mod tests {
             masks: sample_masks(),
             body: MethodBody::Baseline3D {
                 abs_eb: 1.0,
+                codec: CodecId::Sz,
                 stream: vec![3; 5],
             },
         };
-        for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+        for bytes in [cd.to_bytes_v1(), cd.to_bytes()] {
             assert!(CompressedDataset::from_bytes(&bytes[..bytes.len() - 1]).is_err());
             assert!(CompressedDataset::from_bytes(&bytes[1..]).is_err());
             let mut extra = bytes.clone();
@@ -950,7 +1177,7 @@ mod tests {
     #[test]
     fn corrupt_chunk_bbox_is_rejected_not_skipped() {
         let cd = sample_tac();
-        let mut bytes = cd.to_bytes_v2();
+        let mut bytes = cd.to_bytes();
         // Locate the first table entry via the footer; its bbox starts
         // 4 (count) + 17 (level/offset/len) bytes into the table. Write
         // min.x > max.x: accepting this as an "empty" box would make
@@ -964,7 +1191,7 @@ mod tests {
     #[test]
     fn truncated_v2_is_rejected_at_every_cut() {
         let cd = sample_tac();
-        let bytes = cd.to_bytes_v2();
+        let bytes = cd.to_bytes();
         for cut in 5..bytes.len() {
             assert!(
                 CompressedDataset::from_bytes(&bytes[..cut]).is_err(),

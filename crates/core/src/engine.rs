@@ -10,9 +10,10 @@
 //!    runs.
 //! 2. **Execute** (parallel): flatten every job across every level into
 //!    one task list and run it on `tac-par`'s work-stealing scheduler,
-//!    weighted by cell count. Each task is an independent SZ
+//!    weighted by cell count. Each task is an independent scalar-codec
 //!    compression (or decompression) of one whole-grid buffer or one
-//!    region group.
+//!    region group, dispatched through the configured
+//!    [`tac_codec::ScalarCodec`] backend.
 //! 3. **Assemble** (serial, cheap): collect results back into per-level
 //!    payloads in plan order.
 //!
@@ -30,7 +31,7 @@ use crate::nast::plan_nast;
 use crate::opst::plan_opst;
 use crate::stream::{BlockGroup, CompressedLevel, LevelPayload};
 use tac_amr::{AmrLevel, BitMask, BlockGrid};
-use tac_sz::{Dims, SzConfig};
+use tac_codec::{codec_for, CodecConfig, CodecId, Dims};
 
 /// Effective unit-block size for a level: the configured unit, clamped
 /// down to the level dimension when the level is smaller than one unit.
@@ -123,7 +124,8 @@ pub(crate) fn plan_level(
 /// One flattened compression task (borrowing the plan and level data).
 struct CompressTask<'a> {
     dim: usize,
-    sz_cfg: SzConfig,
+    codec: CodecId,
+    codec_cfg: CodecConfig,
     kind: CompressKind<'a>,
 }
 
@@ -162,12 +164,13 @@ pub(crate) fn compress_plans(
     // task index order is deterministic.
     let mut tasks: Vec<CompressTask<'_>> = Vec::new();
     for (plan, &data) in plans.iter().zip(level_data) {
-        let sz_cfg = cfg.sz_config(plan.abs_eb);
+        let codec_cfg = cfg.codec_config(plan.abs_eb);
         match &plan.work {
             LevelWork::Empty => {}
             LevelWork::Whole(source) => tasks.push(CompressTask {
                 dim: plan.dim,
-                sz_cfg,
+                codec: cfg.codec,
+                codec_cfg,
                 kind: CompressKind::Whole(match source {
                     WholeSource::Level => data,
                     WholeSource::Owned(buf) => buf,
@@ -177,7 +180,8 @@ pub(crate) fn compress_plans(
                 for g in groups {
                     tasks.push(CompressTask {
                         dim: plan.dim,
-                        sz_cfg,
+                        codec: cfg.codec,
+                        codec_cfg,
                         kind: CompressKind::Group(g, data),
                     });
                 }
@@ -192,11 +196,19 @@ pub(crate) fn compress_plans(
         |t| -> Result<TaskOut, TacError> {
             match &t.kind {
                 CompressKind::Whole(data) => {
-                    let stream = tac_sz::compress(data, Dims::D3(t.dim, t.dim, t.dim), &t.sz_cfg)?;
+                    let stream = codec_for(t.codec).compress(
+                        data,
+                        Dims::D3(t.dim, t.dim, t.dim),
+                        &t.codec_cfg,
+                    )?;
                     Ok(TaskOut::Stream(stream))
                 }
                 CompressKind::Group(plan, data) => Ok(TaskOut::Group(compress_group(
-                    data, t.dim, plan, &t.sz_cfg,
+                    data,
+                    t.dim,
+                    plan,
+                    t.codec,
+                    &t.codec_cfg,
                 )?)),
             }
         },
@@ -223,10 +235,17 @@ pub(crate) fn compress_plans(
                 LevelPayload::Groups(collected)
             }
         };
+        // Empty payloads hold no streams, so their codec is canonically
+        // the default (the wire format does not tag them).
+        let codec = match &payload {
+            LevelPayload::Empty => CodecId::default(),
+            _ => cfg.codec,
+        };
         out.push(CompressedLevel {
             strategy: plan.strategy,
             dim: plan.dim,
             abs_eb: plan.abs_eb,
+            codec,
             payload,
         });
     }
@@ -237,6 +256,7 @@ pub(crate) fn compress_plans(
 struct DecompressTask<'a> {
     level: usize,
     dim: usize,
+    codec: CodecId,
     kind: DecompressKind<'a>,
 }
 
@@ -282,6 +302,7 @@ pub(crate) fn decompress_tac_levels(
             LevelPayload::Whole(stream) => tasks.push(DecompressTask {
                 level: l,
                 dim: cl.dim,
+                codec: cl.codec,
                 kind: DecompressKind::Whole(stream),
             }),
             LevelPayload::Groups(groups) => {
@@ -289,6 +310,7 @@ pub(crate) fn decompress_tac_levels(
                     tasks.push(DecompressTask {
                         level: l,
                         dim: cl.dim,
+                        codec: cl.codec,
                         kind: DecompressKind::Group(g),
                     });
                 }
@@ -303,7 +325,7 @@ pub(crate) fn decompress_tac_levels(
         |t| -> Result<Vec<f64>, TacError> {
             match &t.kind {
                 DecompressKind::Whole(stream) => {
-                    let (values, dims) = tac_sz::decompress(stream)?;
+                    let (values, dims) = codec_for(t.codec).decompress(stream)?;
                     if dims != Dims::D3(t.dim, t.dim, t.dim) {
                         return Err(TacError::Corrupt(format!(
                             "whole-grid stream dims {dims:?} for a {}^3 level",
@@ -312,7 +334,7 @@ pub(crate) fn decompress_tac_levels(
                     }
                     Ok(values)
                 }
-                DecompressKind::Group(g) => decode_group(g),
+                DecompressKind::Group(g) => decode_group(g, t.codec),
             }
         },
     );

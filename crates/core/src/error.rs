@@ -1,12 +1,15 @@
 //! Error type for TAC compression pipelines.
 
 use std::fmt;
+use tac_codec::CodecError;
 use tac_sz::SzError;
 
 /// Errors surfaced by dataset-level compression and decompression.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TacError {
-    /// The underlying SZ codec failed.
+    /// A scalar-codec backend failed.
+    Codec(CodecError),
+    /// The SZ wire layer failed (container headers, truncated reads).
     Sz(SzError),
     /// The compressed container is malformed.
     Corrupt(String),
@@ -19,6 +22,7 @@ pub enum TacError {
 impl fmt::Display for TacError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            TacError::Codec(e) => write!(f, "scalar codec: {e}"),
             TacError::Sz(e) => write!(f, "sz codec: {e}"),
             TacError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
             TacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -30,6 +34,7 @@ impl fmt::Display for TacError {
 impl std::error::Error for TacError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            TacError::Codec(e) => Some(e),
             TacError::Sz(e) => Some(e),
             _ => None,
         }
@@ -39,6 +44,12 @@ impl std::error::Error for TacError {
 impl From<SzError> for TacError {
     fn from(e: SzError) -> Self {
         TacError::Sz(e)
+    }
+}
+
+impl From<CodecError> for TacError {
+    fn from(e: CodecError) -> Self {
+        TacError::Codec(e)
     }
 }
 
@@ -54,5 +65,8 @@ mod tests {
         let c = TacError::Corrupt("bad".into());
         assert!(c.to_string().contains("bad"));
         assert!(std::error::Error::source(&c).is_none());
+        let k = TacError::from(CodecError::UnknownCodec(9));
+        assert!(k.to_string().contains("scalar codec"));
+        assert!(std::error::Error::source(&k).is_some());
     }
 }

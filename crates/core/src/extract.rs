@@ -12,7 +12,7 @@
 use crate::error::TacError;
 use crate::stream::BlockGroup;
 use tac_amr::{copy_region, paste_region, Aabb};
-use tac_sz::{Dims, SzConfig};
+use tac_codec::{codec_for, CodecConfig, CodecId, Dims};
 
 /// A cuboid region of a level, in **cell** coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,12 +91,14 @@ pub(crate) fn plan_groups(regions: &[Region], tile: Option<usize>) -> Vec<GroupP
 }
 
 /// Runs one planned job: gathers the batched region data out of the
-/// level's flat array and compresses it as a rank-4 SZ stream.
+/// level's flat array and compresses it as one rank-4 stream through the
+/// given scalar codec.
 pub(crate) fn compress_group(
     data: &[f64],
     dim: usize,
     plan: &GroupPlan,
-    sz_cfg: &SzConfig,
+    codec: CodecId,
+    cfg: &CodecConfig,
 ) -> Result<BlockGroup, TacError> {
     let (w, h, d) = plan.shape;
     let mut batch = Vec::with_capacity(plan.num_cells());
@@ -105,7 +107,7 @@ pub(crate) fn compress_group(
         batch.extend_from_slice(&copy_region(data, dim, origin, plan.shape));
         origins.push((origin.0 as u32, origin.1 as u32, origin.2 as u32));
     }
-    let stream = tac_sz::compress(&batch, Dims::D4(w, h, d, plan.origins.len()), sz_cfg)?;
+    let stream = codec_for(codec).compress(&batch, Dims::D4(w, h, d, plan.origins.len()), cfg)?;
     Ok(BlockGroup {
         shape: plan.shape,
         origins,
@@ -113,10 +115,12 @@ pub(crate) fn compress_group(
     })
 }
 
-/// Decodes one group's SZ stream, validating the declared dimensions.
-pub(crate) fn decode_group(g: &BlockGroup) -> Result<Vec<f64>, TacError> {
+/// Decodes one group's stream through the given codec, validating the
+/// declared dimensions. A stream written by a different codec than the
+/// container's tag claims fails the backend's magic check here.
+pub(crate) fn decode_group(g: &BlockGroup, codec: CodecId) -> Result<Vec<f64>, TacError> {
     let (w, h, d) = g.shape;
-    let (values, dims) = tac_sz::decompress(&g.stream)?;
+    let (values, dims) = codec_for(codec).decompress(&g.stream)?;
     if dims != Dims::D4(w, h, d, g.origins.len()) {
         return Err(TacError::Corrupt(format!(
             "group stream dims {dims:?} do not match shape {:?} x {}",
@@ -157,10 +161,14 @@ pub(crate) fn paste_group(
 
 /// Decompresses groups back into a dense `dim^3` grid (cells outside every
 /// region are zero).
-pub(crate) fn decompress_groups(groups: &[BlockGroup], dim: usize) -> Result<Vec<f64>, TacError> {
+pub(crate) fn decompress_groups(
+    groups: &[BlockGroup],
+    dim: usize,
+    codec: CodecId,
+) -> Result<Vec<f64>, TacError> {
     let mut out = vec![0.0f64; dim * dim * dim];
     for g in groups {
-        let values = decode_group(g)?;
+        let values = decode_group(g, codec)?;
         paste_group(&mut out, dim, g, &values)?;
     }
     Ok(out)
@@ -169,30 +177,23 @@ pub(crate) fn decompress_groups(groups: &[BlockGroup], dim: usize) -> Result<Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tac_sz::ErrorBound;
-
-    fn sz_cfg(eb: f64) -> SzConfig {
-        SzConfig {
-            error_bound: ErrorBound::Abs(eb),
-            ..SzConfig::default()
-        }
-    }
 
     fn compress_all(
         data: &[f64],
         dim: usize,
         regions: &[Region],
-        cfg: &SzConfig,
+        codec: CodecId,
+        cfg: &CodecConfig,
         tile: Option<usize>,
     ) -> Vec<BlockGroup> {
         plan_groups(regions, tile)
             .iter()
-            .map(|p| compress_group(data, dim, p, cfg).unwrap())
+            .map(|p| compress_group(data, dim, p, codec, cfg).unwrap())
             .collect()
     }
 
     #[test]
-    fn regions_roundtrip_within_bound() {
+    fn regions_roundtrip_within_bound_for_every_codec() {
         let dim = 16;
         let data: Vec<f64> = (0..dim * dim * dim)
             .map(|i| (i as f64 * 0.01).sin() * 10.0)
@@ -211,22 +212,45 @@ mod tests {
                 shape: (4, 4, 4),
             },
         ];
-        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-3), None);
-        assert_eq!(groups.len(), 2, "two shapes -> two groups");
-        let out = decompress_groups(&groups, dim).unwrap();
-        for r in &regions {
-            for z in 0..r.shape.2 {
-                for y in 0..r.shape.1 {
-                    for x in 0..r.shape.0 {
-                        let i =
-                            (r.origin.0 + x) + dim * ((r.origin.1 + y) + dim * (r.origin.2 + z));
-                        assert!((out[i] - data[i]).abs() <= 1e-3);
+        for codec in CodecId::all() {
+            let groups = compress_all(&data, dim, &regions, codec, &CodecConfig::abs(1e-3), None);
+            assert_eq!(groups.len(), 2, "two shapes -> two groups");
+            let out = decompress_groups(&groups, dim, codec).unwrap();
+            for r in &regions {
+                for z in 0..r.shape.2 {
+                    for y in 0..r.shape.1 {
+                        for x in 0..r.shape.0 {
+                            let i = (r.origin.0 + x)
+                                + dim * ((r.origin.1 + y) + dim * (r.origin.2 + z));
+                            assert!((out[i] - data[i]).abs() <= 1e-3, "{codec}");
+                        }
                     }
                 }
             }
+            // Uncovered cell (15, 0, 0) stays zero.
+            assert_eq!(out[15], 0.0);
         }
-        // Uncovered cell (15, 0, 0) stays zero.
-        assert_eq!(out[15], 0.0);
+    }
+
+    #[test]
+    fn codec_mismatch_is_rejected_at_decode() {
+        let dim = 8;
+        let data = vec![1.0; dim * dim * dim];
+        let regions = vec![Region {
+            origin: (0, 0, 0),
+            shape: (4, 4, 4),
+        }];
+        let groups = compress_all(
+            &data,
+            dim,
+            &regions,
+            CodecId::Sz,
+            &CodecConfig::abs(1e-6),
+            None,
+        );
+        // The stream is SZ but the caller claims PcoLite: magic check fails.
+        let err = decode_group(&groups[0], CodecId::PcoLite).unwrap_err();
+        assert!(matches!(err, TacError::Codec(_)), "{err}");
     }
 
     #[test]
@@ -239,7 +263,14 @@ mod tests {
                 shape: (8, 8, 2),
             })
             .collect();
-        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
+        let groups = compress_all(
+            &data,
+            dim,
+            &regions,
+            CodecId::Sz,
+            &CodecConfig::abs(1e-6),
+            None,
+        );
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].origins.len(), 4);
     }
@@ -257,11 +288,18 @@ mod tests {
         // A 4-cell tile buckets origins z=0,2 and z=4,6 separately.
         let plans = plan_groups(&regions, Some(4));
         assert_eq!(plans.len(), 2);
-        let groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), Some(4));
+        let groups = compress_all(
+            &data,
+            dim,
+            &regions,
+            CodecId::Sz,
+            &CodecConfig::abs(1e-6),
+            Some(4),
+        );
         assert_eq!(groups[0].aabb(), Aabb::new((0, 0, 0), (8, 8, 4)));
         assert_eq!(groups[1].aabb(), Aabb::new((0, 0, 4), (8, 8, 8)));
         // Roundtrip still exact.
-        let out = decompress_groups(&groups, dim).unwrap();
+        let out = decompress_groups(&groups, dim, CodecId::Sz).unwrap();
         assert!(out.iter().all(|&v| (v - 1.0).abs() <= 1e-6));
     }
 
@@ -291,9 +329,16 @@ mod tests {
             origin: (0, 0, 0),
             shape: (4, 4, 4),
         }];
-        let mut groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
+        let mut groups = compress_all(
+            &data,
+            dim,
+            &regions,
+            CodecId::Sz,
+            &CodecConfig::abs(1e-6),
+            None,
+        );
         groups[0].origins[0] = (6, 0, 0); // 6 + 4 > 8
-        assert!(decompress_groups(&groups, dim).is_err());
+        assert!(decompress_groups(&groups, dim, CodecId::Sz).is_err());
     }
 
     #[test]
@@ -304,8 +349,15 @@ mod tests {
             origin: (0, 0, 0),
             shape: (4, 4, 4),
         }];
-        let mut groups = compress_all(&data, dim, &regions, &sz_cfg(1e-6), None);
+        let mut groups = compress_all(
+            &data,
+            dim,
+            &regions,
+            CodecId::Sz,
+            &CodecConfig::abs(1e-6),
+            None,
+        );
         groups[0].shape = (2, 2, 2);
-        assert!(decompress_groups(&groups, dim).is_err());
+        assert!(decompress_groups(&groups, dim, CodecId::Sz).is_err());
     }
 }

@@ -20,6 +20,13 @@
 //! the naive 1D per-level compressor, zMesh-style geometric reordering,
 //! and the up-sample-and-merge 3D baseline ([`Method`]).
 //!
+//! Every payload stream compresses through a pluggable scalar-codec
+//! backend ([`tac_codec::ScalarCodec`]), selected per run with
+//! [`TacConfig::codec`]: the default SZ substrate ([`CodecId::Sz`]) or
+//! the pcodec-style delta + bit-packing backend
+//! ([`CodecId::PcoLite`]). Containers carry the codec tag on the wire,
+//! and pre-codec containers parse unchanged.
+//!
 //! ```
 //! use tac_amr::{AmrDataset, AmrLevel};
 //! use tac_core::{compress_dataset, decompress_dataset, Method, TacConfig};
@@ -54,7 +61,7 @@ mod zmesh;
 
 pub use akdtree::{plan_akdtree, AkdPlan};
 pub use config::{Strategy, TacConfig};
-pub use container::{CompressedDataset, Method, MethodBody};
+pub use container::{Baseline1DLevel, CompressedDataset, Method, MethodBody};
 pub use density::choose_strategy;
 pub use error::TacError;
 pub use extract::Region;
@@ -72,3 +79,9 @@ pub use zmesh::{gather, scatter, zmesh_order, ZmeshEntry};
 // Re-exported so callers can set `TacConfig::parallelism` without a
 // direct `tac-par` dependency.
 pub use tac_par::Parallelism;
+
+// Re-exported so callers can set `TacConfig::codec` — and register or
+// inspect scalar-codec backends — without a direct `tac-codec`
+// dependency. Every payload stream tac-core reads or writes dispatches
+// through this backend layer.
+pub use tac_codec::{codec_for, sniff_codec, CodecConfig, CodecError, CodecId, ScalarCodec};

@@ -7,7 +7,7 @@
 //! methods compared in Figs. 14-15 and Tables 2-3.
 
 use crate::config::{Strategy, TacConfig};
-use crate::container::{CompressedDataset, Method, MethodBody};
+use crate::container::{Baseline1DLevel, CompressedDataset, Method, MethodBody};
 use crate::density::choose_strategy;
 use crate::engine;
 use crate::error::TacError;
@@ -15,12 +15,19 @@ use crate::extract::decompress_groups;
 use crate::stream::{CompressedLevel, LevelPayload};
 use crate::zmesh::{gather, scatter, zmesh_order};
 use tac_amr::{to_uniform, AmrDataset, AmrLevel, BitMask};
+use tac_codec::{codec_for, Dims, ErrorBound};
 use tac_par::Parallelism;
-use tac_sz::{Dims, ErrorBound};
 
 /// Resolves the configured error bound for one level: applies the
 /// per-level multiplier, then converts relative bounds against the given
 /// value range.
+///
+/// # Errors
+/// A relative bound with no value range (`range: None`, i.e. a level
+/// with no present cells) cannot resolve: silently treating the range as
+/// zero would yield a degenerate error bound, so this is an
+/// [`TacError::InvalidDataset`] instead. Absolute bounds ignore the
+/// range and accept `None`.
 pub fn resolve_level_eb(
     eb: ErrorBound,
     scale: f64,
@@ -30,9 +37,23 @@ pub fn resolve_level_eb(
         ErrorBound::Abs(a) => ErrorBound::Abs(a * scale),
         ErrorBound::Rel(r) => ErrorBound::Rel(r * scale),
     };
-    let (min, max) = range.unwrap_or((0.0, 0.0));
+    let (min, max) = match (scaled, range) {
+        (_, Some(r)) => r,
+        // An absolute bound never reads the range.
+        (ErrorBound::Abs(_), None) => (0.0, 0.0),
+        (ErrorBound::Rel(r), None) => {
+            return Err(TacError::InvalidDataset(format!(
+                "relative error bound {r} cannot resolve: the level has no \
+                 value range (no present cells)"
+            )))
+        }
+    };
     Ok(scaled.resolve(min, max)?)
 }
+
+/// Error bound recorded for a level with no payload (nothing was
+/// quantized, so no bound applies).
+const EMPTY_LEVEL_EB: f64 = 0.0;
 
 /// Compresses a single AMR level with an explicit strategy and resolved
 /// absolute error bound. Runs on the block-sharded engine: the level's
@@ -65,7 +86,7 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
     let mut data = match &cl.payload {
         LevelPayload::Empty => vec![0.0; n],
         LevelPayload::Whole(stream) => {
-            let (values, dims) = tac_sz::decompress(stream)?;
+            let (values, dims) = codec_for(cl.codec).decompress(stream)?;
             if dims != Dims::D3(dim, dim, dim) {
                 return Err(TacError::Corrupt(format!(
                     "whole-grid stream dims {dims:?} for a {dim}^3 level"
@@ -73,7 +94,7 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
             }
             values
         }
-        LevelPayload::Groups(groups) => decompress_groups(groups, dim)?,
+        LevelPayload::Groups(groups) => decompress_groups(groups, dim, cl.codec)?,
     };
     for (i, v) in data.iter_mut().enumerate() {
         if !mask.get(i) {
@@ -110,8 +131,13 @@ pub fn compress_dataset(
             let mut plans = Vec::with_capacity(ds.num_levels());
             for (l, level) in ds.levels().iter().enumerate() {
                 let strategy = choose_strategy(level, cfg);
-                let abs_eb =
-                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
+                // An empty level compresses nothing, so no bound needs to
+                // resolve (a relative bound could not: there is no range).
+                let abs_eb = if strategy == Strategy::Empty {
+                    EMPTY_LEVEL_EB
+                } else {
+                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?
+                };
                 plans.push(engine::plan_level(level, strategy, abs_eb, cfg)?);
             }
             let level_data: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
@@ -135,17 +161,17 @@ pub fn compress_dataset(
                 workers,
                 &jobs,
                 |j| j.as_ref().map_or(0, |(_, lvl)| lvl.num_present() as u64),
-                |j| -> Result<Option<(f64, Vec<u8>)>, TacError> {
+                |j| -> Result<Option<Baseline1DLevel>, TacError> {
                     match j {
                         None => Ok(None),
                         Some((abs_eb, level)) => {
                             let values = level.present_values();
-                            let stream = tac_sz::compress(
+                            let stream = codec_for(cfg.codec).compress(
                                 &values,
                                 Dims::D1(values.len()),
-                                &cfg.sz_config(*abs_eb),
+                                &cfg.codec_config(*abs_eb),
                             )?;
-                            Ok(Some((*abs_eb, stream)))
+                            Ok(Some((*abs_eb, cfg.codec, stream)))
                         }
                     }
                 },
@@ -170,8 +196,16 @@ pub fn compress_dataset(
                     (lo.min(v), hi.max(v))
                 });
             let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = tac_sz::compress(&values, Dims::D1(values.len()), &cfg.sz_config(abs_eb))?;
-            MethodBody::ZMesh { abs_eb, stream }
+            let stream = codec_for(cfg.codec).compress(
+                &values,
+                Dims::D1(values.len()),
+                &cfg.codec_config(abs_eb),
+            )?;
+            MethodBody::ZMesh {
+                abs_eb,
+                codec: cfg.codec,
+                stream,
+            }
         }
         Method::Baseline3D => {
             let uniform = to_uniform(ds);
@@ -182,8 +216,16 @@ pub fn compress_dataset(
                     (lo.min(v), hi.max(v))
                 });
             let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = tac_sz::compress(&uniform, Dims::D3(n, n, n), &cfg.sz_config(abs_eb))?;
-            MethodBody::Baseline3D { abs_eb, stream }
+            let stream = codec_for(cfg.codec).compress(
+                &uniform,
+                Dims::D3(n, n, n),
+                &cfg.codec_config(abs_eb),
+            )?;
+            MethodBody::Baseline3D {
+                abs_eb,
+                codec: cfg.codec,
+                stream,
+            }
         }
     };
     Ok(CompressedDataset {
@@ -223,7 +265,7 @@ pub fn decompress_dataset_par(
             if streams.len() != cd.masks.len() {
                 return Err(TacError::Corrupt("level count mismatch".into()));
             }
-            type Job<'a> = (usize, &'a Option<(f64, Vec<u8>)>, &'a BitMask);
+            type Job<'a> = (usize, &'a Option<Baseline1DLevel>, &'a BitMask);
             let jobs: Vec<Job<'_>> = streams
                 .iter()
                 .zip(&cd.masks)
@@ -240,8 +282,8 @@ pub fn decompress_dataset_par(
                 |&(l, entry, mask)| -> Result<AmrLevel, TacError> {
                     let dim = finest_dim >> l;
                     let mut data = vec![0.0f64; dim * dim * dim];
-                    if let Some((_, stream)) = entry {
-                        let (values, dims) = tac_sz::decompress(stream)?;
+                    if let Some((_, codec, stream)) = entry {
+                        let (values, dims) = codec_for(*codec).decompress(stream)?;
                         if dims != Dims::D1(mask.count_ones()) {
                             return Err(TacError::Corrupt(format!(
                                 "level {l}: stream holds {dims:?}, mask has {} cells",
@@ -263,10 +305,10 @@ pub fn decompress_dataset_par(
             .into_iter()
             .collect::<Result<Vec<_>, _>>()?
         }
-        MethodBody::ZMesh { stream, .. } => {
+        MethodBody::ZMesh { stream, codec, .. } => {
             let mask_refs: Vec<&BitMask> = cd.masks.iter().collect();
             let order = zmesh_order(&mask_refs, finest_dim);
-            let (values, dims) = tac_sz::decompress(stream)?;
+            let (values, dims) = codec_for(*codec).decompress(stream)?;
             if dims != Dims::D1(order.len()) {
                 return Err(TacError::Corrupt(format!(
                     "zMesh stream holds {dims:?}, traversal has {} cells",
@@ -289,9 +331,9 @@ pub fn decompress_dataset_par(
                 .map(|(l, (data, mask))| AmrLevel::new(finest_dim >> l, data, mask.clone()))
                 .collect()
         }
-        MethodBody::Baseline3D { stream, .. } => {
+        MethodBody::Baseline3D { stream, codec, .. } => {
             let n = finest_dim;
-            let (uniform, dims) = tac_sz::decompress(stream)?;
+            let (uniform, dims) = codec_for(*codec).decompress(stream)?;
             if dims != Dims::D3(n, n, n) {
                 return Err(TacError::Corrupt(format!(
                     "3D baseline stream dims {dims:?} for finest dim {n}"
@@ -413,30 +455,71 @@ mod tests {
     }
 
     #[test]
-    fn dataset_roundtrip_all_methods() {
+    fn dataset_roundtrip_all_methods_and_codecs() {
         let ds = blobby_dataset(16);
-        let cfg = TacConfig {
-            unit: 4,
-            error_bound: ErrorBound::Abs(1e-3),
-            parallelism: Parallelism::Threads(2),
-            ..Default::default()
-        };
-        for method in [
-            Method::Tac,
-            Method::Baseline1D,
-            Method::ZMesh,
-            Method::Baseline3D,
-        ] {
-            let cd = compress_dataset(&ds, &cfg, method).unwrap();
-            assert_eq!(cd.method(), method);
-            let bytes = cd.to_bytes();
-            let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
-            let out = decompress_dataset(&parsed).unwrap();
-            assert_eq!(out.num_levels(), ds.num_levels());
-            for (a, b) in ds.levels().iter().zip(out.levels()) {
-                check_level_bound(a, b, 1e-3);
+        for codec in tac_codec::CodecId::all() {
+            let cfg = TacConfig {
+                unit: 4,
+                error_bound: ErrorBound::Abs(1e-3),
+                parallelism: Parallelism::Threads(2),
+                codec,
+                ..Default::default()
+            };
+            for method in [
+                Method::Tac,
+                Method::Baseline1D,
+                Method::ZMesh,
+                Method::Baseline3D,
+            ] {
+                let cd = compress_dataset(&ds, &cfg, method).unwrap();
+                assert_eq!(cd.method(), method);
+                for bytes in [cd.to_bytes(), cd.to_bytes_v1()] {
+                    let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+                    assert_eq!(parsed, cd, "{method:?}/{codec} reparse");
+                    let out = decompress_dataset(&parsed).unwrap();
+                    assert_eq!(out.num_levels(), ds.num_levels());
+                    for (a, b) in ds.levels().iter().zip(out.levels()) {
+                        check_level_bound(a, b, 1e-3);
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn rel_bound_cannot_resolve_without_a_range() {
+        // The historic bug: Rel + range None silently resolved against
+        // (0.0, 0.0) and produced a degenerate bound. It must error now.
+        let err = resolve_level_eb(ErrorBound::Rel(1e-3), 1.0, None).unwrap_err();
+        assert!(matches!(err, TacError::InvalidDataset(_)), "{err}");
+        // Absolute bounds never read the range.
+        assert_eq!(
+            resolve_level_eb(ErrorBound::Abs(0.5), 2.0, None).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn empty_level_compresses_under_a_relative_bound() {
+        // A dataset with an all-empty coarsest level must still compress
+        // with Rel bounds: the Empty strategy skips bound resolution.
+        let fine = AmrLevel::dense(8, (0..512).map(|i| i as f64).collect());
+        let empty = AmrLevel::empty(4);
+        let ds = AmrDataset::new("with-empty", vec![fine, empty]);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Rel(1e-3),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        if let MethodBody::Tac(levels) = &cd.body {
+            assert_eq!(levels[1].strategy, Strategy::Empty);
+            assert_eq!(levels[1].abs_eb, EMPTY_LEVEL_EB);
+        } else {
+            panic!("expected TAC body");
+        }
+        let out = decompress_dataset(&cd).unwrap();
+        assert_eq!(out.levels()[1].num_present(), 0);
     }
 
     #[test]

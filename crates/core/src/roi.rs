@@ -107,6 +107,7 @@ pub fn decompress_region(bytes: &[u8], roi: Aabb) -> Result<(AmrDataset, RoiStat
                     strategy: meta.strategy,
                     dim: meta.dim,
                     abs_eb: meta.abs_eb,
+                    codec: meta.codec,
                     payload,
                 });
             }

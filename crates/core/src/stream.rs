@@ -3,22 +3,24 @@
 
 use crate::config::Strategy;
 use crate::error::TacError;
+use tac_codec::CodecId;
 
 // The little-endian wire primitives are shared with the SZ stream header
 // (one implementation, one set of bounds checks). `SzError`s raised on
 // truncated reads convert into `TacError::Sz` through `?`.
 pub(crate) use tac_sz::wire::{ByteReader as Reader, ByteWriter as Writer};
 
-/// A group of same-shape extracted sub-blocks compressed as one rank-4 SZ
-/// stream (the paper's "merge sub-blocks with the same size into the same
-/// array").
+/// A group of same-shape extracted sub-blocks compressed as one rank-4
+/// scalar-codec stream (the paper's "merge sub-blocks with the same size
+/// into the same array"). The codec is recorded on the owning
+/// [`CompressedLevel`]; the stream's own magic number must agree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BlockGroup {
     /// Sub-block extents in **cells** `(w, h, d)`.
     pub shape: (usize, usize, usize),
     /// Cell-coordinate origins of each sub-block, in batch order.
     pub origins: Vec<(u32, u32, u32)>,
-    /// SZ stream of shape `D4(w, h, d, origins.len())`.
+    /// Scalar-codec stream of shape `D4(w, h, d, origins.len())`.
     pub stream: Vec<u8>,
 }
 
@@ -98,7 +100,8 @@ pub enum LevelPayload {
     Groups(Vec<BlockGroup>),
 }
 
-/// One compressed AMR level with its strategy and resolved error bound.
+/// One compressed AMR level with its strategy, resolved error bound, and
+/// the scalar codec its streams were produced with.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedLevel {
     /// Strategy that produced the payload.
@@ -107,23 +110,46 @@ pub struct CompressedLevel {
     pub dim: usize,
     /// Resolved absolute error bound used for this level.
     pub abs_eb: f64,
+    /// Scalar-codec backend of every stream in the payload.
+    pub codec: CodecId,
     /// The compressed payload.
     pub payload: LevelPayload,
 }
+
+// Payload wire tags. 0/1/2 are the legacy (pre-codec) encodings and
+// imply the SZ codec; 3/4 are followed by a codec byte. The writer emits
+// legacy tags for SZ payloads, so default-codec containers stay
+// bit-compatible with pre-codec readers (and the golden fixtures).
+const TAG_EMPTY: u8 = 0;
+const TAG_WHOLE_SZ: u8 = 1;
+const TAG_GROUPS_SZ: u8 = 2;
+const TAG_WHOLE_TAGGED: u8 = 3;
+const TAG_GROUPS_TAGGED: u8 = 4;
 
 impl CompressedLevel {
     pub(crate) fn write(&self, w: &mut Writer) {
         w.put_u8(self.strategy.tag());
         w.put_u64(self.dim as u64);
         w.put_f64(self.abs_eb);
+        let legacy = self.codec == CodecId::Sz;
         match &self.payload {
-            LevelPayload::Empty => w.put_u8(0),
+            LevelPayload::Empty => w.put_u8(TAG_EMPTY),
             LevelPayload::Whole(stream) => {
-                w.put_u8(1);
+                if legacy {
+                    w.put_u8(TAG_WHOLE_SZ);
+                } else {
+                    w.put_u8(TAG_WHOLE_TAGGED);
+                    w.put_u8(self.codec.tag());
+                }
                 w.put_blob(stream);
             }
             LevelPayload::Groups(groups) => {
-                w.put_u8(2);
+                if legacy {
+                    w.put_u8(TAG_GROUPS_SZ);
+                } else {
+                    w.put_u8(TAG_GROUPS_TAGGED);
+                    w.put_u8(self.codec.tag());
+                }
                 w.put_u32(groups.len() as u32);
                 for g in groups {
                     g.write(w);
@@ -136,10 +162,18 @@ impl CompressedLevel {
         let strategy = Strategy::from_tag(r.get_u8()?)?;
         let dim = r.get_u64()? as usize;
         let abs_eb = r.get_f64()?;
-        let payload = match r.get_u8()? {
-            0 => LevelPayload::Empty,
-            1 => LevelPayload::Whole(r.get_blob()?.to_vec()),
-            2 => {
+        let tag = r.get_u8()?;
+        let codec = match tag {
+            TAG_EMPTY | TAG_WHOLE_SZ | TAG_GROUPS_SZ => CodecId::Sz,
+            TAG_WHOLE_TAGGED | TAG_GROUPS_TAGGED => {
+                CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)?
+            }
+            t => return Err(TacError::Corrupt(format!("unknown payload tag {t}"))),
+        };
+        let payload = match tag {
+            TAG_EMPTY => LevelPayload::Empty,
+            TAG_WHOLE_SZ | TAG_WHOLE_TAGGED => LevelPayload::Whole(r.get_blob()?.to_vec()),
+            _ => {
                 let n = r.get_u32()? as usize;
                 if n > r.remaining() {
                     return Err(TacError::Corrupt(format!("{n} groups is implausible")));
@@ -150,24 +184,29 @@ impl CompressedLevel {
                 }
                 LevelPayload::Groups(groups)
             }
-            t => return Err(TacError::Corrupt(format!("unknown payload tag {t}"))),
         };
         Ok(CompressedLevel {
             strategy,
             dim,
             abs_eb,
+            codec,
             payload,
         })
     }
 
     /// Serialized size in bytes.
     pub fn total_bytes(&self) -> usize {
+        let codec_byte = match &self.payload {
+            LevelPayload::Empty => 0,
+            _ if self.codec == CodecId::Sz => 0,
+            _ => 1,
+        };
         let body = match &self.payload {
             LevelPayload::Empty => 0,
             LevelPayload::Whole(s) => 8 + s.len(),
             LevelPayload::Groups(gs) => 4 + gs.iter().map(|g| g.total_bytes()).sum::<usize>(),
         };
-        1 + 8 + 8 + 1 + body
+        1 + 8 + 8 + 1 + codec_byte + body
     }
 }
 
@@ -191,29 +230,88 @@ mod tests {
     }
 
     #[test]
-    fn level_roundtrip_all_payloads() {
-        for payload in [
-            LevelPayload::Empty,
-            LevelPayload::Whole(vec![9, 9, 9]),
-            LevelPayload::Groups(vec![BlockGroup {
-                shape: (8, 8, 8),
-                origins: vec![(8, 0, 0)],
-                stream: vec![5; 10],
-            }]),
-        ] {
-            let lvl = CompressedLevel {
-                strategy: Strategy::OpST,
-                dim: 64,
-                abs_eb: 1e-3,
-                payload,
-            };
-            let mut w = Writer::new();
-            lvl.write(&mut w);
-            let bytes = w.into_bytes();
-            assert_eq!(bytes.len(), lvl.total_bytes());
-            let mut r = Reader::new(&bytes);
-            assert_eq!(CompressedLevel::read(&mut r).unwrap(), lvl);
+    fn level_roundtrip_all_payloads_and_codecs() {
+        for codec in CodecId::all() {
+            for payload in [
+                // Empty payloads hold no streams: the engine pins their
+                // codec to the default, and the wire does not tag them.
+                LevelPayload::Whole(vec![9, 9, 9]),
+                LevelPayload::Groups(vec![BlockGroup {
+                    shape: (8, 8, 8),
+                    origins: vec![(8, 0, 0)],
+                    stream: vec![5; 10],
+                }]),
+            ] {
+                let lvl = CompressedLevel {
+                    strategy: Strategy::OpST,
+                    dim: 64,
+                    abs_eb: 1e-3,
+                    codec,
+                    payload,
+                };
+                let mut w = Writer::new();
+                lvl.write(&mut w);
+                let bytes = w.into_bytes();
+                assert_eq!(bytes.len(), lvl.total_bytes());
+                let mut r = Reader::new(&bytes);
+                assert_eq!(CompressedLevel::read(&mut r).unwrap(), lvl);
+            }
         }
+        // Empty payloads roundtrip with the canonical default codec.
+        let empty = CompressedLevel {
+            strategy: Strategy::Empty,
+            dim: 8,
+            abs_eb: 0.0,
+            codec: CodecId::default(),
+            payload: LevelPayload::Empty,
+        };
+        let mut w = Writer::new();
+        empty.write(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), empty.total_bytes());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(CompressedLevel::read(&mut r).unwrap(), empty);
+    }
+
+    #[test]
+    fn sz_levels_use_the_legacy_untagged_encoding() {
+        // Byte 17 is the payload tag (strategy u8 + dim u64 + eb f64).
+        let lvl = |codec| CompressedLevel {
+            strategy: Strategy::Gsp,
+            dim: 8,
+            abs_eb: 1e-3,
+            codec,
+            payload: LevelPayload::Whole(vec![1, 2, 3]),
+        };
+        let bytes_of = |l: &CompressedLevel| {
+            let mut w = Writer::new();
+            l.write(&mut w);
+            w.into_bytes()
+        };
+        let sz = bytes_of(&lvl(CodecId::Sz));
+        assert_eq!(sz[17], 1, "SZ payloads keep the pre-codec tag");
+        let pco = bytes_of(&lvl(CodecId::PcoLite));
+        assert_eq!(pco[17], 3, "tagged payloads use the extended tag");
+        assert_eq!(pco[18], CodecId::PcoLite.tag());
+        assert_eq!(pco.len(), sz.len() + 1);
+    }
+
+    #[test]
+    fn unknown_codec_byte_is_rejected() {
+        let lvl = CompressedLevel {
+            strategy: Strategy::OpST,
+            dim: 8,
+            abs_eb: 1e-3,
+            codec: CodecId::PcoLite,
+            payload: LevelPayload::Whole(vec![1, 2, 3]),
+        };
+        let mut w = Writer::new();
+        lvl.write(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[18] = 200; // codec byte
+        let mut r = Reader::new(&bytes);
+        let err = CompressedLevel::read(&mut r).unwrap_err();
+        assert!(matches!(err, TacError::Codec(_)), "{err}");
     }
 
     #[test]

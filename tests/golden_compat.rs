@@ -1,0 +1,188 @@
+//! Golden-container backward compatibility.
+//!
+//! The byte fixtures under `tests/data/` were produced by the code base
+//! *before* the pluggable-codec refactor (PR 3): v1 (monolithic) and v2
+//! (chunked) containers for the TAC method and the 1D baseline, plus the
+//! bit-exact reconstruction each one decoded to at the time. Every later
+//! revision must keep parsing those bytes and reproducing exactly those
+//! values — the fixtures pin the wire format, the SZ codec, and the
+//! legacy default-codec paths all at once.
+//!
+//! Regenerating (only when intentionally breaking compatibility):
+//! `cargo test -p tac-bench --test golden_compat -- --ignored --nocapture`
+
+use std::path::PathBuf;
+use tac_amr::{AmrDataset, AmrLevel};
+use tac_core::{compress_dataset, decompress_dataset, CompressedDataset, Method, TacConfig};
+use tac_sz::ErrorBound;
+
+fn data_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/data")
+}
+
+/// The fixture dataset: a deterministic three-level AMR snapshot — a
+/// blobby fine region (OpST territory), a dense-ish coarse remainder
+/// (GSP territory), and an all-empty coarsest level (Empty payload).
+fn fixture_dataset() -> AmrDataset {
+    let fine_dim = 16;
+    let coarse_dim = fine_dim / 2;
+    let mut fine = AmrLevel::empty(fine_dim);
+    let mut coarse = AmrLevel::empty(coarse_dim);
+    let empty = AmrLevel::empty(coarse_dim / 2);
+    let c = fine_dim as f64 / 2.0;
+    for z in 0..coarse_dim {
+        for y in 0..coarse_dim {
+            for x in 0..coarse_dim {
+                let (fx, fy, fz) = (2 * x, 2 * y, 2 * z);
+                let dist =
+                    ((fx as f64 - c).powi(2) + (fy as f64 - c).powi(2) + (fz as f64 - c).powi(2))
+                        .sqrt();
+                if dist < fine_dim as f64 * 0.33 {
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let (px, py, pz) = (fx + dx, fy + dy, fz + dz);
+                                let v = ((px as f64) * 0.3).sin()
+                                    + ((py as f64) * 0.2).cos()
+                                    + pz as f64 * 0.05
+                                    + 5.0;
+                                fine.set_value(px, py, pz, v);
+                            }
+                        }
+                    }
+                } else {
+                    let v = ((x as f64) * 0.3).sin() + y as f64 * 0.01 + 3.0;
+                    coarse.set_value(x, y, z, v);
+                }
+            }
+        }
+    }
+    let ds = AmrDataset::new("golden", vec![fine, coarse, empty]);
+    ds.validate().unwrap();
+    ds
+}
+
+/// The fixture configuration. Absolute bound so the fixture does not
+/// depend on range-resolution behaviour; a tile so the v2 container has
+/// several chunks per level.
+fn fixture_config() -> TacConfig {
+    TacConfig {
+        unit: 4,
+        error_bound: ErrorBound::Abs(1e-3),
+        roi_tile: Some(8),
+        ..Default::default()
+    }
+}
+
+/// Serializes per-level reconstructions: u32 level count, then per level
+/// a u64 dim followed by dim^3 f64 bit patterns, all little-endian.
+fn encode_expected(ds: &AmrDataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((ds.num_levels() as u32).to_le_bytes());
+    for level in ds.levels() {
+        out.extend((level.dim() as u64).to_le_bytes());
+        for &v in level.data() {
+            out.extend(v.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_expected(bytes: &[u8]) -> Vec<(usize, Vec<f64>)> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| {
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        s
+    };
+    let levels = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap()) as usize;
+    (0..levels)
+        .map(|_| {
+            let dim = u64::from_le_bytes(take(&mut pos, 8).try_into().unwrap()) as usize;
+            let data = (0..dim * dim * dim)
+                .map(|_| f64::from_bits(u64::from_le_bytes(take(&mut pos, 8).try_into().unwrap())))
+                .collect();
+            (dim, data)
+        })
+        .collect()
+}
+
+fn method_stem(method: Method) -> &'static str {
+    match method {
+        Method::Tac => "golden_tac",
+        Method::Baseline1D => "golden_b1d",
+        _ => unreachable!("no fixtures for {method:?}"),
+    }
+}
+
+fn check_golden(method: Method, version: &str) {
+    let stem = method_stem(method);
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join(format!("{stem}_{version}.tacd")))
+        .unwrap_or_else(|e| panic!("missing fixture {stem}_{version}.tacd: {e}"));
+    let expected_bytes = std::fs::read(dir.join(format!("{stem}_expected.bin"))).unwrap();
+    let expected = decode_expected(&expected_bytes);
+
+    let cd = CompressedDataset::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{stem}_{version} no longer parses: {e}"));
+    assert_eq!(cd.method(), method);
+    let out = decompress_dataset(&cd).unwrap();
+    assert_eq!(out.num_levels(), expected.len());
+    for (l, ((dim, want), level)) in expected.iter().zip(out.levels()).enumerate() {
+        assert_eq!(level.dim(), *dim, "level {l} dim");
+        assert_eq!(level.data().len(), want.len());
+        for (i, (a, b)) in want.iter().zip(level.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{stem}_{version} level {l} cell {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_tac_v1_decodes_bit_exactly() {
+    check_golden(Method::Tac, "v1");
+}
+
+#[test]
+fn golden_tac_v2_decodes_bit_exactly() {
+    check_golden(Method::Tac, "v2");
+}
+
+#[test]
+fn golden_baseline1d_v1_decodes_bit_exactly() {
+    check_golden(Method::Baseline1D, "v1");
+}
+
+#[test]
+fn golden_baseline1d_v2_decodes_bit_exactly() {
+    check_golden(Method::Baseline1D, "v2");
+}
+
+/// Writes the fixtures from whatever code base is currently checked out.
+/// Deliberately `#[ignore]`d: running it against a revision with a
+/// different wire format would erase the evidence the tests above exist
+/// to preserve.
+#[test]
+#[ignore = "regenerates the golden fixtures; run only to intentionally re-baseline"]
+fn regenerate_golden_fixtures() {
+    let ds = fixture_dataset();
+    let cfg = fixture_config();
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for method in [Method::Tac, Method::Baseline1D] {
+        let stem = method_stem(method);
+        let cd = compress_dataset(&ds, &cfg, method).unwrap();
+        std::fs::write(dir.join(format!("{stem}_v1.tacd")), cd.to_bytes_v1()).unwrap();
+        std::fs::write(dir.join(format!("{stem}_v2.tacd")), cd.to_bytes()).unwrap();
+        let recon = decompress_dataset(&cd).unwrap();
+        std::fs::write(
+            dir.join(format!("{stem}_expected.bin")),
+            encode_expected(&recon),
+        )
+        .unwrap();
+        println!("wrote {stem} fixtures to {}", dir.display());
+    }
+}

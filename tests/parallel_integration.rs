@@ -1,12 +1,13 @@
 //! Cross-crate integration for the block-sharded parallel engine and
-//! the chunked (v2) container: determinism across worker counts for
-//! every method, parallel decompression consistency, and byte-counted
-//! region-of-interest decoding.
+//! the chunked (v2/v3) container: determinism across worker counts for
+//! every method x codec combination, parallel decompression
+//! consistency, byte-counted region-of-interest decoding, and
+//! codec-tag corruption handling.
 
 use tac_amr::{Aabb, AmrDataset};
 use tac_core::{
-    compress_dataset, decompress_dataset, decompress_dataset_par, decompress_region,
-    CompressedDataset, Method, Parallelism, TacConfig,
+    compress_dataset, decompress_dataset, decompress_dataset_par, decompress_region, CodecId,
+    CompressedDataset, Method, MethodBody, Parallelism, TacConfig,
 };
 use tac_nyx::{entry, FieldKind};
 use tac_sz::ErrorBound;
@@ -26,29 +27,159 @@ fn cfg_with(threads: usize) -> TacConfig {
     }
 }
 
-/// The acceptance bar for the engine: for all four methods, the
-/// serialized container is byte-identical at 1, 2, 4, and 8 worker
-/// threads.
+fn cfg_codec(threads: usize, codec: CodecId) -> TacConfig {
+    TacConfig {
+        codec,
+        ..cfg_with(threads)
+    }
+}
+
+/// The acceptance bar for the engine: for all four methods under both
+/// scalar-codec backends, the serialized container is byte-identical at
+/// 1, 2, 4, and 8 worker threads.
 #[test]
-fn parallel_output_is_byte_identical_for_all_methods() {
+fn parallel_output_is_byte_identical_for_all_methods_and_codecs() {
     let ds = small_z10();
-    for method in [
-        Method::Tac,
-        Method::Baseline1D,
-        Method::ZMesh,
-        Method::Baseline3D,
-    ] {
-        let reference = compress_dataset(&ds, &cfg_with(1), method)
-            .unwrap()
-            .to_bytes();
-        for threads in [2, 4, 8] {
-            let bytes = compress_dataset(&ds, &cfg_with(threads), method)
+    for codec in CodecId::all() {
+        for method in [
+            Method::Tac,
+            Method::Baseline1D,
+            Method::ZMesh,
+            Method::Baseline3D,
+        ] {
+            let reference = compress_dataset(&ds, &cfg_codec(1, codec), method)
                 .unwrap()
                 .to_bytes();
-            assert_eq!(
-                bytes, reference,
-                "{method:?} differs at {threads} threads from serial"
-            );
+            for threads in [2, 4, 8] {
+                let bytes = compress_dataset(&ds, &cfg_codec(threads, codec), method)
+                    .unwrap()
+                    .to_bytes();
+                assert_eq!(
+                    bytes, reference,
+                    "{method:?}/{codec} differs at {threads} threads from serial"
+                );
+            }
+        }
+    }
+}
+
+/// Both codecs honour the error bound end to end, for every method,
+/// through both container serializations.
+#[test]
+fn method_codec_matrix_respects_error_bound() {
+    let ds = small_z10();
+    // The per-level methods (TAC, 1D) resolve the relative bound
+    // against each level's own range; the monolithic methods (zMesh,
+    // 3D) resolve it against the global range of the merged stream.
+    let (gmin, gmax) = ds
+        .levels()
+        .iter()
+        .filter_map(|l| l.value_range())
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), (a, b)| {
+            (lo.min(a), hi.max(b))
+        });
+    for codec in CodecId::all() {
+        let cfg = cfg_codec(2, codec);
+        for method in [
+            Method::Tac,
+            Method::Baseline1D,
+            Method::ZMesh,
+            Method::Baseline3D,
+        ] {
+            let per_level = matches!(method, Method::Tac | Method::Baseline1D);
+            let cd = compress_dataset(&ds, &cfg, method).unwrap();
+            for bytes in [cd.to_bytes(), cd.to_bytes_v1()] {
+                let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+                assert_eq!(parsed, cd, "{method:?}/{codec}");
+                let out = decompress_dataset(&parsed).unwrap();
+                for (l, (a, b)) in ds.levels().iter().zip(out.levels()).enumerate() {
+                    let Some((min, max)) = a.value_range() else {
+                        continue;
+                    };
+                    let range = if per_level { max - min } else { gmax - gmin };
+                    let eb = 1e-3 * range;
+                    for i in a.mask().iter_ones() {
+                        assert!(
+                            (a.data()[i] - b.data()[i]).abs() <= eb * (1.0 + 1e-9),
+                            "{method:?}/{codec} level {l} cell {i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A wire codec tag that contradicts the actual streams must surface as
+/// a clean error — never a panic, never a silent mis-decode.
+#[test]
+fn codec_tag_mismatch_is_rejected() {
+    let ds = small_z10();
+    // Compress with SZ, then lie about the codec in the in-memory
+    // container: serialization writes PcoLite tags over SZ streams.
+    let mut cd = compress_dataset(&ds, &cfg_with(1), Method::Tac).unwrap();
+    if let MethodBody::Tac(levels) = &mut cd.body {
+        for l in levels.iter_mut() {
+            l.codec = CodecId::PcoLite;
+        }
+    }
+    for bytes in [cd.to_bytes(), cd.to_bytes_v1()] {
+        let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+        let err = decompress_dataset(&parsed).unwrap_err();
+        assert!(
+            err.to_string().contains("pco-lite"),
+            "expected a wrong-codec error, got: {err}"
+        );
+    }
+}
+
+/// Flipping a single chunk-table codec byte in a v3 container must be
+/// caught at parse time (the table would otherwise route the chunk to
+/// the wrong backend).
+#[test]
+fn tampered_chunk_codec_byte_is_rejected_at_parse() {
+    let ds = small_z10();
+    let cd = compress_dataset(&ds, &cfg_codec(1, CodecId::PcoLite), Method::Tac).unwrap();
+    let bytes = cd.to_bytes();
+    assert_eq!(bytes[4], 3, "PcoLite containers serialize as v3");
+    // v3 chunk rows: level u8 + offset u64 + len u64, then the codec
+    // byte at offset 17 within the row; rows start 4 bytes after the
+    // table position recorded in the footer.
+    let table_pos = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()) as usize;
+    let codec_at = table_pos + 4 + 17;
+    let mut tampered = bytes.clone();
+    assert_eq!(tampered[codec_at], CodecId::PcoLite.tag());
+    tampered[codec_at] = CodecId::Sz.tag();
+    assert!(CompressedDataset::from_bytes(&tampered).is_err());
+    assert!(decompress_region(&tampered, Aabb::whole(ds.finest_dim())).is_err());
+    // An unknown codec tag is rejected too.
+    tampered[codec_at] = 250;
+    assert!(CompressedDataset::from_bytes(&tampered).is_err());
+}
+
+/// ROI decoding works identically over codec-tagged (v3) containers.
+#[test]
+fn roi_decode_works_for_pco_lite_containers() {
+    let ds = small_z10();
+    let cfg = TacConfig {
+        roi_tile: Some(ds.finest_dim() / 2),
+        ..cfg_codec(2, CodecId::PcoLite)
+    };
+    let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+    let bytes = cd.to_bytes();
+    let full = decompress_dataset(&cd).unwrap();
+    let half = ds.finest_dim() / 2;
+    let roi = Aabb::new((0, 0, 0), (half, half, half));
+    let (partial, stats) = decompress_region(&bytes, roi).unwrap();
+    assert!(stats.payload_bytes_read < stats.payload_bytes_total);
+    for (l, (p, f)) in partial.levels().iter().zip(full.levels()).enumerate() {
+        let roi_level = roi.coarsen(1 << l);
+        for z in roi_level.min.2..roi_level.max.2 {
+            for y in roi_level.min.1..roi_level.max.1 {
+                for x in roi_level.min.0..roi_level.max.0 {
+                    assert_eq!(p.value(x, y, z), f.value(x, y, z), "level {l}");
+                }
+            }
         }
     }
 }
@@ -172,7 +303,7 @@ fn v1_and_v2_decode_identically() {
     let ds = small_z10();
     let cd = compress_dataset(&ds, &cfg_with(1), Method::Tac).unwrap();
     let via_v1 = CompressedDataset::from_bytes(&cd.to_bytes_v1()).unwrap();
-    let via_v2 = CompressedDataset::from_bytes(&cd.to_bytes_v2()).unwrap();
+    let via_v2 = CompressedDataset::from_bytes(&cd.to_bytes()).unwrap();
     assert_eq!(via_v1, via_v2);
     let a = decompress_dataset(&via_v1).unwrap();
     let b = decompress_dataset(&via_v2).unwrap();

@@ -209,7 +209,7 @@ proptest! {
         };
         for method in [Method::Tac, Method::Baseline1D, Method::ZMesh, Method::Baseline3D] {
             let cd = compress_dataset(&ds, &cfg, method).unwrap();
-            for bytes in [cd.to_bytes_v1(), cd.to_bytes_v2()] {
+            for bytes in [cd.to_bytes_v1(), cd.to_bytes()] {
                 let parsed = tac_core::CompressedDataset::from_bytes(&bytes).unwrap();
                 prop_assert_eq!(&parsed, &cd);
                 let out = decompress_dataset(&parsed).unwrap();
