@@ -45,6 +45,11 @@ const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 /// Chunked format with per-level and per-chunk codec tags.
 const VERSION_V3: u8 = 3;
+/// Largest finest-grid side a container may declare (2^13 = 8192, i.e.
+/// a 4 TiB uniform field — 8x the paper's largest run per axis). The
+/// bound exists so `dim^3` arithmetic on wire-supplied dimensions can
+/// never overflow and crafted headers cannot demand absurd allocations.
+pub(crate) const MAX_FINEST_DIM: usize = 1 << 13;
 
 /// Which compressor produced a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -465,6 +470,14 @@ fn parse_prelude(
     let method = Method::from_tag(r.get_u8()?)?;
     let name = r.get_str()?;
     let finest_dim = r.get_u64()? as usize;
+    // A crafted dimension must fail cleanly before any `dim^3` products:
+    // unchecked, the multiplication overflows (a panic under debug
+    // assertions) and the implied allocations are absurd anyway.
+    if finest_dim == 0 || finest_dim > MAX_FINEST_DIM {
+        return Err(TacError::Corrupt(format!(
+            "finest dim {finest_dim} outside the supported 1..={MAX_FINEST_DIM}"
+        )));
+    }
     let num_levels = r.get_u8()? as usize;
     if num_levels == 0 || num_levels > 16 {
         return Err(TacError::Corrupt(format!(
@@ -711,6 +724,11 @@ fn parse_chunked_tail<'a>(
             for _ in 0..num_levels {
                 let strategy = Strategy::from_tag(r.get_u8()?)?;
                 let dim = r.get_u64()? as usize;
+                if dim == 0 || dim > MAX_FINEST_DIM {
+                    return Err(TacError::Corrupt(format!(
+                        "level dim {dim} outside the supported 1..={MAX_FINEST_DIM}"
+                    )));
+                }
                 let abs_eb = r.get_f64()?;
                 let kind = r.get_u8()?;
                 let group_count = match kind {

@@ -284,9 +284,17 @@ pub(crate) fn decompress_tac_levels(
     masks: &[BitMask],
     workers: usize,
 ) -> Result<Vec<AmrLevel>, TacError> {
-    // Validate masks up front (decode tasks do not see them).
+    // Validate masks up front (decode tasks do not see them). The
+    // checked product guards in-memory callers handing over a crafted
+    // dim (wire readers bound it already).
     for (l, (cl, mask)) in compressed.iter().zip(masks).enumerate() {
-        let n = cl.dim * cl.dim * cl.dim;
+        let n = cl
+            .dim
+            .checked_mul(cl.dim)
+            .and_then(|s| s.checked_mul(cl.dim))
+            .ok_or_else(|| {
+                TacError::Corrupt(format!("level {l}: dim {} overflows dim^3", cl.dim))
+            })?;
         if mask.len() != n {
             return Err(TacError::Corrupt(format!(
                 "level {l}: mask has {} bits for a {}^3 level",

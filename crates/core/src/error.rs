@@ -17,6 +17,11 @@ pub enum TacError {
     InvalidConfig(String),
     /// The dataset violates AMR invariants needed by the method.
     InvalidDataset(String),
+    /// A relative error bound cannot resolve because the data it must
+    /// resolve against contains NaN or infinite values (the range is not
+    /// finite, so no meaningful absolute bound exists). Absolute bounds
+    /// accept non-finite values and store them verbatim instead.
+    NonFinite(String),
 }
 
 impl fmt::Display for TacError {
@@ -27,6 +32,7 @@ impl fmt::Display for TacError {
             TacError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
             TacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TacError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            TacError::NonFinite(msg) => write!(f, "non-finite data: {msg}"),
         }
     }
 }
@@ -68,5 +74,8 @@ mod tests {
         let k = TacError::from(CodecError::UnknownCodec(9));
         assert!(k.to_string().contains("scalar codec"));
         assert!(std::error::Error::source(&k).is_some());
+        let n = TacError::NonFinite("range is NaN".into());
+        assert!(n.to_string().contains("non-finite"));
+        assert!(std::error::Error::source(&n).is_none());
     }
 }

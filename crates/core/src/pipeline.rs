@@ -22,6 +22,14 @@ use tac_par::Parallelism;
 /// per-level multiplier, then converts relative bounds against the given
 /// value range.
 ///
+/// # Non-finite policy
+/// Every codec backend stores NaN/±Inf inputs **verbatim** (bit-exact on
+/// reconstruction) and treats `-0.0` as an ordinary finite value, so
+/// absolute bounds accept non-finite data. A *relative* bound, however,
+/// needs a finite range to resolve against: when the range itself is
+/// NaN or infinite (the level's extremes are non-finite) this returns
+/// [`TacError::NonFinite`] rather than propagating a meaningless bound.
+///
 /// # Errors
 /// A relative bound with no value range (`range: None`, i.e. a level
 /// with no present cells) cannot resolve: silently treating the range as
@@ -48,6 +56,15 @@ pub fn resolve_level_eb(
             )))
         }
     };
+    // Only non-finite *extremes* are the data's fault. A finite span
+    // that overflows f64 (e.g. -1e308..1e308) stays on `resolve`'s
+    // conservative MIN_POSITIVE fallback — effectively verbatim storage.
+    if matches!(scaled, ErrorBound::Rel(_)) && !(min.is_finite() && max.is_finite()) {
+        return Err(TacError::NonFinite(format!(
+            "relative error bound cannot resolve against the non-finite \
+             value range ({min}, {max})"
+        )));
+    }
     Ok(scaled.resolve(min, max)?)
 }
 
@@ -76,7 +93,10 @@ pub fn compress_level(
 /// cells are zeroed (discarding GSP padding and region zeros alike).
 pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel, TacError> {
     let dim = cl.dim;
-    let n = dim * dim * dim;
+    let n = dim
+        .checked_mul(dim)
+        .and_then(|s| s.checked_mul(dim))
+        .ok_or_else(|| TacError::Corrupt(format!("level dim {dim} overflows dim^3")))?;
     if mask.len() != n {
         return Err(TacError::Corrupt(format!(
             "mask has {} bits for a {dim}^3 level",

@@ -161,6 +161,14 @@ impl CompressedLevel {
     pub(crate) fn read(r: &mut Reader<'_>) -> Result<Self, TacError> {
         let strategy = Strategy::from_tag(r.get_u8()?)?;
         let dim = r.get_u64()? as usize;
+        // Bound the dimension here so every downstream `dim^3` (mask
+        // checks, reconstruction buffers) stays overflow-free.
+        if dim == 0 || dim > crate::container::MAX_FINEST_DIM {
+            return Err(TacError::Corrupt(format!(
+                "level dim {dim} outside the supported 1..={}",
+                crate::container::MAX_FINEST_DIM
+            )));
+        }
         let abs_eb = r.get_f64()?;
         let tag = r.get_u8()?;
         let codec = match tag {

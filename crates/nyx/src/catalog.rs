@@ -35,8 +35,15 @@ impl CatalogEntry {
     pub fn generate(&self, kind: FieldKind, scale: usize, seed: u64) -> AmrDataset {
         let n = self.scaled_fine_dim(scale);
         let uniform = synthesize(kind, n, seed ^ fxhash(self.name));
-        let spec = RefinementSpec::new(self.densities.to_vec());
-        build_amr(self.name, &uniform, n, &spec)
+        build_amr(self.name, &uniform, n, &self.spec())
+    }
+
+    /// The entry's refinement spec (Table 1 densities) as a reusable
+    /// [`RefinementSpec`] — external generators can pair the paper's
+    /// level geometry with their own uniform fields via
+    /// [`build_amr`](crate::build_amr).
+    pub fn spec(&self) -> RefinementSpec {
+        RefinementSpec::new(self.densities.to_vec())
     }
 }
 

@@ -62,10 +62,20 @@ impl FieldKind {
     }
 }
 
-/// Synthesizes one field on an `n^3` uniform grid.
+/// Synthesizes one field on an `n^3` uniform grid with the default
+/// cosmology-like spectrum.
 pub fn synthesize(kind: FieldKind, n: usize, seed: u64) -> Vec<f64> {
+    synthesize_with(kind, n, seed, &SpectrumModel::default())
+}
+
+/// Like [`synthesize`] but colours the underlying Gaussian random field
+/// with a caller-supplied [`SpectrumModel`] — the hook external scenario
+/// generators (e.g. `tac-testkit`) use to produce rougher or smoother
+/// variants of each physical field while keeping the value-distribution
+/// transforms (lognormal scaling, halo injection) identical.
+pub fn synthesize_with(kind: FieldKind, n: usize, seed: u64, model: &SpectrumModel) -> Vec<f64> {
     let base_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ kind.seed_salt();
-    let mut g = gaussian_random_field(n, &SpectrumModel::default(), base_seed);
+    let mut g = gaussian_random_field(n, model, base_seed);
     match kind {
         FieldKind::BaryonDensity => {
             inject_halos(&mut g, n, &HaloPopulation::default(), base_seed);

@@ -30,7 +30,7 @@ mod halos;
 mod refine;
 
 pub use catalog::{entry, CatalogEntry, CATALOG};
-pub use field::{synthesize, FieldKind};
+pub use field::{synthesize, synthesize_with, FieldKind};
 pub use grf::{gaussian_random_field, normalize, SpectrumModel};
 pub use halos::{inject_halos, HaloPopulation, InjectedHalo};
 pub use refine::{build_amr, RefinementSpec};

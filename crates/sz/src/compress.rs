@@ -296,18 +296,25 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     let n = header.dims.len();
     let mut pos = 0usize;
     let take = |pos: &mut usize, len: usize| -> Result<&[u8], SzError> {
-        if *pos + len > payload.len() {
-            return Err(SzError::Corrupt("payload truncated".into()));
-        }
-        let s = &payload[*pos..*pos + len];
-        *pos += len;
+        // checked_add: a crafted length near usize::MAX must fail here,
+        // not wrap past the bounds check and panic at slice time.
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| SzError::Corrupt("payload truncated".into()))?;
+        let s = &payload[*pos..end];
+        *pos = end;
         Ok(s)
     };
 
     let n_raw = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
-    if n_raw > n {
+    // Both bounds matter: `n` caps the semantic count, the payload length
+    // caps the up-front allocation (a crafted count must not reserve
+    // gigabytes before the reads start failing).
+    if n_raw > n || n_raw.saturating_mul(8) > payload.len() - pos {
         return Err(SzError::Corrupt(format!(
-            "{n_raw} raw values for {n} points"
+            "{n_raw} raw values for {n} points in a {}-byte payload",
+            payload.len()
         )));
     }
     let mut raws = Vec::with_capacity(n_raw);
@@ -331,6 +338,16 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
         };
         let (nx, ny, nz, nw) =
             slab_dims.ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
+        // Every serialized context occupies at least one byte, so a
+        // crafted D4 header whose batch axis dwarfs the predictor
+        // section must fail here — not in a `with_capacity(nw)` that
+        // tries to reserve hundreds of gigabytes.
+        if nw > pred_section.len() {
+            return Err(SzError::Corrupt(format!(
+                "{nw} regression slabs cannot fit a {}-byte predictor section",
+                pred_section.len()
+            )));
+        }
         let mut off = 1usize;
         let mut ctxs = Vec::with_capacity(nw);
         for _ in 0..nw {
@@ -355,6 +372,15 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     let (huffman, table_len) = HuffmanCode::deserialize_table(&payload[pos..])?;
     pos += table_len;
     let bit_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    // Every Huffman codeword is at least one bit, so `n` symbols need at
+    // least `n` bits. Checking before decoding keeps a crafted header's
+    // declared point count from driving a huge symbol-buffer allocation
+    // backed by a tiny bit stream.
+    if (n as u64) > bit_len {
+        return Err(SzError::Corrupt(format!(
+            "{n} points cannot decode from a {bit_len}-bit stream"
+        )));
+    }
     let bit_bytes = &payload[pos..];
     let mut reader = BitReader::new(bit_bytes, bit_len)?;
     let symbols = huffman.decode(&mut reader, n)?;

@@ -124,6 +124,17 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzError> {
         return Err(SzError::Corrupt("lzss stream shorter than header".into()));
     }
     let n = u64::from_le_bytes(input[0..8].try_into().unwrap()) as usize;
+    // Bound the up-front allocation by what the token stream could ever
+    // produce: each token needs at least 3 bytes (plus control bits) and
+    // expands to at most MAX_MATCH bytes, so a tiny stream declaring a
+    // terabyte output is corrupt, not a reservation request.
+    let max_expansion = (input.len() - 8).saturating_mul(MAX_MATCH);
+    if n > max_expansion {
+        return Err(SzError::Corrupt(format!(
+            "lzss declares {n} output bytes from a {}-byte stream (max {max_expansion})",
+            input.len()
+        )));
+    }
     let mut out = Vec::with_capacity(n);
     let mut pos = 8usize;
     while out.len() < n {

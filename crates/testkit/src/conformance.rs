@@ -1,0 +1,568 @@
+//! The error-bound conformance matrix.
+//!
+//! For every scenario in the registry, this harness sweeps the full
+//! combination space the stack promises to be correct on —
+//!
+//! * **method**: TAC, the 1D baseline, zMesh, the 3D baseline;
+//! * **codec**: every registered scalar backend (SZ, pco-lite);
+//! * **container format**: the in-memory container, the legacy v1
+//!   monolith, and the chunked v2/v3 layout (`to_bytes` promotes to v3
+//!   automatically when a non-default codec is involved);
+//! * **workers**: 1, 2, 4, and 8 threads for both compression and
+//!   decompression —
+//!
+//! and asserts, per cell, the three contracts the paper's pipeline rests
+//! on: every finite reconstructed value sits within the **resolved**
+//! absolute error bound recorded in the container (non-finite values
+//! round-trip bit-exactly), serialized output is **byte-identical for
+//! every worker count**, and a region-of-interest decode **agrees
+//! bit-for-bit with the full decode** inside the region. The result is
+//! a machine-readable [`ConformanceReport`] (`CONFORMANCE.json` in CI).
+
+use crate::scenario::{scenarios, ScenarioSpec};
+use tac_amr::{Aabb, AmrDataset};
+use tac_core::{
+    compress_dataset, decompress_dataset, decompress_dataset_par, decompress_region, CodecId,
+    CompressedDataset, Method, MethodBody, Parallelism, TacConfig,
+};
+
+/// Worker counts every cell is swept over.
+pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Tolerance factor on the bound check (`|err| <= eb * (1 + EPS)`),
+/// absorbing the one-ulp slop of computing the error itself in f64.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// The serialization leg a cell decodes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerFormat {
+    /// No serialization: the in-memory container straight to decode.
+    Memory,
+    /// The legacy monolithic v1 wire format (`to_bytes_v1`).
+    V1,
+    /// The chunked wire format (`to_bytes`): v2 bytes for all-SZ
+    /// containers, v3 when any stream uses another codec.
+    Chunked,
+}
+
+impl ContainerFormat {
+    /// All legs, in sweep order.
+    pub fn all() -> [ContainerFormat; 3] {
+        [
+            ContainerFormat::Memory,
+            ContainerFormat::V1,
+            ContainerFormat::Chunked,
+        ]
+    }
+
+    /// Stable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ContainerFormat::Memory => "memory",
+            ContainerFormat::V1 => "v1",
+            ContainerFormat::Chunked => "v2/v3",
+        }
+    }
+}
+
+/// Outcome of one scenario x method x codec x format cell.
+#[derive(Debug, Clone)]
+pub struct ConformanceCell {
+    /// Scenario registry key.
+    pub scenario: String,
+    /// Method label (`TAC`, `1D`, `zMesh`, `3D`).
+    pub method: String,
+    /// Codec label (`sz`, `pco-lite`).
+    pub codec: String,
+    /// Container format label (`memory`, `v1`, `v2/v3`).
+    pub format: String,
+    /// Serialized container bytes (chunked leg; 0 for the memory leg).
+    pub container_bytes: usize,
+    /// Whether both serializations were byte-identical across all
+    /// [`WORKER_COUNTS`].
+    pub workers_identical: bool,
+    /// Whether parallel decompression matched serial at every count.
+    pub decode_par_identical: bool,
+    /// Max over present finite cells of `|orig - recon| / resolved_eb`
+    /// (0.0 when the scenario has no finite cells to check).
+    pub max_err_ratio: f64,
+    /// Whether every non-finite input reconstructed bit-exactly.
+    pub nonfinite_exact: bool,
+    /// ROI-vs-full agreement (chunked leg only; `None` elsewhere).
+    pub roi_agrees: Option<bool>,
+    /// First failure description, if any step errored outright.
+    pub error: Option<String>,
+}
+
+impl ConformanceCell {
+    /// Whether every contract held for this cell.
+    pub fn pass(&self) -> bool {
+        self.error.is_none()
+            && self.workers_identical
+            && self.decode_par_identical
+            && self.nonfinite_exact
+            && self.max_err_ratio <= 1.0 + BOUND_SLACK
+            && self.roi_agrees.unwrap_or(true)
+    }
+}
+
+/// The full matrix result.
+#[derive(Debug, Clone)]
+pub struct ConformanceReport {
+    /// Seed every scenario was generated with.
+    pub seed: u64,
+    /// Cells in sweep order.
+    pub cells: Vec<ConformanceCell>,
+}
+
+impl ConformanceReport {
+    /// Whether every cell passed.
+    pub fn all_pass(&self) -> bool {
+        self.cells.iter().all(|c| c.pass())
+    }
+
+    /// The failing cells.
+    pub fn failures(&self) -> Vec<&ConformanceCell> {
+        self.cells.iter().filter(|c| !c.pass()).collect()
+    }
+
+    /// Serializes the report as JSON (hand-rolled: the workspace has no
+    /// JSON dependency by design).
+    pub fn to_json(&self) -> String {
+        let mut rows = Vec::with_capacity(self.cells.len());
+        for c in &self.cells {
+            let roi = match c.roi_agrees {
+                None => "null".to_string(),
+                Some(v) => v.to_string(),
+            };
+            let error = match &c.error {
+                None => "null".to_string(),
+                Some(e) => format!("{:?}", e), // Debug-escape the string
+            };
+            // JSON has no Infinity/NaN literal: a cell that never
+            // measured a ratio (it errored first) serializes as null.
+            let ratio = if c.max_err_ratio.is_finite() {
+                format!("{:.6}", c.max_err_ratio)
+            } else {
+                "null".to_string()
+            };
+            rows.push(format!(
+                "    {{\"scenario\": \"{}\", \"method\": \"{}\", \"codec\": \"{}\", \
+                 \"format\": \"{}\", \"container_bytes\": {}, \"workers_identical\": {}, \
+                 \"decode_par_identical\": {}, \"max_err_ratio\": {}, \
+                 \"nonfinite_exact\": {}, \"roi_agrees\": {}, \"pass\": {}, \"error\": {}}}",
+                c.scenario,
+                c.method,
+                c.codec,
+                c.format,
+                c.container_bytes,
+                c.workers_identical,
+                c.decode_par_identical,
+                ratio,
+                c.nonfinite_exact,
+                roi,
+                c.pass(),
+                error,
+            ));
+        }
+        format!(
+            "{{\n  \"seed\": {},\n  \"workers\": {:?},\n  \"total\": {},\n  \"passed\": {},\n  \
+             \"failed\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            self.seed,
+            WORKER_COUNTS,
+            self.cells.len(),
+            self.cells.iter().filter(|c| c.pass()).count(),
+            self.failures().len(),
+            rows.join(",\n")
+        )
+    }
+
+    /// Human-readable summary (one line per failing cell, or a pass
+    /// banner).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "conformance: {}/{} cells pass (seed {}, workers {:?})\n",
+            self.cells.len() - self.failures().len(),
+            self.cells.len(),
+            self.seed,
+            WORKER_COUNTS,
+        );
+        for c in self.failures() {
+            out.push_str(&format!(
+                "  FAIL {}/{}/{}/{}: workers_identical={} decode_par={} err_ratio={:.3} \
+                 nonfinite_exact={} roi={:?} error={:?}\n",
+                c.scenario,
+                c.method,
+                c.codec,
+                c.format,
+                c.workers_identical,
+                c.decode_par_identical,
+                c.max_err_ratio,
+                c.nonfinite_exact,
+                c.roi_agrees,
+                c.error,
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the full matrix over every registered scenario.
+pub fn run_conformance(seed: u64) -> ConformanceReport {
+    run_scenarios(&scenarios(), seed)
+}
+
+/// Runs the matrix over an explicit scenario subset.
+pub fn run_scenarios(specs: &[ScenarioSpec], seed: u64) -> ConformanceReport {
+    let methods = [
+        Method::Tac,
+        Method::Baseline1D,
+        Method::ZMesh,
+        Method::Baseline3D,
+    ];
+    let mut cells = Vec::new();
+    for spec in specs {
+        let ds = spec.build(seed);
+        for method in methods {
+            for codec in CodecId::all() {
+                cells.extend(run_cell(spec, &ds, method, codec));
+            }
+        }
+    }
+    ConformanceReport { seed, cells }
+}
+
+/// Per-level resolved absolute bounds recorded in a container
+/// (monolithic methods store one bound for the whole stream).
+fn resolved_level_bounds(cd: &CompressedDataset) -> Vec<f64> {
+    match &cd.body {
+        MethodBody::Tac(levels) => levels.iter().map(|l| l.abs_eb).collect(),
+        MethodBody::Baseline1D(levels) => levels
+            .iter()
+            .map(|l| l.as_ref().map_or(0.0, |(eb, _, _)| *eb))
+            .collect(),
+        MethodBody::ZMesh { abs_eb, .. } | MethodBody::Baseline3D { abs_eb, .. } => {
+            vec![*abs_eb; cd.num_levels()]
+        }
+    }
+}
+
+/// Checks the bound contract of one reconstruction; returns
+/// `(max_err_ratio, nonfinite_exact)` or an error description.
+fn check_bounds(
+    orig: &AmrDataset,
+    recon: &AmrDataset,
+    bounds: &[f64],
+) -> Result<(f64, bool), String> {
+    if orig.num_levels() != recon.num_levels() {
+        return Err(format!(
+            "reconstruction has {} levels, expected {}",
+            recon.num_levels(),
+            orig.num_levels()
+        ));
+    }
+    let mut max_ratio = 0.0f64;
+    let mut nonfinite_exact = true;
+    for (l, (a, b)) in orig.levels().iter().zip(recon.levels()).enumerate() {
+        if a.dim() != b.dim() {
+            return Err(format!("level {l}: dim {} vs {}", b.dim(), a.dim()));
+        }
+        let eb = bounds[l];
+        for i in a.mask().iter_ones() {
+            let (x, y) = (a.data()[i], b.data()[i]);
+            if !x.is_finite() {
+                nonfinite_exact &= x.to_bits() == y.to_bits();
+                continue;
+            }
+            // A finite input reconstructed as NaN/Inf is the worst
+            // possible bound violation — and `err > 0.0` below would be
+            // false for NaN, silently passing it.
+            if !y.is_finite() {
+                return Err(format!(
+                    "level {l} cell {i}: finite {x} reconstructed as {y}"
+                ));
+            }
+            let err = (x - y).abs();
+            if err > 0.0 {
+                if eb <= 0.0 {
+                    return Err(format!(
+                        "level {l} cell {i}: error {err:e} with resolved bound {eb}"
+                    ));
+                }
+                max_ratio = max_ratio.max(err / eb);
+            }
+        }
+        // Absent cells must reconstruct to exactly zero.
+        for i in 0..a.num_cells() {
+            if !a.mask().get(i) && b.data()[i] != 0.0 {
+                return Err(format!(
+                    "level {l} cell {i}: absent cell holds {}",
+                    b.data()[i]
+                ));
+            }
+        }
+    }
+    Ok((max_ratio, nonfinite_exact))
+}
+
+/// Bitwise dataset equality (reconstructions must be identical across
+/// worker counts, and ROI cells identical to the full decode).
+fn datasets_bit_equal(a: &AmrDataset, b: &AmrDataset) -> bool {
+    a.num_levels() == b.num_levels()
+        && a.levels().iter().zip(b.levels()).all(|(x, y)| {
+            x.dim() == y.dim()
+                && x.mask() == y.mask()
+                && x.data()
+                    .iter()
+                    .zip(y.data())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        })
+}
+
+/// Runs one scenario x method x codec combination, producing one cell
+/// per container format.
+fn run_cell(
+    spec: &ScenarioSpec,
+    ds: &AmrDataset,
+    method: Method,
+    codec: CodecId,
+) -> Vec<ConformanceCell> {
+    let cell = |format: ContainerFormat| ConformanceCell {
+        scenario: spec.name.to_string(),
+        method: method.label().to_string(),
+        codec: codec.label().to_string(),
+        format: format.label().to_string(),
+        container_bytes: 0,
+        workers_identical: false,
+        decode_par_identical: false,
+        max_err_ratio: f64::INFINITY,
+        nonfinite_exact: false,
+        roi_agrees: None,
+        error: None,
+    };
+    let fail = |format: ContainerFormat, msg: String| {
+        let mut c = cell(format);
+        c.error = Some(msg);
+        c
+    };
+    let cfg_for = |workers: usize| -> TacConfig {
+        TacConfig {
+            codec,
+            parallelism: Parallelism::Threads(workers),
+            ..spec.config()
+        }
+    };
+
+    // Compress at every worker count; the two serializations must be
+    // byte-identical across all of them.
+    let reference = match compress_dataset(ds, &cfg_for(WORKER_COUNTS[0]), method) {
+        Ok(cd) => cd,
+        Err(e) => {
+            return ContainerFormat::all()
+                .into_iter()
+                .map(|f| fail(f, format!("compress failed: {e}")))
+                .collect()
+        }
+    };
+    let ref_chunked = reference.to_bytes();
+    let ref_v1 = reference.to_bytes_v1();
+    let mut workers_identical = true;
+    for &w in &WORKER_COUNTS[1..] {
+        match compress_dataset(ds, &cfg_for(w), method) {
+            Ok(cd) => {
+                workers_identical &= cd.to_bytes() == ref_chunked && cd.to_bytes_v1() == ref_v1;
+            }
+            Err(e) => {
+                return ContainerFormat::all()
+                    .into_iter()
+                    .map(|f| fail(f, format!("compress at {w} workers failed: {e}")))
+                    .collect()
+            }
+        }
+    }
+
+    // Serial full decode, then parallel decode identity.
+    let full = match decompress_dataset(&reference) {
+        Ok(out) => out,
+        Err(e) => {
+            return ContainerFormat::all()
+                .into_iter()
+                .map(|f| fail(f, format!("decompress failed: {e}")))
+                .collect()
+        }
+    };
+    let mut decode_par_identical = true;
+    let mut par_error = None;
+    for &w in &WORKER_COUNTS[1..] {
+        match decompress_dataset_par(&reference, Parallelism::Threads(w)) {
+            Ok(out) => decode_par_identical &= datasets_bit_equal(&full, &out),
+            Err(e) => {
+                decode_par_identical = false;
+                // Keep the first reason in the report — `false` alone
+                // would force a local rerun to learn what broke.
+                par_error.get_or_insert(format!("parallel decode at {w} workers failed: {e}"));
+            }
+        }
+    }
+
+    let bounds = resolved_level_bounds(&reference);
+    let mut cells = Vec::with_capacity(3);
+    for format in ContainerFormat::all() {
+        let mut c = cell(format);
+        c.workers_identical = workers_identical;
+        c.decode_par_identical = decode_par_identical;
+        c.error = par_error.clone();
+        let decoded = match format {
+            ContainerFormat::Memory => Ok(full.clone()),
+            ContainerFormat::V1 => CompressedDataset::from_bytes(&ref_v1)
+                .and_then(|cd| decompress_dataset(&cd))
+                .map_err(|e| format!("v1 roundtrip failed: {e}")),
+            ContainerFormat::Chunked => CompressedDataset::from_bytes(&ref_chunked)
+                .and_then(|cd| decompress_dataset(&cd))
+                .map_err(|e| format!("chunked roundtrip failed: {e}")),
+        };
+        c.container_bytes = match format {
+            ContainerFormat::Memory => 0,
+            ContainerFormat::V1 => ref_v1.len(),
+            ContainerFormat::Chunked => ref_chunked.len(),
+        };
+        match decoded {
+            Err(e) => c.error = Some(e),
+            Ok(recon) => match check_bounds(ds, &recon, &bounds) {
+                Err(e) => c.error = Some(e),
+                Ok((ratio, nonfinite_exact)) => {
+                    c.max_err_ratio = ratio;
+                    c.nonfinite_exact = nonfinite_exact;
+                }
+            },
+        }
+        if format == ContainerFormat::Chunked && c.error.is_none() {
+            c.roi_agrees = Some(roi_agrees(&ref_chunked, &full, spec.finest_dim));
+        }
+        cells.push(c);
+    }
+    cells
+}
+
+/// Decodes two regions of interest (a corner octant and an interior
+/// box) and checks each agrees bit-for-bit with the full decode inside
+/// the region.
+fn roi_agrees(bytes: &[u8], full: &AmrDataset, finest_dim: usize) -> bool {
+    let half = (finest_dim / 2).max(1);
+    let quarter = finest_dim / 4;
+    let rois = [
+        Aabb::new((0, 0, 0), (half, half, half)),
+        Aabb::new(
+            (quarter, quarter, quarter),
+            (quarter + half, quarter + half, quarter + half),
+        ),
+    ];
+    for roi in rois {
+        let Ok((partial, _stats)) = decompress_region(bytes, roi) else {
+            return false;
+        };
+        if partial.num_levels() != full.num_levels() {
+            return false;
+        }
+        for (l, (p, f)) in partial.levels().iter().zip(full.levels()).enumerate() {
+            let roi_level = roi.coarsen(1 << l);
+            for z in roi_level.min.2..roi_level.max.2.min(p.dim()) {
+                for y in roi_level.min.1..roi_level.max.1.min(p.dim()) {
+                    for x in roi_level.min.0..roi_level.max.0.min(p.dim()) {
+                        if p.value(x, y, z).to_bits() != f.value(x, y, z).to_bits() {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenario;
+
+    #[test]
+    fn single_scenario_matrix_passes_and_reports() {
+        let spec = scenario("tiny-extremes").unwrap();
+        let report = run_scenarios(&[spec], 3);
+        // 4 methods x 2 codecs x 3 formats.
+        assert_eq!(report.cells.len(), 24);
+        assert!(report.all_pass(), "{}", report.summary());
+        let json = report.to_json();
+        assert!(json.contains("\"failed\": 0"), "{json}");
+        assert!(json.contains("tiny-extremes"));
+        assert!(report.summary().contains("24/24"));
+    }
+
+    #[test]
+    fn adversarial_scenario_holds_bounds_under_both_codecs() {
+        let spec = scenario("checkerboard").unwrap();
+        let report = run_scenarios(&[spec], 11);
+        assert!(report.all_pass(), "{}", report.summary());
+        // Every checked cell actually measured an error ratio (the
+        // scenario has finite data everywhere).
+        for c in &report.cells {
+            assert!(c.max_err_ratio.is_finite(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn a_violated_bound_is_detected() {
+        // Sanity-check the checker itself: decode, then perturb one cell
+        // past the recorded bound — the cell must fail.
+        let spec = scenario("dense-uniform").unwrap();
+        let ds = spec.build(1);
+        let cfg = spec.config();
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        let recon = decompress_dataset(&cd).unwrap();
+        let bounds = resolved_level_bounds(&cd);
+        let (ratio, _) = check_bounds(&ds, &recon, &bounds).unwrap();
+        assert!(ratio <= 1.0 + 1e-9);
+        let mut levels = recon.levels().to_vec();
+        let i = levels[0].mask().iter_ones().next().unwrap();
+        levels[0].data_mut()[i] += bounds[0] * 5.0;
+        let broken = tac_amr::AmrDataset::new("broken", levels);
+        let (bad_ratio, _) = check_bounds(&ds, &broken, &bounds).unwrap();
+        assert!(bad_ratio > 1.0, "perturbation not detected: {bad_ratio}");
+
+        // A finite input reconstructed as NaN must be flagged too —
+        // `|x - NaN| > 0.0` is false, so a ratio check alone would
+        // silently pass the worst violation possible.
+        let mut nan_levels = decompress_dataset(&cd).unwrap().levels().to_vec();
+        let j = nan_levels[0].mask().iter_ones().next().unwrap();
+        nan_levels[0].data_mut()[j] = f64::NAN;
+        let poisoned = tac_amr::AmrDataset::new("poisoned", nan_levels);
+        let err = check_bounds(&ds, &poisoned, &bounds).unwrap_err();
+        assert!(err.contains("reconstructed as NaN"), "{err}");
+    }
+
+    #[test]
+    fn json_stays_valid_when_a_cell_errors_before_measuring() {
+        // An errored cell keeps its INFINITY ratio initializer; the JSON
+        // must serialize it as null, never as the bare token `inf`.
+        let report = ConformanceReport {
+            seed: 1,
+            cells: vec![ConformanceCell {
+                scenario: "synthetic".into(),
+                method: "TAC".into(),
+                codec: "sz".into(),
+                format: "v1".into(),
+                container_bytes: 0,
+                workers_identical: false,
+                decode_par_identical: false,
+                max_err_ratio: f64::INFINITY,
+                nonfinite_exact: false,
+                roi_agrees: None,
+                error: Some("compress failed: synthetic".into()),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"max_err_ratio\": null"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        assert!(json.contains("\"failed\": 1"), "{json}");
+    }
+}

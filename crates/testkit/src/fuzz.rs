@@ -1,0 +1,383 @@
+//! Structure-aware mutational fuzzing of the container wire formats.
+//!
+//! The corpus is a set of **valid** containers (several scenarios x
+//! methods x codecs x wire versions), so mutations start from deep
+//! inside the accepting grammar instead of dying at the magic check.
+//! Each iteration picks a corpus item, applies a seeded stack of
+//! mutations (bit flips, field overwrites with boundary integers,
+//! truncations, splices between corpus items, targeted header/footer
+//! corruption), and probes the full decode surface:
+//! [`CompressedDataset::from_bytes`], `decompress_dataset`,
+//! `decompress_region`, and re-serialization of anything accepted.
+//!
+//! The contract under test: **corrupt bytes may be rejected with an
+//! error or may decode to some container, but must never panic, demand
+//! absurd allocations, or decode into a structurally incoherent
+//! dataset.** Every violation the fuzzer has ever found is pinned in
+//! `tests/fuzz_regressions.rs` with the offending bytes inlined.
+
+use crate::rng::TestRng;
+use crate::scenario::scenario;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use tac_amr::Aabb;
+use tac_core::{
+    compress_dataset, decompress_dataset, decompress_region, CodecId, CompressedDataset, Method,
+    TacConfig,
+};
+
+/// Fuzz-run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Mutated inputs to probe.
+    pub iterations: usize,
+    /// Seed for the whole run (corpus choice, mutation schedule).
+    pub seed: u64,
+}
+
+impl Default for FuzzConfig {
+    /// The CI smoke configuration: 2000 iterations, fixed seed.
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 2000,
+            seed: 0x7AC_F022,
+        }
+    }
+}
+
+/// What probing one input observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Some decode step returned a clean `Err` (the expected outcome).
+    Rejected,
+    /// Every probed step succeeded (the mutation dodged all checksums —
+    /// fine, as long as the result is coherent).
+    Decoded,
+    /// A decode step panicked (always a bug; the payload is recorded).
+    Panicked(String),
+    /// Decode succeeded but the result violates structural invariants
+    /// (always a bug).
+    Incoherent(String),
+}
+
+/// One recorded failure: enough to reproduce without the fuzzer.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Iteration index within the run.
+    pub iteration: usize,
+    /// Mutation trail that produced the bytes.
+    pub description: String,
+    /// The offending input.
+    pub bytes: Vec<u8>,
+}
+
+/// Aggregate result of a fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Inputs probed.
+    pub iterations: usize,
+    /// Inputs rejected with a clean error.
+    pub rejected: usize,
+    /// Inputs that decoded successfully end to end.
+    pub accepted: usize,
+    /// Panicking inputs (bugs).
+    pub panics: Vec<FuzzCase>,
+    /// Structurally incoherent decodes (bugs).
+    pub incoherent: Vec<FuzzCase>,
+}
+
+impl FuzzOutcome {
+    /// Whether the run observed zero bugs.
+    pub fn clean(&self) -> bool {
+        self.panics.is_empty() && self.incoherent.is_empty()
+    }
+
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "fuzz: {} iterations, {} rejected, {} accepted, {} panics, {} incoherent",
+            self.iterations,
+            self.rejected,
+            self.accepted,
+            self.panics.len(),
+            self.incoherent.len()
+        )
+    }
+}
+
+/// Builds the corpus of valid containers the mutations start from:
+/// three small scenarios, all four methods, both codecs where it adds a
+/// wire difference, and both container versions.
+pub fn corpus() -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    for name in ["tiny-extremes", "degenerate-corner", "spike-field"] {
+        let spec = scenario(name).expect("registered scenario");
+        let ds = spec.build(1);
+        for codec in CodecId::all() {
+            let cfg = TacConfig {
+                codec,
+                ..spec.config()
+            };
+            let cd = compress_dataset(&ds, &cfg, Method::Tac).expect("corpus compress");
+            out.push(cd.to_bytes()); // v2 for SZ, v3 for pco-lite
+            out.push(cd.to_bytes_v1());
+        }
+        let cfg = spec.config();
+        for method in [Method::Baseline1D, Method::ZMesh, Method::Baseline3D] {
+            let cd = compress_dataset(&ds, &cfg, method).expect("corpus compress");
+            out.push(cd.to_bytes());
+        }
+    }
+    out
+}
+
+/// Probes one byte string through the whole decode surface, catching
+/// panics. This is exactly what the fuzzer asserts on, and what the
+/// pinned regression tests replay.
+pub fn probe_container(bytes: &[u8]) -> ProbeResult {
+    probe_with(|| {
+        // Region decode must fail or succeed cleanly whatever the bytes.
+        let _ = decompress_region(bytes, Aabb::new((0, 0, 0), (2, 2, 2)));
+        match CompressedDataset::from_bytes(bytes) {
+            Err(_) => Err(()),
+            Ok(cd) => match decompress_dataset(&cd) {
+                Err(_) => Err(()),
+                Ok(ds) => {
+                    // Structural coherence of an accepted decode.
+                    if ds.num_levels() != cd.num_levels() {
+                        return Ok(Some(format!(
+                            "decode produced {} levels for {} masks",
+                            ds.num_levels(),
+                            cd.num_levels()
+                        )));
+                    }
+                    for (l, level) in ds.levels().iter().enumerate() {
+                        let mask = &cd.masks[l];
+                        if mask.len() != level.num_cells() {
+                            return Ok(Some(format!("level {l}: mask/grid size mismatch")));
+                        }
+                        for i in 0..level.num_cells() {
+                            if !mask.get(i) && level.data()[i] != 0.0 {
+                                return Ok(Some(format!("level {l}: absent cell {i} non-zero")));
+                            }
+                        }
+                    }
+                    // Accepted containers must re-serialize without
+                    // panicking (the writer trusts parsed state).
+                    let _ = cd.to_bytes();
+                    let _ = cd.to_bytes_v1();
+                    Ok(None)
+                }
+            },
+        }
+    })
+}
+
+/// Runs a probe body under `catch_unwind`, converting its three clean
+/// outcomes (`Err(())` = rejected, `Ok(None)` = decoded, `Ok(Some(why))`
+/// = incoherent) and any panic into a [`ProbeResult`]. Factored out of
+/// [`probe_container`] so the panic-conversion path is testable.
+fn probe_with(f: impl FnOnce() -> Result<Option<String>, ()>) -> ProbeResult {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            ProbeResult::Panicked(msg)
+        }
+        Ok(Err(())) => ProbeResult::Rejected,
+        Ok(Ok(None)) => ProbeResult::Decoded,
+        Ok(Ok(Some(why))) => ProbeResult::Incoherent(why),
+    }
+}
+
+/// Interesting integers for field overwrites: the values that historically
+/// break length arithmetic.
+const BOUNDARY_U64: [u64; 8] = [
+    0,
+    1,
+    0x7F,
+    0xFF,
+    u32::MAX as u64,
+    u64::MAX,
+    u64::MAX - 1,
+    1 << 40,
+];
+
+/// Applies one seeded mutation in place, returning its description.
+fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
+    if bytes.is_empty() {
+        bytes.push(rng.next_u64() as u8);
+        return "seed byte into empty input".into();
+    }
+    let len = bytes.len();
+    match rng.below(10) {
+        0 => {
+            let i = rng.below(len);
+            let bit = rng.below(8);
+            bytes[i] ^= 1 << bit;
+            format!("flip bit {bit} of byte {i}")
+        }
+        1 => {
+            let i = rng.below(len);
+            bytes[i] = if rng.chance(0.5) { 0x00 } else { 0xFF };
+            format!("saturate byte {i}")
+        }
+        2 => {
+            let i = rng.below(len);
+            let v = BOUNDARY_U64[rng.below(BOUNDARY_U64.len())] as u32;
+            let end = (i + 4).min(len);
+            bytes[i..end].copy_from_slice(&v.to_le_bytes()[..end - i]);
+            format!("u32 {v:#x} at {i}")
+        }
+        3 => {
+            let i = rng.below(len);
+            let v = BOUNDARY_U64[rng.below(BOUNDARY_U64.len())];
+            let end = (i + 8).min(len);
+            bytes[i..end].copy_from_slice(&v.to_le_bytes()[..end - i]);
+            format!("u64 {v:#x} at {i}")
+        }
+        4 => {
+            let cut = rng.below(len);
+            bytes.truncate(cut);
+            format!("truncate to {cut}")
+        }
+        5 => {
+            let n = 1 + rng.below(32);
+            for _ in 0..n {
+                bytes.push(rng.next_u64() as u8);
+            }
+            format!("append {n} garbage bytes")
+        }
+        6 => {
+            // Splice a donor range over a random position.
+            let dn = donor.len().max(1);
+            let src = rng.below(dn);
+            let span = 1 + rng.below((dn - src).min(64));
+            let dst = rng.below(len);
+            let end = (dst + span).min(len);
+            let take = end - dst;
+            bytes[dst..end].copy_from_slice(&donor[src..src + take]);
+            format!("splice {take} donor bytes at {dst}")
+        }
+        7 => {
+            // Insert (shifting offsets) — desynchronizes every length field.
+            let i = rng.below(len + 1);
+            let n = 1 + rng.below(8);
+            for k in 0..n {
+                bytes.insert(i + k, rng.next_u64() as u8);
+            }
+            format!("insert {n} bytes at {i}")
+        }
+        8 => {
+            // Targeted tail corruption: the chunk table and footer live
+            // in the last bytes of a chunked container.
+            let window = len.min(64);
+            let i = len - window + rng.below(window);
+            bytes[i] ^= (rng.next_u64() as u8) | 1;
+            format!("tail corrupt byte {i}")
+        }
+        _ => {
+            // Targeted head corruption: version/method/dims/level count.
+            let window = len.min(32);
+            let i = rng.below(window);
+            bytes[i] = rng.next_u64() as u8;
+            format!("head corrupt byte {i}")
+        }
+    }
+}
+
+/// Runs the fuzzer. Deterministic in `cfg`: the same config replays the
+/// same mutation schedule bit for bit.
+pub fn fuzz_containers(cfg: &FuzzConfig) -> FuzzOutcome {
+    let corpus = corpus();
+    let mut rng = TestRng::new(cfg.seed);
+    let mut outcome = FuzzOutcome {
+        iterations: cfg.iterations,
+        rejected: 0,
+        accepted: 0,
+        panics: Vec::new(),
+        incoherent: Vec::new(),
+    };
+    for iteration in 0..cfg.iterations {
+        let mut bytes = corpus[rng.below(corpus.len())].clone();
+        let donor = &corpus[rng.below(corpus.len())];
+        let rounds = 1 + rng.below(4);
+        let mut trail = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            trail.push(mutate(&mut bytes, donor, &mut rng));
+        }
+        match probe_container(&bytes) {
+            ProbeResult::Rejected => outcome.rejected += 1,
+            ProbeResult::Decoded => outcome.accepted += 1,
+            ProbeResult::Panicked(msg) => outcome.panics.push(FuzzCase {
+                iteration,
+                description: format!("panic: {msg}; trail: {}", trail.join(" -> ")),
+                bytes,
+            }),
+            ProbeResult::Incoherent(msg) => outcome.incoherent.push(FuzzCase {
+                iteration,
+                description: format!("incoherent: {msg}; trail: {}", trail.join(" -> ")),
+                bytes,
+            }),
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_items_all_probe_as_valid() {
+        for (i, bytes) in corpus().iter().enumerate() {
+            assert_eq!(
+                probe_container(bytes),
+                ProbeResult::Decoded,
+                "corpus item {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean_and_deterministic() {
+        let cfg = FuzzConfig {
+            iterations: 150,
+            seed: 99,
+        };
+        let a = fuzz_containers(&cfg);
+        assert!(a.clean(), "{}", a.summary());
+        assert_eq!(a.rejected + a.accepted, 150);
+        // Mutations overwhelmingly produce invalid containers.
+        assert!(a.rejected > 100, "{}", a.summary());
+        let b = fuzz_containers(&cfg);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn probe_converts_panics_instead_of_propagating() {
+        // The shared wrapper — the exact code path probe_container runs
+        // on a panicking decode — must convert, not propagate.
+        assert_eq!(
+            probe_with(|| panic!("boom")),
+            ProbeResult::Panicked("boom".into())
+        );
+        assert_eq!(
+            probe_with(|| panic!("{} {}", "formatted", 7)),
+            ProbeResult::Panicked("formatted 7".into())
+        );
+        assert_eq!(
+            probe_with(|| Ok(Some("bad shape".into()))),
+            ProbeResult::Incoherent("bad shape".into())
+        );
+        // And a garbage input is merely rejected.
+        assert_eq!(
+            probe_container(b"definitely not a container"),
+            ProbeResult::Rejected
+        );
+        assert_eq!(probe_container(&[]), ProbeResult::Rejected);
+    }
+}

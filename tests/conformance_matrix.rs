@@ -1,0 +1,52 @@
+//! The full error-bound conformance matrix as a test: every registered
+//! scenario x {TAC, 1D, zMesh, 3D} x {sz, pco-lite} x {memory, v1,
+//! v2/v3} x {1, 2, 4, 8} workers.
+//!
+//! This is the acceptance bar of the testkit: max pointwise error within
+//! the resolved bound (non-finite bit-exact), serialized bytes identical
+//! across worker counts, parallel decode identical to serial, and ROI
+//! decode agreeing with the full decode. The same sweep backs the
+//! `conformance` runner binary, which emits `CONFORMANCE.json` for CI.
+
+use tac_testkit::{run_conformance, scenarios, WORKER_COUNTS};
+
+#[test]
+fn full_matrix_passes_for_every_scenario() {
+    let report = run_conformance(7);
+    // scenarios x 4 methods x 2 codecs x 3 formats.
+    let expected = scenarios().len() * 4 * 2 * 3;
+    assert_eq!(report.cells.len(), expected);
+    assert!(report.all_pass(), "{}", report.summary());
+
+    // The sweep really covered the advertised axes.
+    assert_eq!(WORKER_COUNTS, [1, 2, 4, 8]);
+    for method in ["TAC", "1D", "zMesh", "3D"] {
+        assert!(report.cells.iter().any(|c| c.method == method), "{method}");
+    }
+    for codec in ["sz", "pco-lite"] {
+        assert!(report.cells.iter().any(|c| c.codec == codec), "{codec}");
+    }
+    // Every chunked cell ran the ROI-agreement leg.
+    for c in report.cells.iter().filter(|c| c.format == "v2/v3") {
+        assert_eq!(
+            c.roi_agrees,
+            Some(true),
+            "{}/{}/{}",
+            c.scenario,
+            c.method,
+            c.codec
+        );
+    }
+    // The JSON artifact is well-formed enough for CI consumers.
+    let json = report.to_json();
+    assert!(json.contains("\"failed\": 0"));
+    assert!(json.ends_with("}\n"));
+}
+
+#[test]
+fn matrix_is_deterministic_per_seed() {
+    let spec = tac_testkit::scenario("degenerate-corner").unwrap();
+    let a = tac_testkit::run_scenarios(std::slice::from_ref(&spec), 5);
+    let b = tac_testkit::run_scenarios(std::slice::from_ref(&spec), 5);
+    assert_eq!(a.to_json(), b.to_json());
+}

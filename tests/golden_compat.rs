@@ -8,12 +8,18 @@
 //! values — the fixtures pin the wire format, the SZ codec, and the
 //! legacy default-codec paths all at once.
 //!
+//! The `golden_mix_v3` fixture pins the v3 (codec-tagged) format the
+//! same way: a TAC container whose fine level is pco-lite-compressed
+//! while the rest stays on SZ, serialized right after the format landed.
+//!
 //! Regenerating (only when intentionally breaking compatibility):
 //! `cargo test -p tac-bench --test golden_compat -- --ignored --nocapture`
 
 use std::path::PathBuf;
 use tac_amr::{AmrDataset, AmrLevel};
-use tac_core::{compress_dataset, decompress_dataset, CompressedDataset, Method, TacConfig};
+use tac_core::{
+    compress_dataset, decompress_dataset, CodecId, CompressedDataset, Method, MethodBody, TacConfig,
+};
 use tac_sz::ErrorBound;
 
 fn data_dir() -> PathBuf {
@@ -107,6 +113,30 @@ fn decode_expected(bytes: &[u8]) -> Vec<(usize, Vec<f64>)> {
         .collect()
 }
 
+/// The mixed-codec fixture container: the TAC compression of the fixture
+/// dataset with the fine level's streams produced by pco-lite and the
+/// coarser levels by SZ. `to_bytes()` must promote such a container to
+/// v3 — the per-level/per-chunk codec-tagged format this fixture pins.
+fn fixture_mixed_dataset() -> CompressedDataset {
+    let ds = fixture_dataset();
+    let sz = compress_dataset(&ds, &fixture_config(), Method::Tac).unwrap();
+    let pco = compress_dataset(
+        &ds,
+        &TacConfig {
+            codec: CodecId::PcoLite,
+            ..fixture_config()
+        },
+        Method::Tac,
+    )
+    .unwrap();
+    let mut mixed = sz;
+    let (MethodBody::Tac(levels), MethodBody::Tac(pco_levels)) = (&mut mixed.body, pco.body) else {
+        unreachable!("TAC compression produced a non-TAC body");
+    };
+    levels[0] = pco_levels.into_iter().next().unwrap();
+    mixed
+}
+
 fn method_stem(method: Method) -> &'static str {
     match method {
         Method::Tac => "golden_tac",
@@ -116,7 +146,10 @@ fn method_stem(method: Method) -> &'static str {
 }
 
 fn check_golden(method: Method, version: &str) {
-    let stem = method_stem(method);
+    check_golden_stem(method_stem(method), method, version);
+}
+
+fn check_golden_stem(stem: &str, method: Method, version: &str) {
     let dir = data_dir();
     let bytes = std::fs::read(dir.join(format!("{stem}_{version}.tacd")))
         .unwrap_or_else(|e| panic!("missing fixture {stem}_{version}.tacd: {e}"));
@@ -161,6 +194,37 @@ fn golden_baseline1d_v2_decodes_bit_exactly() {
     check_golden(Method::Baseline1D, "v2");
 }
 
+#[test]
+fn golden_mix_v3_decodes_bit_exactly() {
+    check_golden_stem("golden_mix", Method::Tac, "v3");
+}
+
+#[test]
+fn golden_mix_v1_decodes_bit_exactly() {
+    // The mixed-codec container also has a v1 (monolithic, codec-tagged
+    // level payload) encoding — pinned alongside the chunked v3 bytes.
+    check_golden_stem("golden_mix", Method::Tac, "v1");
+}
+
+/// The v3 fixture really is a v3, mixed-codec container: version byte 3
+/// on the wire, and both codecs present across the parsed levels.
+#[test]
+fn golden_mix_v3_fixture_is_mixed_codec() {
+    let bytes = std::fs::read(data_dir().join("golden_mix_v3.tacd")).unwrap();
+    assert_eq!(&bytes[..4], b"TACD");
+    assert_eq!(bytes[4], 3, "fixture is not a v3 container");
+    let cd = CompressedDataset::from_bytes(&bytes).unwrap();
+    let MethodBody::Tac(levels) = &cd.body else {
+        panic!("fixture is not a TAC container");
+    };
+    let codecs: Vec<CodecId> = levels.iter().map(|l| l.codec).collect();
+    assert!(codecs.contains(&CodecId::PcoLite), "{codecs:?}");
+    assert!(codecs.contains(&CodecId::Sz), "{codecs:?}");
+    // Re-serializing the parsed container reproduces the fixture bytes:
+    // the writer, not just the reader, is pinned.
+    assert_eq!(cd.to_bytes(), bytes);
+}
+
 /// Writes the fixtures from whatever code base is currently checked out.
 /// Deliberately `#[ignore]`d: running it against a revision with a
 /// different wire format would erase the evidence the tests above exist
@@ -185,4 +249,22 @@ fn regenerate_golden_fixtures() {
         .unwrap();
         println!("wrote {stem} fixtures to {}", dir.display());
     }
+}
+
+/// Writes only the mixed-codec v3 fixtures. Separate from
+/// [`regenerate_golden_fixtures`] so re-baselining the v3 format never
+/// silently rewrites the pre-refactor v1/v2 bytes (and vice versa).
+#[test]
+#[ignore = "regenerates the v3 golden fixtures; run only to intentionally re-baseline"]
+fn regenerate_golden_v3_fixtures() {
+    let mixed = fixture_mixed_dataset();
+    let bytes = mixed.to_bytes();
+    assert_eq!(bytes[4], 3, "mixed container did not promote to v3");
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("golden_mix_v3.tacd"), &bytes).unwrap();
+    std::fs::write(dir.join("golden_mix_v1.tacd"), mixed.to_bytes_v1()).unwrap();
+    let recon = decompress_dataset(&mixed).unwrap();
+    std::fs::write(dir.join("golden_mix_expected.bin"), encode_expected(&recon)).unwrap();
+    println!("wrote golden_mix fixtures to {}", dir.display());
 }
