@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-amr
 //!
 //! Data model for **tree-based adaptive mesh refinement (AMR)** snapshots,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-analysis
 //!
 //! Post-analysis metrics for evaluating lossy compression of cosmology

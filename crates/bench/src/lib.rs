@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-bench
 //!
 //! Benchmark harnesses that regenerate **every table and figure** of the

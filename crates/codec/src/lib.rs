@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-codec
 //!
 //! The pluggable **scalar-codec backend layer** of the TAC stack. TAC's

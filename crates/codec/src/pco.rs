@@ -100,6 +100,7 @@ impl BitPacker {
     }
 
     #[inline]
+    // tac-lint: allow(arith) -- encoder-side bit packing: width <= 64 fits u32, and the `as u8` casts truncate the accumulator intentionally.
     fn push(&mut self, v: u64, width: usize) {
         if width == 0 {
             return;
@@ -113,6 +114,7 @@ impl BitPacker {
         }
     }
 
+    // tac-lint: allow(arith) -- the `as u8` cast truncates the accumulator intentionally.
     fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
             self.buf.push(self.acc as u8);
@@ -140,6 +142,7 @@ impl<'a> BitUnpacker<'a> {
     }
 
     #[inline]
+    // tac-lint: allow(arith) -- pos stays within bytes.len() + 1 via the guarded get, and width <= 64 (validated by the page-header check) fits u32.
     fn read(&mut self, width: usize) -> u64 {
         if width == 0 {
             return 0;
@@ -168,11 +171,12 @@ impl<'a> BitUnpacker<'a> {
 /// Packed bytes a `len`-value page of `width`-bit values occupies.
 #[inline]
 fn packed_bytes(len: usize, width: usize) -> usize {
-    (len * width).div_ceil(8)
+    len.saturating_mul(width).div_ceil(8)
 }
 
 /// Picks the page's bit width: minimize packed size plus outlier cost,
 /// preferring the smaller width on ties. Returns `(width, n_outliers)`.
+// tac-lint: allow(panic, arith) -- encoder-only: the arrays are fixed [_; 65] indexed by w <= 64, and n_over <= len <= PAGE keeps the cost sums tiny.
 fn choose_width(counts: &[usize; 65], len: usize) -> (usize, usize) {
     // over[w] = number of values needing more than w bits.
     let mut over = [0usize; 65];
@@ -192,6 +196,7 @@ fn choose_width(counts: &[usize; 65], len: usize) -> (usize, usize) {
 }
 
 /// Encodes one page of zigzag values into `out`.
+// tac-lint: allow(panic, arith) -- encoder-only: bit_len(v) <= 64 indexes the fixed [_; 65] array, and width/outlier-count/position all fit their wire types by the PAGE = 1024 bound.
 fn encode_page(z: &[u64], out: &mut Vec<u8>) {
     let mut counts = [0usize; 65];
     for &v in z {
@@ -261,6 +266,7 @@ impl ScalarCodec for PcoLite {
         }
 
         // Body: exception table, then the pages back to back.
+        // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths; a wrong guess only costs a reallocation.
         let mut body =
             Vec::with_capacity(8 + exceptions.len() * EXCEPTION_BYTES + n * 2 / PAGE.max(1) + n);
         body.extend((exceptions.len() as u64).to_le_bytes());
@@ -363,7 +369,7 @@ impl ScalarCodec for PcoLite {
         let two_eb = 2.0 * abs_eb;
         let n = dims.len();
 
-        let raw_body = r.get_bytes(r.remaining()).expect("remaining always fits");
+        let raw_body = r.rest();
         let body_owned;
         let body: &[u8] = if flags & FLAG_LOSSLESS != 0 {
             body_owned = lossless::decompress(raw_body)?;
@@ -412,12 +418,7 @@ impl ScalarCodec for PcoLite {
             if width > 64 {
                 return Err(corrupt(format!("page bit width {width}")));
             }
-            let n_out = u16::from_le_bytes(
-                b.get_bytes(2)
-                    .map_err(|_| corrupt("page header truncated"))?
-                    .try_into()
-                    .expect("2 bytes"),
-            ) as usize;
+            let n_out = b.get_u16().map_err(|_| corrupt("page header truncated"))? as usize;
             if n_out > page_len {
                 return Err(corrupt(format!(
                     "{n_out} outliers in a {page_len}-value page"
@@ -426,11 +427,9 @@ impl ScalarCodec for PcoLite {
             let mut outliers = Vec::with_capacity(n_out);
             let mut last_pos: Option<usize> = None;
             for _ in 0..n_out {
-                let chunk = b
-                    .get_bytes(OUTLIER_BYTES)
-                    .map_err(|_| corrupt("page outlier truncated"))?;
-                let pos = u16::from_le_bytes(chunk[..2].try_into().expect("2 bytes")) as usize;
-                let zv = u64::from_le_bytes(chunk[2..].try_into().expect("8 bytes"));
+                let truncated = |_| corrupt("page outlier truncated");
+                let pos = b.get_u16().map_err(truncated)? as usize;
+                let zv = b.get_u64().map_err(truncated)?;
                 if pos >= page_len || last_pos.is_some_and(|p| pos <= p) {
                     return Err(corrupt(format!("outlier position {pos} out of order")));
                 }
@@ -441,12 +440,13 @@ impl ScalarCodec for PcoLite {
                 .get_bytes(packed_bytes(page_len, width))
                 .map_err(|_| corrupt("page payload truncated"))?;
             let mut unpacker = BitUnpacker::new(packed);
-            let mut next_outlier = 0usize;
+            let mut next_outlier = outliers.iter().peekable();
             for pos in 0..page_len {
                 let mut zv = unpacker.read(width);
-                if next_outlier < outliers.len() && outliers[next_outlier].0 == pos {
-                    zv = outliers[next_outlier].1;
-                    next_outlier += 1;
+                if next_outlier.peek().is_some_and(|&&(p, _)| p == pos) {
+                    if let Some(&(_, ozv)) = next_outlier.next() {
+                        zv = ozv;
+                    }
                 }
                 prev = prev.wrapping_add(unzigzag(zv));
                 recon.push(prev as f64 * two_eb);
@@ -457,13 +457,18 @@ impl ScalarCodec for PcoLite {
             return Err(corrupt(format!("{} trailing bytes", b.remaining())));
         }
         for (idx, v) in exceptions {
-            recon[idx] = v;
+            let slot = recon
+                .get_mut(idx)
+                .ok_or_else(|| corrupt(format!("exception index {idx} out of range")))?;
+            *slot = v;
         }
         Ok((recon, dims))
     }
 
     fn looks_like(&self, bytes: &[u8]) -> bool {
-        bytes.len() > 5 && bytes[..4] == MAGIC && bytes[4] == VERSION
+        bytes.len() > 5
+            && bytes.get(..4) == Some(MAGIC.as_slice())
+            && bytes.get(4) == Some(&VERSION)
     }
 }
 

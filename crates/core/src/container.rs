@@ -45,6 +45,20 @@ const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 /// Chunked format with per-level and per-chunk codec tags.
 const VERSION_V3: u8 = 3;
+/// Serialized chunk-table row size in a v2 container: level `u8` +
+/// offset `u64` + len `u64` + bbox `6 x u32`. The writer
+/// ([`ChunkEntry::write`]), the reader ([`ChunkEntry::read`]), the
+/// table-allocation bound in [`parse_v2`], and the ROI decoder's
+/// tamper tests all share this value.
+pub const CHUNK_ROW_BYTES_V2: usize = 41;
+/// Serialized chunk-table row size in a v3 container: the v2 row plus
+/// one codec byte.
+pub const CHUNK_ROW_BYTES_V3: usize = 42;
+/// Size of the chunk table's `u32` row-count prefix.
+pub const CHUNK_COUNT_PREFIX_BYTES: usize = 4;
+/// Size of the trailing `u64` table-offset footer a v2/v3 container
+/// ends with; seekable readers locate the chunk table through it.
+pub const TABLE_FOOTER_BYTES: usize = 8;
 /// Largest finest-grid side a container may declare (2^13 = 8192, i.e.
 /// a 4 TiB uniform field — 8x the paper's largest run per axis). The
 /// bound exists so `dim^3` arithmetic on wire-supplied dimensions can
@@ -193,6 +207,7 @@ impl CompressedDataset {
 
     /// Bytes of the compressed field payload — the size the paper's
     /// compression ratios count.
+    // tac-lint: allow(arith) -- size accounting over in-memory streams already held in RAM; the sums cannot exceed what was allocated.
     pub fn payload_bytes(&self) -> usize {
         match &self.body {
             MethodBody::Tac(levels) => levels.iter().map(|l| l.total_bytes()).sum(),
@@ -240,6 +255,7 @@ impl CompressedDataset {
     /// still fit: TAC level payloads carry an explicit codec tag, the 1D
     /// baseline uses an extended level tag, and the single-stream
     /// baselines are recovered by magic-number sniffing on read.
+    // tac-lint: allow(arith) -- writer-side width reduction: the engine caps levels at 16, so `masks.len() as u8` cannot truncate.
     pub fn to_bytes_v1(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_bytes(MAGIC);
@@ -289,6 +305,7 @@ impl CompressedDataset {
     /// Serializes the chunked (v2/v3) container. v3 additionally writes
     /// a codec byte per level in the method metadata and per chunk-table
     /// row; v2 is byte-for-byte the pre-codec format.
+    // tac-lint: allow(arith) -- writer-side width reduction: level, mask, and group counts come from validated in-memory datasets (<= 16 levels, group counts bounded by the grid volume).
     fn to_bytes_chunked(&self, version: u8) -> Vec<u8> {
         let tagged = version >= VERSION_V3;
         debug_assert!(
@@ -585,13 +602,17 @@ pub(crate) struct ChunkEntry {
     pub bbox: Aabb,
 }
 
-/// Serialized chunk-table row size: 41 bytes in v2, 42 (one codec byte)
-/// in v3.
+/// Serialized chunk-table row size of the given format flavor.
 pub(crate) fn chunk_entry_bytes(tagged: bool) -> usize {
-    41 + usize::from(tagged)
+    if tagged {
+        CHUNK_ROW_BYTES_V3
+    } else {
+        CHUNK_ROW_BYTES_V2
+    }
 }
 
 impl ChunkEntry {
+    // tac-lint: allow(arith) -- writer-side width reduction: bbox coordinates are cell indices bounded by MAX_FINEST_DIM (2^13), far below u32::MAX.
     fn write(&self, w: &mut Writer, tagged: bool) {
         w.put_u8(self.level);
         w.put_u64(self.offset as u64);
@@ -615,18 +636,20 @@ impl ChunkEntry {
         } else {
             CodecId::Sz
         };
-        let mut c = [0usize; 6];
-        for v in &mut c {
-            *v = r.get_u32()? as usize;
-        }
+        let x0 = r.get_u32()? as usize;
+        let y0 = r.get_u32()? as usize;
+        let z0 = r.get_u32()? as usize;
+        let x1 = r.get_u32()? as usize;
+        let y1 = r.get_u32()? as usize;
+        let z1 = r.get_u32()? as usize;
         // The writer only ever records non-empty boxes; a degenerate one
         // here is corruption, and accepting it would make ROI decoding
         // silently skip a live chunk.
-        if c[3] <= c[0] || c[4] <= c[1] || c[5] <= c[2] {
+        if x1 <= x0 || y1 <= y0 || z1 <= z0 {
             return Err(TacError::Corrupt(format!(
                 "chunk bbox [{:?}, {:?}) is empty",
-                (c[0], c[1], c[2]),
-                (c[3], c[4], c[5])
+                (x0, y0, z0),
+                (x1, y1, z1)
             )));
         }
         Ok(ChunkEntry {
@@ -634,7 +657,7 @@ impl ChunkEntry {
             offset,
             len,
             codec,
-            bbox: Aabb::new((c[0], c[1], c[2]), (c[3], c[4], c[5])),
+            bbox: Aabb::new((x0, y0, z0), (x1, y1, z1)),
         })
     }
 }
@@ -874,20 +897,23 @@ impl V2Layout<'_> {
                     check(l, usize::from(eb.is_some()), codec)?;
                 }
             }
-            V2Meta::ZMesh(_, codec) | V2Meta::Baseline3D(_, codec) => {
-                if self.entries.len() != 1 {
+            V2Meta::ZMesh(_, codec) | V2Meta::Baseline3D(_, codec) => match self.entries.as_slice()
+            {
+                [single] => {
+                    if single.codec != *codec {
+                        return Err(TacError::Corrupt(format!(
+                            "chunk tagged {} but metadata says {codec}",
+                            single.codec
+                        )));
+                    }
+                }
+                rest => {
                     return Err(TacError::Corrupt(format!(
                         "expected exactly one chunk, table lists {}",
-                        self.entries.len()
+                        rest.len()
                     )));
                 }
-                if self.entries[0].codec != *codec {
-                    return Err(TacError::Corrupt(format!(
-                        "chunk tagged {} but metadata says {codec}",
-                        self.entries[0].codec
-                    )));
-                }
-            }
+            },
         }
         Ok(())
     }
@@ -898,9 +924,24 @@ impl V2Layout<'_> {
             .filter(move |e| e.level as usize == level)
     }
 
-    /// The serialized bytes of one chunk.
+    /// The serialized bytes of one chunk. Every entry's byte range was
+    /// bounds-checked against the payload at parse time; an entry that
+    /// somehow escaped that check yields an empty slice, never a panic.
     pub fn chunk_bytes(&self, e: &ChunkEntry) -> &[u8] {
-        &self.payload[e.offset..e.offset + e.len]
+        e.offset
+            .checked_add(e.len)
+            .and_then(|end| self.payload.get(e.offset..end))
+            .unwrap_or_default()
+    }
+
+    /// The bytes of the sole chunk of a single-stream (zMesh / 3D)
+    /// container. Chunk-count validation already guarantees exactly one
+    /// entry exists.
+    fn single_chunk_bytes(&self) -> Result<&[u8], TacError> {
+        self.entries
+            .first()
+            .map(|e| self.chunk_bytes(e))
+            .ok_or_else(|| TacError::Corrupt("single-stream container has no chunk".into()))
     }
 
     /// Decodes every chunk, reassembling the full in-memory container
@@ -916,7 +957,12 @@ impl V2Layout<'_> {
                     let chunks: Vec<&ChunkEntry> = self.level_entries(l).collect();
                     let payload = match meta.kind {
                         0 => LevelPayload::Empty,
-                        1 => LevelPayload::Whole(self.chunk_bytes(chunks[0]).to_vec()),
+                        1 => {
+                            let whole = chunks.first().ok_or_else(|| {
+                                TacError::Corrupt(format!("level {l}: whole chunk missing"))
+                            })?;
+                            LevelPayload::Whole(self.chunk_bytes(whole).to_vec())
+                        }
                         _ => {
                             let mut groups = Vec::with_capacity(chunks.len());
                             for c in &chunks {
@@ -938,22 +984,27 @@ impl V2Layout<'_> {
             V2Meta::Baseline1D(ebs) => {
                 let mut levels = Vec::with_capacity(ebs.len());
                 for (l, eb) in ebs.iter().enumerate() {
-                    levels.push(eb.map(|(eb, codec)| {
-                        let chunk = self.level_entries(l).next().expect("validated chunk");
-                        (eb, codec, self.chunk_bytes(chunk).to_vec())
-                    }));
+                    levels.push(match eb {
+                        None => None,
+                        Some((eb, codec)) => {
+                            let chunk = self.level_entries(l).next().ok_or_else(|| {
+                                TacError::Corrupt(format!("level {l}: chunk missing"))
+                            })?;
+                            Some((*eb, *codec, self.chunk_bytes(chunk).to_vec()))
+                        }
+                    });
                 }
                 MethodBody::Baseline1D(levels)
             }
             V2Meta::ZMesh(abs_eb, codec) => MethodBody::ZMesh {
                 abs_eb: *abs_eb,
                 codec: *codec,
-                stream: self.chunk_bytes(&self.entries[0]).to_vec(),
+                stream: self.single_chunk_bytes()?.to_vec(),
             },
             V2Meta::Baseline3D(abs_eb, codec) => MethodBody::Baseline3D {
                 abs_eb: *abs_eb,
                 codec: *codec,
-                stream: self.chunk_bytes(&self.entries[0]).to_vec(),
+                stream: self.single_chunk_bytes()?.to_vec(),
             },
         };
         Ok(CompressedDataset {
@@ -1197,11 +1248,12 @@ mod tests {
         let cd = sample_tac();
         let mut bytes = cd.to_bytes();
         // Locate the first table entry via the footer; its bbox starts
-        // 4 (count) + 17 (level/offset/len) bytes into the table. Write
-        // min.x > max.x: accepting this as an "empty" box would make
-        // ROI decoding silently drop the chunk's data.
-        let table_pos = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()) as usize;
-        let bbox_at = table_pos + 4 + 17;
+        // count-prefix + 17 (level/offset/len) bytes into the table.
+        // Write min.x > max.x: accepting this as an "empty" box would
+        // make ROI decoding silently drop the chunk's data.
+        let footer = &bytes[bytes.len() - TABLE_FOOTER_BYTES..];
+        let table_pos = u64::from_le_bytes(footer.try_into().unwrap()) as usize;
+        let bbox_at = table_pos + CHUNK_COUNT_PREFIX_BYTES + 17;
         bytes[bbox_at..bbox_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(CompressedDataset::from_bytes(&bytes).is_err());
     }

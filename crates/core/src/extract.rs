@@ -76,7 +76,11 @@ pub(crate) fn plan_groups(regions: &[Region], tile: Option<usize>) -> Vec<GroupP
     for r in regions {
         match index.entry(key_of(r)) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                plans[*e.get()].origins.push(r.origin)
+                // The index was recorded at insertion, so it is always in
+                // bounds; `get_mut` keeps the planner panic-free anyway.
+                if let Some(plan) = plans.get_mut(*e.get()) {
+                    plan.origins.push(r.origin);
+                }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(plans.len());
@@ -148,13 +152,19 @@ pub(crate) fn paste_group(
                 g.shape
             )));
         }
-        paste_region(
-            out,
-            dim,
-            (x, y, z),
-            (w, h, d),
-            &values[i * block..(i + 1) * block],
-        );
+        // `decode_group` validated the stream's declared dims, but the
+        // values really come from a decoded payload: slice defensively.
+        let slice = i
+            .checked_mul(block)
+            .and_then(|start| {
+                start
+                    .checked_add(block)
+                    .and_then(|end| values.get(start..end))
+            })
+            .ok_or_else(|| {
+                TacError::Corrupt(format!("group stream holds no data for sub-block {i}"))
+            })?;
+        paste_region(out, dim, (x, y, z), (w, h, d), slice);
     }
     Ok(())
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-core
 //!
 //! **TAC** — error-bounded lossy compression optimized for 3D AMR data
@@ -61,7 +63,10 @@ mod zmesh;
 
 pub use akdtree::{plan_akdtree, AkdPlan};
 pub use config::{Strategy, TacConfig};
-pub use container::{Baseline1DLevel, CompressedDataset, Method, MethodBody};
+pub use container::{
+    Baseline1DLevel, CompressedDataset, Method, MethodBody, CHUNK_COUNT_PREFIX_BYTES,
+    CHUNK_ROW_BYTES_V2, CHUNK_ROW_BYTES_V3, TABLE_FOOTER_BYTES,
+};
 pub use density::choose_strategy;
 pub use error::TacError;
 pub use extract::Region;

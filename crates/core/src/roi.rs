@@ -268,16 +268,19 @@ mod tests {
         };
         let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
         let bytes = cd.to_bytes();
-        // Drop the last chunk-table entry (41 bytes each), keeping the
-        // footer consistent: the table now disagrees with the per-level
+        // Drop the last chunk-table entry, keeping the footer
+        // consistent: the table now disagrees with the per-level
         // metadata, and both decoders must say so.
-        let table_pos = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap()) as usize;
+        let row = crate::container::CHUNK_ROW_BYTES_V2;
+        let prefix = crate::container::CHUNK_COUNT_PREFIX_BYTES;
+        let footer = &bytes[bytes.len() - crate::container::TABLE_FOOTER_BYTES..];
+        let table_pos = u64::from_le_bytes(footer.try_into().unwrap()) as usize;
         let count =
-            u32::from_le_bytes(bytes[table_pos..table_pos + 4].try_into().unwrap()) as usize;
+            u32::from_le_bytes(bytes[table_pos..table_pos + prefix].try_into().unwrap()) as usize;
         assert!(count > 1);
         let mut tampered = bytes[..table_pos].to_vec();
         tampered.extend(((count - 1) as u32).to_le_bytes());
-        tampered.extend(&bytes[table_pos + 4..table_pos + 4 + 41 * (count - 1)]);
+        tampered.extend(&bytes[table_pos + prefix..table_pos + prefix + row * (count - 1)]);
         tampered.extend((table_pos as u64).to_le_bytes());
         assert!(CompressedDataset::from_bytes(&tampered).is_err());
         assert!(decompress_region(&tampered, Aabb::whole(16)).is_err());

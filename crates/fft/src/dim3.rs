@@ -121,75 +121,62 @@ impl Fft3Plan {
     where
         F: Fn(&mut [Complex]) + Sync,
     {
+        self.for_each_chunk_indexed(data, chunk, |_, piece| f(piece));
+    }
+
+    /// Like [`Self::for_each_chunk`], but passes each piece's index (its
+    /// position in `data.chunks_exact(chunk)` order) alongside the piece.
+    fn for_each_chunk_indexed<F>(&self, data: &mut [Complex], chunk: usize, f: F)
+    where
+        F: Fn(usize, &mut [Complex]) + Sync,
+    {
         let pieces = data.len() / chunk;
         if self.threads <= 1 || pieces < 2 {
-            for piece in data.chunks_exact_mut(chunk) {
-                f(piece);
+            for (i, piece) in data.chunks_exact_mut(chunk).enumerate() {
+                f(i, piece);
             }
             return;
         }
         let per_worker = pieces.div_ceil(self.threads);
         std::thread::scope(|scope| {
-            for worker_slice in data.chunks_mut(per_worker * chunk) {
+            for (w, worker_slice) in data.chunks_mut(per_worker * chunk).enumerate() {
                 let f = &f;
                 scope.spawn(move || {
-                    for piece in worker_slice.chunks_exact_mut(chunk) {
-                        f(piece);
+                    for (i, piece) in worker_slice.chunks_exact_mut(chunk).enumerate() {
+                        f(w * per_worker + i, piece);
                     }
                 });
             }
         });
     }
 
-    /// Transforms along z. Work is split by y-index; threads receive raw
-    /// pointer ranges guarded by the disjointness of y-rows.
+    /// Transforms along z. Lines along z interleave in memory (stride
+    /// nx*ny), so the mutable grid cannot be split into disjoint
+    /// per-thread slices directly. Instead: gather every z-line into a
+    /// z-fastest transpose (whose lines ARE contiguous, so they chunk
+    /// disjointly), transform there, and scatter back slab by slab. Each
+    /// phase mutates only contiguous chunks of one array while reading
+    /// the other shared — borrow-checked parallelism, no `unsafe` — at
+    /// the cost of one extra nx*ny*nz scratch buffer.
     fn for_each_row_z(&self, data: &mut [Complex], dir: Direction) {
-        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
-        let slab = nx * ny;
-        let run_rows = |rows: std::ops::Range<usize>, data: &mut [Complex]| {
-            let mut scratch = vec![Complex::ZERO; nz];
-            for y in rows {
-                for x in 0..nx {
-                    let base = x + nx * y;
-                    for (z, s) in scratch.iter_mut().enumerate() {
-                        *s = data[base + slab * z];
-                    }
-                    self.plan_z.process(&mut scratch, dir);
-                    for (z, s) in scratch.iter().enumerate() {
-                        data[base + slab * z] = *s;
-                    }
+        let (nx, nz) = (self.nx, self.nz);
+        let slab = nx * self.ny;
+        let mut lines = vec![Complex::ZERO; data.len()];
+        {
+            let src: &[Complex] = data;
+            // Chunk i of `lines` is the z-line through (x, y) with
+            // i = x + nx*y, i.e. source offset i within each z-slab.
+            self.for_each_chunk_indexed(&mut lines, nz, |i, line| {
+                for (z, s) in line.iter_mut().enumerate() {
+                    *s = src[i + slab * z];
                 }
-            }
-        };
-        if self.threads <= 1 || ny < 2 {
-            run_rows(0..ny, data);
-            return;
+                self.plan_z.process(line, dir);
+            });
         }
-        // Shared-slice parallelism over y-rows: rows interleave in memory
-        // (stride nx within each slab), so slices cannot be split
-        // disjointly. Use a SendPtr wrapper; disjointness is by y-index.
-        struct SendPtr(*mut Complex);
-        unsafe impl Send for SendPtr {}
-        unsafe impl Sync for SendPtr {}
-        let ptr = SendPtr(data.as_mut_ptr());
-        let len = data.len();
-        let per_worker = ny.div_ceil(self.threads);
-        std::thread::scope(|scope| {
-            let ptr = &ptr;
-            for w in 0..self.threads {
-                let lo = w * per_worker;
-                let hi = ((w + 1) * per_worker).min(ny);
-                if lo >= hi {
-                    break;
-                }
-                let run_rows = &run_rows;
-                scope.spawn(move || {
-                    // SAFETY: each worker touches indices x + nx*y + slab*z
-                    // only for y in [lo, hi); ranges are disjoint across
-                    // workers, so no two threads alias the same element.
-                    let slice = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
-                    run_rows(lo..hi, slice);
-                });
+        let lines = &lines;
+        self.for_each_chunk_indexed(data, slab, |z, zslab| {
+            for (i, d) in zslab.iter_mut().enumerate() {
+                *d = lines[nz * i + z];
             }
         });
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-fft
 //!
 //! A small, dependency-light FFT library used by the TAC reproduction for

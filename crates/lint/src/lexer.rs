@@ -1,0 +1,411 @@
+//! Hand-rolled total Rust lexer.
+//!
+//! The build environment is offline, so there is no `syn`/`proc-macro2`;
+//! the rule engine instead works over a flat token stream produced here.
+//! The lexer is *total*: any input string produces a token vector, never a
+//! panic and never an error. Unterminated strings and comments are closed
+//! at end of input. It understands exactly the lexical subtleties the
+//! rules need to not misfire:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw (byte) strings
+//!   with arbitrary `#` fencing (`r#"…"#`, `br##"…"##`);
+//! * raw identifiers (`r#type`);
+//! * lifetimes vs. character literals (`'a` vs. `'a'` vs. `'\n'`);
+//! * numeric literals with radix prefixes, underscores, exponents, and
+//!   type suffixes.
+//!
+//! Everything else is a single-character `Punct`; rules that need
+//! multi-character operators (`+=`, `as`) inspect neighbouring tokens.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// Numeric literal (integer or float, any radix, with suffix).
+    Number,
+    /// String literal of any flavour (`"…"`, `b"…"`, `r#"…"#`).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` comment (text includes the slashes).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based character column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token participates in code (not a comment).
+    pub fn is_significant(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Total: never panics, never fails.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self, buf: &mut String) {
+        if let Some(&c) = self.chars.get(self.i) {
+            self.i += 1;
+            buf.push(c);
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn emit(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            let mut text = String::new();
+            if c.is_whitespace() {
+                self.bump(&mut text);
+            } else if c == '/' && self.peek(1) == Some('/') {
+                while let Some(c) = self.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump(&mut text);
+                }
+                self.emit(TokenKind::LineComment, text, line, col);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(&mut text);
+                self.emit(TokenKind::BlockComment, text, line, col);
+            } else if c == '"' {
+                self.bump(&mut text);
+                self.string_body(&mut text);
+                self.emit(TokenKind::Str, text, line, col);
+            } else if c == '\'' {
+                let kind = self.quote(&mut text);
+                self.emit(kind, text, line, col);
+            } else if c == 'r' || c == 'b' {
+                let kind = self.prefixed(&mut text);
+                self.emit(kind, text, line, col);
+            } else if c.is_ascii_digit() {
+                self.number(&mut text);
+                self.emit(TokenKind::Number, text, line, col);
+            } else if is_ident_start(c) {
+                self.ident_tail(&mut text);
+                self.emit(TokenKind::Ident, text, line, col);
+            } else {
+                self.bump(&mut text);
+                self.emit(TokenKind::Punct, text, line, col);
+            }
+        }
+        self.tokens
+    }
+
+    /// Nested `/* … */`; the leading `/*` has not been consumed yet.
+    fn block_comment(&mut self, text: &mut String) {
+        self.bump(text); // '/'
+        self.bump(text); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump(text);
+                    self.bump(text);
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump(text);
+                    self.bump(text);
+                }
+                (Some(_), _) => self.bump(text),
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Body of a non-raw string; the opening quote is already consumed.
+    fn string_body(&mut self, text: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump(text);
+                self.bump(text); // escaped char (if any)
+            } else if c == '"' {
+                self.bump(text);
+                return;
+            } else {
+                self.bump(text);
+            }
+        }
+    }
+
+    /// Raw string body: `"` then content until `"` followed by `hashes`
+    /// `#` characters. The opening fence is already consumed.
+    fn raw_string_body(&mut self, text: &mut String, hashes: usize) {
+        self.bump(text); // opening '"'
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (1..=hashes).all(|k| self.peek(k) == Some('#')) {
+                self.bump(text);
+                for _ in 0..hashes {
+                    self.bump(text);
+                }
+                return;
+            }
+            self.bump(text);
+        }
+    }
+
+    /// After a `'`: decides between a lifetime and a char literal.
+    fn quote(&mut self, text: &mut String) -> TokenKind {
+        self.bump(text); // '\''
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '\\' {
+                        self.bump(text);
+                        self.bump(text);
+                    } else if c == '\'' {
+                        self.bump(text);
+                        break;
+                    } else {
+                        self.bump(text);
+                    }
+                }
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char, `'a` / `'static` a lifetime.
+                self.ident_tail(text);
+                if self.peek(0) == Some('\'') {
+                    self.bump(text);
+                    TokenKind::Char
+                } else {
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'('`, `'5'`, …
+                self.bump(text);
+                if self.peek(0) == Some('\'') {
+                    self.bump(text);
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    /// At an `r` or `b`: raw strings, byte strings, byte chars, raw
+    /// identifiers, or a plain identifier starting with that letter.
+    fn prefixed(&mut self, text: &mut String) -> TokenKind {
+        let first = self.peek(0);
+        if first == Some('r') {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(text); // 'r'
+                    self.raw_string_body(text, 0);
+                    return TokenKind::Str;
+                }
+                Some('#') => {
+                    let mut hashes = 0usize;
+                    while self.peek(1 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(1 + hashes) == Some('"') {
+                        self.bump(text); // 'r'
+                        for _ in 0..hashes {
+                            self.bump(text);
+                        }
+                        self.raw_string_body(text, hashes);
+                        return TokenKind::Str;
+                    }
+                    if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                        // Raw identifier `r#type`.
+                        self.bump(text); // 'r'
+                        self.bump(text); // '#'
+                        self.ident_tail(text);
+                        return TokenKind::Ident;
+                    }
+                }
+                _ => {}
+            }
+        } else if first == Some('b') {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump(text); // 'b'
+                    self.bump(text); // '"'
+                    self.string_body(text);
+                    return TokenKind::Str;
+                }
+                Some('\'') => {
+                    self.bump(text); // 'b'
+                    self.quote(text);
+                    return TokenKind::Char;
+                }
+                Some('r') => {
+                    let mut hashes = 0usize;
+                    while self.peek(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some('"') {
+                        self.bump(text); // 'b'
+                        self.bump(text); // 'r'
+                        for _ in 0..hashes {
+                            self.bump(text);
+                        }
+                        self.raw_string_body(text, hashes);
+                        return TokenKind::Str;
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.ident_tail(text);
+        TokenKind::Ident
+    }
+
+    fn ident_tail(&mut self, text: &mut String) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(text);
+        }
+    }
+
+    /// Numeric literal: radix prefixes, underscores, an optional fraction
+    /// (only when followed by a digit, so `0..n` lexes as three tokens),
+    /// an optional signed exponent, and any type suffix.
+    fn number(&mut self, text: &mut String) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump(text);
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.bump(text); // '.'
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump(text);
+            }
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let sign = matches!(self.peek(1), Some('+') | Some('-'));
+                let digit_at = if sign { 2 } else { 1 };
+                if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump(text); // e
+                    if sign {
+                        self.bump(text);
+                    }
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump(text);
+                    }
+                }
+            }
+        } else if matches!(text.chars().last(), Some('e') | Some('E'))
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            // `1e-4`: the integer loop swallowed the `e`.
+            self.bump(text); // sign
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump(text);
+            }
+        }
+    }
+}
+
+/// Parses the numeric value of an integer literal token, handling radix
+/// prefixes, `_` separators, and type suffixes. `None` for floats or
+/// out-of-range values.
+pub fn int_value(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(hex) = clean.strip_prefix("0x") {
+        (16, hex)
+    } else if let Some(oct) = clean.strip_prefix("0o") {
+        (8, oct)
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        (2, bin)
+    } else {
+        (10, clean.as_str())
+    };
+    // Strip a type suffix (`u8`, `usize`, `i64`, …).
+    let end = digits
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    match &digits[end..] {
+        "" | "u8" | "u16" | "u32" | "u64" | "u128" | "usize" | "i8" | "i16" | "i32" | "i64"
+        | "i128" | "isize" => u64::from_str_radix(&digits[..end], radix).ok(),
+        _ => None,
+    }
+}
+
+/// Extracts the raw bytes of a byte-string literal token (`b"TACD"`,
+/// `br#"x"#`). `None` for other strings or when escapes are present
+/// (wire magics are plain ASCII).
+pub fn byte_string_value(text: &str) -> Option<Vec<u8>> {
+    let rest = text.strip_prefix('b')?;
+    let rest = rest.strip_prefix('r').unwrap_or(rest);
+    let rest = rest.trim_matches('#');
+    let inner = rest.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('\\') {
+        return None;
+    }
+    Some(inner.bytes().collect())
+}

@@ -1,0 +1,190 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `tac-lint` — repo-specific static analysis for the TAC workspace.
+//!
+//! The container fuzzer (PR 4) kept finding decode-path crashes that
+//! were all *statically visible*: panicking `unwrap`/indexing on
+//! attacker-controlled bytes, bare arithmetic on wire-supplied lengths,
+//! and wire constants duplicated as comments instead of named values.
+//! This crate enforces those invariants at lint time:
+//!
+//! * a hand-rolled total [`lexer`] (no `syn`; the environment is
+//!   offline) turns every workspace source file into tokens;
+//! * the [`rules`] engine runs R1 (panic-free decode paths), R2
+//!   (checked wire arithmetic), R4 (an `unsafe` inventory against an
+//!   empty allowlist), and R5 (justified suppressions only);
+//! * [`wirecheck`] runs R3, cross-checking declared wire constants
+//!   against each other and against the golden fixtures on disk.
+//!
+//! The `tac-lint` binary walks the workspace, prints findings, and with
+//! `--deny` fails the build on any unsuppressed violation; CI archives
+//! its `--json` report as `LINT.json`.
+
+pub mod lexer;
+pub mod rules;
+pub mod wirecheck;
+
+pub use rules::{analyze_file, FileAnalysis, Suppression, Violation, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, ordered by file then line.
+    pub violations: Vec<Violation>,
+    /// All suppression comments found (used or not).
+    pub suppressions: Vec<Suppression>,
+}
+
+impl LintReport {
+    /// Findings per rule name, in [`ALL_RULES`] order.
+    pub fn counts_by_rule(&self) -> Vec<(&'static str, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&r| (r, self.violations.iter().filter(|v| v.rule == r).count()))
+            .collect()
+    }
+
+    /// Serializes the report (hand-rolled JSON, like the workspace's
+    /// other machine-readable artifacts — no serde in the loop).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"violation_count\": {},\n",
+            self.violations.len()
+        ));
+        s.push_str("  \"rule_counts\": {");
+        let counts = self.counts_by_rule();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{rule}\": {n}"));
+        }
+        s.push_str("},\n  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"message\": \"{}\"}}{}\n",
+                v.rule,
+                esc(&v.file),
+                v.line,
+                v.col,
+                esc(&v.message),
+                if i + 1 < self.violations.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"suppressions\": [\n");
+        for (i, sup) in self.suppressions.iter().enumerate() {
+            let rules: Vec<String> = sup.rules.iter().map(|r| format!("\"{r}\"")).collect();
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rules\": [{}], \
+                 \"justification\": \"{}\", \"used\": {}}}{}\n",
+                esc(&sup.file),
+                sup.line,
+                rules.join(", "),
+                esc(&sup.justification),
+                sup.used,
+                if i + 1 < self.suppressions.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Lints every `.rs` file under `root` (skipping `target/` and version
+/// control) plus the R3 fixture cross-checks.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, Path::new(""), &mut files)?;
+    files.sort();
+    let mut analyses = Vec::new();
+    for rel in &files {
+        let raw = std::fs::read(root.join(rel))?;
+        let src = String::from_utf8_lossy(&raw);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        analyses.push(analyze_file(&rel_str, &src));
+    }
+    let wire = wirecheck::wire_checks(root, &analyses);
+    let files_scanned = analyses.len();
+    let mut violations = Vec::new();
+    let mut suppressions = Vec::new();
+    for fa in analyses {
+        violations.extend(fa.violations);
+        suppressions.extend(fa.suppressions);
+    }
+    violations.extend(wire);
+    violations.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    suppressions.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(LintReport {
+        files_scanned,
+        violations,
+        suppressions,
+    })
+}
+
+fn collect_rs_files(root: &Path, rel: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let dir = root.join(rel);
+    for entry in std::fs::read_dir(&dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name_str = name.to_string_lossy();
+        let sub = rel.join(&name);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if name_str == "target" || name_str.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &sub, out)?;
+        } else if ty.is_file() && name_str.ends_with(".rs") {
+            out.push(sub);
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

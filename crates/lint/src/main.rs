@@ -1,0 +1,96 @@
+//! `tac-lint` CLI.
+//!
+//! ```text
+//! tac-lint [--deny] [--json PATH] [--root PATH]
+//! ```
+//!
+//! Walks the workspace (found from the current directory unless
+//! `--root` is given), prints every finding as `file:line:col [rule]
+//! message`, and writes a machine-readable report to `--json PATH`.
+//! With `--deny`, any unsuppressed violation makes the process exit
+//! non-zero — the CI configuration.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(p) => json = Some(PathBuf::from(p)),
+                None => return usage("--json needs a path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| tac_lint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("tac-lint: no workspace root found (pass --root)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match tac_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tac-lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}:{} [{}] {}", v.file, v.line, v.col, v.rule, v.message);
+    }
+    let used = report.suppressions.iter().filter(|s| s.used).count();
+    let counts: Vec<String> = report
+        .counts_by_rule()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(r, n)| format!("{r}: {n}"))
+        .collect();
+    println!(
+        "tac-lint: {} files scanned, {} violation(s){}, {} suppression(s) ({} used)",
+        report.files_scanned,
+        report.violations.len(),
+        if counts.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", counts.join(", "))
+        },
+        report.suppressions.len(),
+        used,
+    );
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("tac-lint: writing {} failed: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("tac-lint: report written to {}", path.display());
+    }
+
+    if deny && !report.violations.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tac-lint: {msg}\nusage: tac-lint [--deny] [--json PATH] [--root PATH]");
+    ExitCode::FAILURE
+}

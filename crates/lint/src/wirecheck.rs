@@ -1,0 +1,365 @@
+//! R3 — wire-constant single source of truth.
+//!
+//! Cross-file checks over the constants the per-file pass extracted:
+//!
+//! * the three container formats declare their magic and version
+//!   constants where the format lives, magics are 4 bytes and pairwise
+//!   distinct, and each magic byte-string literal appears **exactly
+//!   once** in non-test code (the declaration itself — every other use
+//!   must go through the constant);
+//! * the chunk-table row sizes are named constants
+//!   (`CHUNK_ROW_BYTES_V2`/`_V3`, the v3 row being one codec byte
+//!   larger), and their values never recur as bare integer literals in
+//!   the container/ROI/stream modules;
+//! * the payload tag bytes in `core/stream.rs` are named `TAG_*`
+//!   constants with pairwise-distinct values;
+//! * every golden fixture under `tests/data/*.tacd` agrees with the
+//!   declared constants: magic, version byte, and — for chunked
+//!   containers — the exact file geometry
+//!   `table_pos + count_prefix + rows * row_size + footer == file length`
+//!   recomputed from the footer offset, the row count, and the declared
+//!   row size. The writer, the reader, and the on-disk bytes must all
+//!   mean the same thing by "a row".
+
+use crate::rules::{ConstDecl, FileAnalysis, Violation};
+use std::path::Path;
+
+const CORE_CONTAINER: &str = "crates/core/src/container.rs";
+const CORE_STREAM: &str = "crates/core/src/stream.rs";
+const SZ_CONTAINER: &str = "crates/sz/src/container.rs";
+const PCO: &str = "crates/codec/src/pco.rs";
+
+/// Size of the chunk table's `u32` row-count prefix.
+const COUNT_PREFIX: u64 = 4;
+/// Size of the trailing `u64` table-offset footer.
+const FOOTER: u64 = 8;
+
+fn violation(file: &str, line: u32, message: String) -> Violation {
+    Violation {
+        rule: "wire",
+        file: file.to_string(),
+        line,
+        col: 1,
+        message,
+    }
+}
+
+fn find<'a>(analyses: &'a [FileAnalysis], suffix: &str) -> Option<&'a FileAnalysis> {
+    analyses.iter().find(|a| a.file.ends_with(suffix))
+}
+
+fn get_const<'a>(fa: &'a FileAnalysis, name: &str) -> Option<&'a ConstDecl> {
+    fa.consts.iter().find(|c| c.name == name)
+}
+
+/// Runs every R3 check. `root` is the workspace root (for fixtures).
+pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
+    let mut v = Vec::new();
+
+    // --- Declared constants -------------------------------------------
+    let mut magics: Vec<(&'static str, Vec<u8>)> = Vec::new();
+    let mut require_magic = |v: &mut Vec<Violation>, file: &'static str| -> Option<Vec<u8>> {
+        let Some(fa) = find(analyses, file) else {
+            v.push(violation(
+                file,
+                1,
+                "wire module missing from the scan".into(),
+            ));
+            return None;
+        };
+        match get_const(fa, "MAGIC").and_then(|c| c.bytes.clone()) {
+            Some(m) if m.len() == 4 => {
+                magics.push((file, m.clone()));
+                Some(m)
+            }
+            Some(m) => {
+                v.push(violation(
+                    file,
+                    1,
+                    format!("MAGIC must be 4 bytes, found {}", m.len()),
+                ));
+                None
+            }
+            None => {
+                v.push(violation(
+                    file,
+                    1,
+                    "no `MAGIC` byte-string constant declared".into(),
+                ));
+                None
+            }
+        }
+    };
+    let core_magic = require_magic(&mut v, CORE_CONTAINER);
+    require_magic(&mut v, SZ_CONTAINER);
+    require_magic(&mut v, PCO);
+    for i in 0..magics.len() {
+        for j in i + 1..magics.len() {
+            if magics[i].1 == magics[j].1 {
+                v.push(violation(
+                    magics[j].0,
+                    1,
+                    format!("magic collides with the one declared in {}", magics[i].0),
+                ));
+            }
+        }
+    }
+
+    // Versions: the core container declares its three version bytes; the
+    // single-version formats declare VERSION.
+    let mut versions: Vec<u64> = Vec::new();
+    if let Some(fa) = find(analyses, CORE_CONTAINER) {
+        for (name, want) in [("VERSION_V1", 1), ("VERSION_V2", 2), ("VERSION_V3", 3)] {
+            match get_const(fa, name).and_then(|c| c.int) {
+                Some(got) if got == want => versions.push(got),
+                Some(got) => v.push(violation(
+                    &fa.file,
+                    1,
+                    format!("{name} is {got}, expected {want}"),
+                )),
+                None => v.push(violation(
+                    &fa.file,
+                    1,
+                    format!("no integer constant `{name}` declared"),
+                )),
+            }
+        }
+    }
+    for file in [SZ_CONTAINER, PCO] {
+        if let Some(fa) = find(analyses, file) {
+            if get_const(fa, "VERSION").and_then(|c| c.int).is_none() {
+                v.push(violation(
+                    file,
+                    1,
+                    "no integer constant `VERSION` declared".into(),
+                ));
+            }
+        }
+    }
+
+    // Chunk-table row sizes.
+    let mut row_v2 = None;
+    let mut row_v3 = None;
+    if let Some(fa) = find(analyses, CORE_CONTAINER) {
+        row_v2 = get_const(fa, "CHUNK_ROW_BYTES_V2").and_then(|c| c.int);
+        row_v3 = get_const(fa, "CHUNK_ROW_BYTES_V3").and_then(|c| c.int);
+        match (row_v2, row_v3) {
+            (Some(a), Some(b)) if b != a + 1 => v.push(violation(
+                &fa.file,
+                1,
+                format!("CHUNK_ROW_BYTES_V3 ({b}) must be CHUNK_ROW_BYTES_V2 ({a}) + 1 codec byte"),
+            )),
+            (None, _) => v.push(violation(
+                &fa.file,
+                1,
+                "no `CHUNK_ROW_BYTES_V2` constant declared".into(),
+            )),
+            (_, None) => v.push(violation(
+                &fa.file,
+                1,
+                "no `CHUNK_ROW_BYTES_V3` constant declared".into(),
+            )),
+            _ => {}
+        }
+    }
+
+    // Payload tag bytes are named constants with distinct values.
+    if let Some(fa) = find(analyses, CORE_STREAM) {
+        let tags: Vec<&ConstDecl> = fa
+            .consts
+            .iter()
+            .filter(|c| c.name.starts_with("TAG_"))
+            .collect();
+        if tags.len() < 2 {
+            v.push(violation(
+                &fa.file,
+                1,
+                "payload tag bytes must be named TAG_* constants".into(),
+            ));
+        }
+        for i in 0..tags.len() {
+            for j in i + 1..tags.len() {
+                if tags[i].int.is_some() && tags[i].int == tags[j].int {
+                    v.push(violation(
+                        &fa.file,
+                        tags[j].line,
+                        format!("{} duplicates the value of {}", tags[j].name, tags[i].name),
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Single source of truth ----------------------------------------
+    // Each declared magic literal appears exactly once in non-test code.
+    for (decl_file, magic) in &magics {
+        let mut occurrences: Vec<(&str, u32)> = Vec::new();
+        for fa in analyses {
+            for (bytes, line) in &fa.byte_strings {
+                if bytes == magic {
+                    occurrences.push((&fa.file, *line));
+                }
+            }
+        }
+        for (file, line) in occurrences.iter().skip(1) {
+            v.push(violation(
+                file,
+                *line,
+                format!(
+                    "magic {magic:02x?} duplicated outside its declaration in {decl_file}; \
+                     use the constant"
+                ),
+            ));
+        }
+        if occurrences.is_empty() {
+            v.push(violation(
+                decl_file,
+                1,
+                "declared magic literal not found".into(),
+            ));
+        }
+    }
+
+    // Row sizes never recur as bare literals in the modules that share
+    // them (the `container.rs` comment-as-spec failure mode).
+    if let (Some(a), Some(b)) = (row_v2, row_v3) {
+        for file in [CORE_CONTAINER, CORE_STREAM, "crates/core/src/roi.rs"] {
+            if let Some(fa) = find(analyses, file) {
+                for &(value, line, col) in &fa.bare_ints {
+                    if value == a || value == b {
+                        v.push(Violation {
+                            rule: "wire",
+                            file: fa.file.clone(),
+                            line,
+                            col,
+                            message: format!(
+                                "bare chunk-row size {value}; use CHUNK_ROW_BYTES_V{}",
+                                if value == a { 2 } else { 3 }
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Golden fixtures -----------------------------------------------
+    check_fixtures(
+        root,
+        &mut v,
+        core_magic.as_deref(),
+        &versions,
+        row_v2,
+        row_v3,
+    );
+    v
+}
+
+/// Cross-checks every `tests/data/*.tacd` golden fixture against the
+/// declared wire constants.
+fn check_fixtures(
+    root: &Path,
+    v: &mut Vec<Violation>,
+    core_magic: Option<&[u8]>,
+    versions: &[u64],
+    row_v2: Option<u64>,
+    row_v3: Option<u64>,
+) {
+    let dir = root.join("tests").join("data");
+    let mut fixtures: Vec<std::path::PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "tacd"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    fixtures.sort();
+    if fixtures.is_empty() {
+        v.push(violation(
+            "tests/data",
+            1,
+            "no golden .tacd fixtures found to cross-check wire constants against".into(),
+        ));
+        return;
+    }
+    for path in fixtures {
+        let label = format!(
+            "tests/data/{}",
+            path.file_name()
+                .map(|n| n.to_string_lossy())
+                .unwrap_or_default()
+        );
+        let Ok(bytes) = std::fs::read(&path) else {
+            v.push(violation(&label, 1, "fixture unreadable".into()));
+            continue;
+        };
+        let mut bad = |msg: String| v.push(violation(&label, 1, msg));
+        if bytes.len() < 5 {
+            bad(format!(
+                "fixture is {} bytes, smaller than any header",
+                bytes.len()
+            ));
+            continue;
+        }
+        if let Some(magic) = core_magic {
+            if &bytes[..4] != magic {
+                bad(format!(
+                    "fixture magic {:02x?} does not match the declared {magic:02x?}",
+                    &bytes[..4]
+                ));
+                continue;
+            }
+        }
+        let version = u64::from(bytes[4]);
+        if !versions.is_empty() && !versions.contains(&version) {
+            bad(format!(
+                "fixture version byte {version} is not one of the declared {versions:?}"
+            ));
+            continue;
+        }
+        if version < 2 {
+            continue; // v1 has no chunk table to check.
+        }
+        let row = match (version, row_v2, row_v3) {
+            (2, Some(r), _) | (3, _, Some(r)) => r,
+            _ => continue, // missing consts already reported
+        };
+        let len = bytes.len() as u64;
+        if len < FOOTER + COUNT_PREFIX {
+            bad("chunked fixture too small for a table footer".into());
+            continue;
+        }
+        let Some(footer_at) = bytes.len().checked_sub(8) else {
+            continue;
+        };
+        let footer: [u8; 8] = match bytes[footer_at..].try_into() {
+            Ok(f) => f,
+            Err(_) => continue,
+        };
+        let table_pos = u64::from_le_bytes(footer);
+        let count_end = table_pos.checked_add(COUNT_PREFIX);
+        if count_end.is_none() || count_end.is_some_and(|e| e > len - FOOTER) {
+            bad(format!("footer table offset {table_pos} out of bounds"));
+            continue;
+        }
+        let tp = table_pos as usize;
+        let count_bytes: [u8; 4] = match bytes[tp..tp + 4].try_into() {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let count = u64::from(u32::from_le_bytes(count_bytes));
+        let expected_len = count
+            .checked_mul(row)
+            .and_then(|rows| rows.checked_add(table_pos))
+            .and_then(|x| x.checked_add(COUNT_PREFIX))
+            .and_then(|x| x.checked_add(FOOTER));
+        if expected_len != Some(len) {
+            bad(format!(
+                "geometry mismatch: table at {table_pos} with {count} rows of \
+                 {row} bytes implies a {expected_len:?}-byte file, got {len} \
+                 (writer/reader/fixture disagree on the row size)"
+            ));
+        }
+    }
+}

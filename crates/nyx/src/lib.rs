@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-nyx
 //!
 //! Synthetic **Nyx-like cosmology AMR datasets**. The paper evaluates TAC

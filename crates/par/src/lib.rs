@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-par
 //!
 //! Work-stealing block scheduler behind TAC's parallel compression

@@ -119,7 +119,11 @@ impl<'a> BitReader<'a> {
         let mut out = 0u64;
         let mut remaining = nbits;
         while remaining > 0 {
-            let byte = self.buf[(self.pos / 8) as usize];
+            let byte = self
+                .buf
+                .get((self.pos / 8) as usize)
+                .copied()
+                .ok_or_else(|| SzError::Corrupt("bitstream over-read".into()))?;
             let offset = (self.pos % 8) as u8;
             let avail = 8 - offset;
             let take = remaining.min(avail);

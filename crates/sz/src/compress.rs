@@ -16,6 +16,7 @@ use crate::lossless;
 use crate::predictor::{lorenzo_1d, lorenzo_2d, lorenzo_3d};
 use crate::quantizer::{Quantized, Quantizer, UNPREDICTABLE};
 use crate::regression::RegressionContext;
+use crate::wire::ByteReader;
 
 /// Per-point behaviour plugged into the shared traversal.
 trait PointCodec {
@@ -34,6 +35,7 @@ struct Encoder<'a> {
 
 impl PointCodec for Encoder<'_> {
     #[inline]
+    // tac-lint: allow(panic) -- encoder over in-memory data: the traversal only produces idx < dims.len() == data.len(), validated before entry.
     fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
         let v = self.data[idx];
         let (q, recon) = self.quantizer.quantize(v, pred);
@@ -59,7 +61,10 @@ struct Decoder<'a> {
 impl PointCodec for Decoder<'_> {
     #[inline]
     fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
-        let sym = self.symbols[idx];
+        let sym = *self
+            .symbols
+            .get(idx)
+            .ok_or_else(|| SzError::Corrupt("symbol stream exhausted".into()))?;
         if sym == UNPREDICTABLE {
             let v = *self
                 .raws
@@ -78,6 +83,7 @@ impl PointCodec for Decoder<'_> {
 /// slab context says so — and delegating to the codec. `contexts` holds
 /// one optional regression context per 3D slab (one for `D3`, `nw` for
 /// `D4`, none for ranks 1-2).
+// tac-lint: allow(panic) -- shared encode/decode walk: recon.len() == dims.len() is validated by both callers, and every index stays below it by the loop bounds.
 fn traverse<C: PointCodec>(
     dims: Dims,
     recon: &mut [f64],
@@ -123,6 +129,7 @@ fn traverse<C: PointCodec>(
     Ok(())
 }
 
+// tac-lint: allow(panic, arith) -- shared encode/decode walk: base + nx*ny*nz <= recon.len() holds for every slab by the callers' dims validation, and x + nx*(y + ny*z) < nx*ny*nz by the loop bounds.
 fn traverse_3d<C: PointCodec>(
     nx: usize,
     ny: usize,
@@ -150,6 +157,7 @@ fn traverse_3d<C: PointCodec>(
 
 /// Builds encoder-side regression contexts (one per 3D slab) when the
 /// configuration enables them and the rank is 3 or 4.
+// tac-lint: allow(panic) -- encoder-only: slab slices cover exactly data.len() == nx*ny*nz*nw, validated before entry.
 fn build_contexts(
     data: &[f64],
     dims: Dims,
@@ -242,6 +250,7 @@ pub fn compress_with_recon(
     huffman.encode(&symbols, &mut writer);
     let (bits, bit_len) = writer.finish();
 
+    // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory section lengths; a wrong guess only costs a reallocation.
     let mut payload = Vec::with_capacity(
         8 + raws.len() * 8 + pred_section.len() + 8 + huffman.table_size() + 8 + bits.len(),
     );
@@ -268,12 +277,14 @@ pub fn compress_with_recon(
         payload
     };
 
+    // tac-lint: allow(arith) -- cfg.validate() bounds capacity to 1 << 28, well inside u32.
     let header = Header {
         flags,
         dims,
         abs_eb,
         capacity: cfg.capacity as u32,
     };
+    // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths.
     let mut out = Vec::with_capacity(header.encoded_len() + body.len());
     header.encode(&mut out);
     out.extend_from_slice(&body);
@@ -284,7 +295,9 @@ pub fn compress_with_recon(
 /// its shape.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     let (header, consumed) = Header::decode(bytes)?;
-    let body = &bytes[consumed..];
+    let body = bytes
+        .get(consumed..)
+        .ok_or_else(|| SzError::Corrupt("stream truncated after header".into()))?;
     let payload_owned;
     let payload: &[u8] = if header.flags & FLAG_LOSSLESS != 0 {
         payload_owned = lossless::decompress(body)?;
@@ -294,24 +307,13 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     };
 
     let n = header.dims.len();
-    let mut pos = 0usize;
-    let take = |pos: &mut usize, len: usize| -> Result<&[u8], SzError> {
-        // checked_add: a crafted length near usize::MAX must fail here,
-        // not wrap past the bounds check and panic at slice time.
-        let end = pos
-            .checked_add(len)
-            .filter(|&e| e <= payload.len())
-            .ok_or_else(|| SzError::Corrupt("payload truncated".into()))?;
-        let s = &payload[*pos..end];
-        *pos = end;
-        Ok(s)
-    };
+    let mut r = ByteReader::new(payload);
 
-    let n_raw = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let n_raw = r.get_u64()? as usize;
     // Both bounds matter: `n` caps the semantic count, the payload length
     // caps the up-front allocation (a crafted count must not reserve
     // gigabytes before the reads start failing).
-    if n_raw > n || n_raw.saturating_mul(8) > payload.len() - pos {
+    if n_raw > n || n_raw.saturating_mul(8) > r.remaining() {
         return Err(SzError::Corrupt(format!(
             "{n_raw} raw values for {n} points in a {}-byte payload",
             payload.len()
@@ -319,59 +321,62 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     }
     let mut raws = Vec::with_capacity(n_raw);
     for _ in 0..n_raw {
-        let bits = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        raws.push(f64::from_bits(bits));
+        raws.push(r.get_f64()?);
     }
 
     // Predictor side-section.
-    let pred_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
-    let pred_section = take(&mut pos, pred_len)?;
-    let contexts: Vec<Option<RegressionContext>> = if pred_section.is_empty() {
-        return Err(SzError::Corrupt("missing predictor section".into()));
-    } else if pred_section[0] == 0 {
-        Vec::new()
-    } else if pred_section[0] == 1 {
-        let slab_dims = match header.dims {
-            Dims::D3(nx, ny, nz) => Some((nx, ny, nz, 1usize)),
-            Dims::D4(nx, ny, nz, nw) => Some((nx, ny, nz, nw)),
-            _ => None,
-        };
-        let (nx, ny, nz, nw) =
-            slab_dims.ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
-        // Every serialized context occupies at least one byte, so a
-        // crafted D4 header whose batch axis dwarfs the predictor
-        // section must fail here — not in a `with_capacity(nw)` that
-        // tries to reserve hundreds of gigabytes.
-        if nw > pred_section.len() {
-            return Err(SzError::Corrupt(format!(
-                "{nw} regression slabs cannot fit a {}-byte predictor section",
-                pred_section.len()
-            )));
+    let pred_len = r.get_u64()? as usize;
+    let pred_section = r.get_bytes(pred_len)?;
+    let pred_tag = pred_section.first().copied();
+    let contexts: Vec<Option<RegressionContext>> = match pred_tag {
+        None => return Err(SzError::Corrupt("missing predictor section".into())),
+        Some(0) => Vec::new(),
+        Some(1) => {
+            let slab_dims = match header.dims {
+                Dims::D3(nx, ny, nz) => Some((nx, ny, nz, 1usize)),
+                Dims::D4(nx, ny, nz, nw) => Some((nx, ny, nz, nw)),
+                _ => None,
+            };
+            let (nx, ny, nz, nw) = slab_dims
+                .ok_or_else(|| SzError::Corrupt("regression on rank < 3 stream".into()))?;
+            // Every serialized context occupies at least one byte, so a
+            // crafted D4 header whose batch axis dwarfs the predictor
+            // section must fail here — not in a `with_capacity(nw)` that
+            // tries to reserve hundreds of gigabytes.
+            if nw > pred_section.len() {
+                return Err(SzError::Corrupt(format!(
+                    "{nw} regression slabs cannot fit a {}-byte predictor section",
+                    pred_section.len()
+                )));
+            }
+            let mut off = 1usize;
+            let mut ctxs = Vec::with_capacity(nw);
+            for _ in 0..nw {
+                let section = pred_section
+                    .get(off..)
+                    .ok_or_else(|| SzError::Corrupt("predictor section truncated".into()))?;
+                let (ctx, used) =
+                    RegressionContext::deserialize(section, nx, ny, nz, header.abs_eb)?;
+                off = off
+                    .checked_add(used)
+                    .ok_or_else(|| SzError::Corrupt("predictor cursor overflow".into()))?;
+                ctxs.push(Some(ctx));
+            }
+            if off != pred_section.len() {
+                return Err(SzError::Corrupt(
+                    "predictor section has trailing bytes".into(),
+                ));
+            }
+            ctxs
         }
-        let mut off = 1usize;
-        let mut ctxs = Vec::with_capacity(nw);
-        for _ in 0..nw {
-            let (ctx, used) =
-                RegressionContext::deserialize(&pred_section[off..], nx, ny, nz, header.abs_eb)?;
-            off += used;
-            ctxs.push(Some(ctx));
+        Some(tag) => {
+            return Err(SzError::Corrupt(format!("unknown predictor tag {tag}")));
         }
-        if off != pred_section.len() {
-            return Err(SzError::Corrupt(
-                "predictor section has trailing bytes".into(),
-            ));
-        }
-        ctxs
-    } else {
-        return Err(SzError::Corrupt(format!(
-            "unknown predictor tag {}",
-            pred_section[0]
-        )));
     };
 
-    let (huffman, table_len) = HuffmanCode::deserialize_table(&payload[pos..])?;
-    pos += table_len;
-    let bit_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+    let (huffman, table_len) = HuffmanCode::deserialize_table(r.rest())?;
+    r.skip(table_len)?;
+    let bit_len = r.get_u64()?;
     // Every Huffman codeword is at least one bit, so `n` symbols need at
     // least `n` bits. Checking before decoding keeps a crafted header's
     // declared point count from driving a huge symbol-buffer allocation
@@ -381,8 +386,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
             "{n} points cannot decode from a {bit_len}-bit stream"
         )));
     }
-    let bit_bytes = &payload[pos..];
-    let mut reader = BitReader::new(bit_bytes, bit_len)?;
+    let mut reader = BitReader::new(r.rest(), bit_len)?;
     let symbols = huffman.decode(&mut reader, n)?;
 
     let quantizer = Quantizer::new(header.abs_eb, header.capacity as usize);
@@ -405,7 +409,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
 
 /// Sanity check available to callers: magic-number sniffing.
 pub fn looks_like_stream(bytes: &[u8]) -> bool {
-    bytes.len() > 5 && bytes[..4] == MAGIC && bytes[4] == VERSION
+    bytes.len() > 5 && bytes.get(..4) == Some(MAGIC.as_slice()) && bytes.get(4) == Some(&VERSION)
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub struct Header {
 
 impl Header {
     /// Serialized size in bytes.
+    // tac-lint: allow(arith) -- writer-side size accounting: rank() <= 3, so the sum stays tiny.
     pub fn encoded_len(&self) -> usize {
         4 + 1 + 1 + 1 + self.dims.rank() as usize * 8 + 8 + 4
     }

@@ -7,6 +7,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::SzError;
+use crate::wire::ByteReader;
 use std::collections::BinaryHeap;
 
 /// Maximum accepted code length. With < 2^32 samples the Huffman depth is
@@ -30,6 +31,7 @@ impl HuffmanCode {
     ///
     /// # Panics
     /// Panics if `data` is empty (callers guard this).
+    // tac-lint: allow(panic) -- encoder over in-memory input; `i` and `j` stay below sorted.len() by the loop guards.
     pub fn from_symbols(data: &[u32]) -> Self {
         assert!(!data.is_empty(), "cannot build a Huffman code from nothing");
         // Frequency map. Symbols are quantization codes, usually tightly
@@ -67,6 +69,7 @@ impl HuffmanCode {
     ///
     /// # Panics
     /// Panics if a symbol was not present when the code was built.
+    // tac-lint: allow(panic) -- encoder-side: callers encode the same data the table was built from, so lookup succeeds and idx < symbols.len() = codes.len() = lengths.len().
     pub fn encode(&self, data: &[u32], writer: &mut BitWriter) {
         for &s in data {
             let idx = self
@@ -78,6 +81,7 @@ impl HuffmanCode {
     }
 
     /// Serializes the `(symbol, length)` table.
+    // tac-lint: allow(arith) -- encoder-side: distinct symbols come from one in-memory block, far below u32::MAX.
     pub fn serialize_table(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
         for (&s, &l) in self.symbols.iter().zip(&self.lengths) {
@@ -87,6 +91,7 @@ impl HuffmanCode {
     }
 
     /// Size in bytes of the serialized table.
+    // tac-lint: allow(arith) -- encoder-side accounting over an in-memory table; 5 bytes per symbol cannot overflow usize.
     pub fn table_size(&self) -> usize {
         4 + self.symbols.len() * 5
     }
@@ -94,26 +99,28 @@ impl HuffmanCode {
     /// Deserializes a table written by [`HuffmanCode::serialize_table`].
     /// Returns the code and the number of bytes consumed.
     pub fn deserialize_table(bytes: &[u8]) -> Result<(Self, usize), SzError> {
-        if bytes.len() < 4 {
-            return Err(SzError::Corrupt("huffman table header truncated".into()));
-        }
-        let n = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-        let need = 4 + n * 5;
-        if bytes.len() < need {
-            return Err(SzError::Corrupt(format!(
-                "huffman table truncated: need {need} bytes, have {}",
-                bytes.len()
-            )));
-        }
+        let mut r = ByteReader::new(bytes);
+        let n = r
+            .get_u32()
+            .map_err(|_| SzError::Corrupt("huffman table header truncated".into()))?
+            as usize;
         if n == 0 {
             return Err(SzError::Corrupt("huffman table is empty".into()));
         }
+        // Five bytes per entry: the declared count is bounded by what the
+        // buffer can actually hold before anything is allocated.
+        if n > r.remaining() / 5 {
+            return Err(SzError::Corrupt(format!(
+                "huffman table truncated: {n} entries declared, {} bytes remain",
+                r.remaining()
+            )));
+        }
         let mut symbols = Vec::with_capacity(n);
         let mut lengths = Vec::with_capacity(n);
-        for i in 0..n {
-            let off = 4 + i * 5;
-            let s = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
-            let l = bytes[off + 4];
+        for _ in 0..n {
+            let truncated = |_| SzError::Corrupt("huffman table truncated".into());
+            let s = r.get_u32().map_err(truncated)?;
+            let l = r.get_u8().map_err(truncated)?;
             if l == 0 || l > MAX_CODE_LEN {
                 return Err(SzError::Corrupt(format!("invalid code length {l}")));
             }
@@ -141,7 +148,7 @@ impl HuffmanCode {
                 lengths,
                 codes,
             },
-            need,
+            r.position(),
         ))
     }
 
@@ -174,28 +181,36 @@ impl<'a> CanonicalDecoder<'a> {
                 code,
                 by_len_symbol: Vec::new(),
                 levels: Vec::new(),
-                single_symbol: Some(code.symbols[0]),
+                single_symbol: code.symbols.first().copied(),
             };
         }
-        let max_len = *code.lengths.iter().max().unwrap() as usize;
-        // Order symbol indices canonically: by (length, symbol). `symbols`
-        // is already sorted, so a stable sort by length suffices.
-        let mut order: Vec<u32> = (0..code.symbols.len() as u32).collect();
-        order.sort_by_key(|&i| code.lengths[i as usize]);
-        let by_len_symbol: Vec<u32> = order.iter().map(|&i| code.symbols[i as usize]).collect();
+        // Canonical order is (length, symbol). `symbols` is already
+        // sorted, so sorting the zipped pairs gives exactly that without
+        // any index round-trips.
+        let mut pairs: Vec<(u8, u32)> = code
+            .lengths
+            .iter()
+            .copied()
+            .zip(code.symbols.iter().copied())
+            .collect();
+        pairs.sort_unstable();
+        let by_len_symbol: Vec<u32> = pairs.iter().map(|&(_, s)| s).collect();
+        let max_len = usize::from(pairs.last().map(|&(l, _)| l).unwrap_or(0));
 
-        let mut counts = vec![0u32; max_len + 1];
-        for &l in &code.lengths {
-            counts[l as usize] += 1;
+        let mut counts = vec![0u32; max_len.saturating_add(1)];
+        for &(l, _) in &pairs {
+            if let Some(c) = counts.get_mut(usize::from(l)) {
+                *c += 1;
+            }
         }
         let mut levels = Vec::with_capacity(max_len);
         let mut next_code = 0u64;
         let mut first_index = 0u32;
-        for &count in &counts[1..=max_len] {
+        for &count in counts.iter().skip(1) {
             next_code <<= 1;
             levels.push((next_code, first_index, count));
-            next_code += count as u64;
-            first_index += count;
+            next_code += u64::from(count);
+            first_index = first_index.saturating_add(count);
         }
         CanonicalDecoder {
             code,
@@ -213,13 +228,16 @@ impl<'a> CanonicalDecoder<'a> {
             return Ok(s);
         }
         let mut acc = 0u64;
-        for (len_m1, &(first_code, first_index, count)) in self.levels.iter().enumerate() {
-            acc = (acc << 1) | reader.read_bit()? as u64;
-            if count > 0 && acc < first_code + count as u64 && acc >= first_code {
-                let idx = first_index as u64 + (acc - first_code);
-                return Ok(self.by_len_symbol[idx as usize]);
+        for &(first_code, first_index, count) in &self.levels {
+            acc = (acc << 1) | u64::from(reader.read_bit()?);
+            if count > 0 && acc >= first_code && acc - first_code < u64::from(count) {
+                let idx = u64::from(first_index) + (acc - first_code);
+                return self
+                    .by_len_symbol
+                    .get(idx as usize)
+                    .copied()
+                    .ok_or_else(|| SzError::Corrupt("invalid huffman codeword".into()));
             }
-            let _ = len_m1;
         }
         Err(SzError::Corrupt("invalid huffman codeword".into()))
     }
@@ -232,6 +250,7 @@ impl<'a> CanonicalDecoder<'a> {
 
 /// Computes Huffman code lengths from frequencies (package-style heap
 /// algorithm). A single symbol gets length 1.
+// tac-lint: allow(panic, arith) -- encoder-only tree build: the heap holds n >= 2 items when popped twice, every node id is < 2n-1 by construction, and n is an in-memory symbol count.
 fn code_lengths(freqs: &[u64]) -> Vec<u8> {
     let n = freqs.len();
     if n == 1 {
@@ -290,25 +309,38 @@ fn code_lengths(freqs: &[u64]) -> Vec<u8> {
 
 /// Assigns canonical codewords given code lengths: symbols sorted by
 /// (length, symbol index) receive consecutive codes.
+///
+/// Total: runs on lengths deserialized from the wire, so every lookup is
+/// checked even though `l <= max_len` holds by construction.
 fn canonical_codes(lengths: &[u8]) -> Vec<u64> {
-    let max_len = *lengths.iter().max().unwrap() as usize;
-    let mut counts = vec![0u64; max_len + 1];
+    let max_len = usize::from(lengths.iter().copied().max().unwrap_or(0));
+    let mut counts = vec![0u64; max_len.saturating_add(1)];
     for &l in lengths {
-        counts[l as usize] += 1;
+        if let Some(c) = counts.get_mut(usize::from(l)) {
+            *c += 1;
+        }
     }
-    let mut next_code = vec![0u64; max_len + 1];
+    let mut next_code = vec![0u64; max_len.saturating_add(1)];
     let mut code = 0u64;
     for len in 1..=max_len {
-        code = (code + counts[len - 1]) << 1;
-        next_code[len] = code;
+        let shorter = counts.get(len.wrapping_sub(1)).copied().unwrap_or(0);
+        code = (code + shorter) << 1;
+        if let Some(slot) = next_code.get_mut(len) {
+            *slot = code;
+        }
     }
     // Assign in symbol order (lengths are stored in symbol order; canonical
     // ordering demands (length, symbol) — symbols are sorted, so iterating
     // in symbol order and bumping the per-length counter is canonical).
-    let mut codes = vec![0u64; lengths.len()];
-    for (i, &l) in lengths.iter().enumerate() {
-        codes[i] = next_code[l as usize];
-        next_code[l as usize] += 1;
+    let mut codes = Vec::with_capacity(lengths.len());
+    for &l in lengths {
+        match next_code.get_mut(usize::from(l)) {
+            Some(slot) => {
+                codes.push(*slot);
+                *slot += 1;
+            }
+            None => codes.push(0),
+        }
     }
     codes
 }

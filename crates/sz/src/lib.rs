@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-sz
 //!
 //! A from-scratch, SZ-style **error-bounded lossy compressor** for

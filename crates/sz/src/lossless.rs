@@ -13,6 +13,7 @@
 //! validates every back-reference.
 
 use crate::error::SzError;
+use crate::wire::ByteReader;
 
 const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 258;
@@ -20,6 +21,7 @@ const WINDOW: usize = 1 << 16;
 const HASH_BITS: u32 = 15;
 const MAX_CHAIN: usize = 64;
 
+// tac-lint: allow(panic) -- encoder-side hash over in-memory input; every caller guarantees i + 3 < data.len() before probing.
 #[inline]
 fn hash4(data: &[u8], i: usize) -> usize {
     let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
@@ -28,6 +30,7 @@ fn hash4(data: &[u8], i: usize) -> usize {
 
 /// Compresses `input`, returning the token stream. Output layout:
 /// `u64 LE` uncompressed length, then control-byte-grouped tokens.
+// tac-lint: allow(panic, arith) -- encoder over trusted in-memory data: indices stay below input.len() by construction, offsets fit the 64 KiB window (u16) and match lengths 4..=258 fit a byte after the MIN_MATCH bias.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     out.extend_from_slice(&(input.len() as u64).to_le_bytes());
@@ -120,15 +123,16 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Decompresses a stream produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzError> {
-    if input.len() < 8 {
-        return Err(SzError::Corrupt("lzss stream shorter than header".into()));
-    }
-    let n = u64::from_le_bytes(input[0..8].try_into().unwrap()) as usize;
+    let mut r = ByteReader::new(input);
+    let n = r
+        .get_u64()
+        .map_err(|_| SzError::Corrupt("lzss stream shorter than header".into()))?
+        as usize;
     // Bound the up-front allocation by what the token stream could ever
     // produce: each token needs at least 3 bytes (plus control bits) and
     // expands to at most MAX_MATCH bytes, so a tiny stream declaring a
     // terabyte output is corrupt, not a reservation request.
-    let max_expansion = (input.len() - 8).saturating_mul(MAX_MATCH);
+    let max_expansion = r.remaining().saturating_mul(MAX_MATCH);
     if n > max_expansion {
         return Err(SzError::Corrupt(format!(
             "lzss declares {n} output bytes from a {}-byte stream (max {max_expansion})",
@@ -136,24 +140,18 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzError> {
         )));
     }
     let mut out = Vec::with_capacity(n);
-    let mut pos = 8usize;
     while out.len() < n {
-        if pos >= input.len() {
-            return Err(SzError::Corrupt("lzss stream truncated (control)".into()));
-        }
-        let ctrl = input[pos];
-        pos += 1;
+        let ctrl = r
+            .get_u8()
+            .map_err(|_| SzError::Corrupt("lzss stream truncated (control)".into()))?;
         for bit in 0..8 {
             if out.len() >= n {
                 break;
             }
             if ctrl & (1 << bit) != 0 {
-                if pos + 3 > input.len() {
-                    return Err(SzError::Corrupt("lzss stream truncated (match)".into()));
-                }
-                let off = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
-                let len = input[pos + 2] as usize + MIN_MATCH;
-                pos += 3;
+                let truncated = |_| SzError::Corrupt("lzss stream truncated (match)".into());
+                let off = r.get_u16().map_err(truncated)? as usize;
+                let len = MIN_MATCH + r.get_u8().map_err(truncated)? as usize;
                 if off == 0 || off > out.len() {
                     return Err(SzError::Corrupt(format!(
                         "lzss back-reference {off} beyond {} decoded bytes",
@@ -161,17 +159,26 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, SzError> {
                     )));
                 }
                 let start = out.len() - off;
-                // Overlapping copies are valid (RLE-style): copy byte-wise.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if len <= off {
+                    // Source and destination cannot overlap: bulk copy.
+                    // `start + len <= out.len()` follows from `len <= off`.
+                    let end = start.saturating_add(len).min(out.len());
+                    out.extend_from_within(start..end);
+                } else {
+                    // Overlapping copies are valid (RLE-style): the
+                    // source grows as the copy proceeds, so go byte-wise.
+                    for k in 0..len {
+                        let b = out.get(start.saturating_add(k)).copied().ok_or_else(|| {
+                            SzError::Corrupt("lzss back-reference escaped the buffer".into())
+                        })?;
+                        out.push(b);
+                    }
                 }
             } else {
-                if pos >= input.len() {
-                    return Err(SzError::Corrupt("lzss stream truncated (literal)".into()));
-                }
-                out.push(input[pos]);
-                pos += 1;
+                let b = r
+                    .get_u8()
+                    .map_err(|_| SzError::Corrupt("lzss stream truncated (literal)".into()))?;
+                out.push(b);
             }
         }
     }

@@ -25,6 +25,11 @@ impl ByteWriter {
         self.buf.push(v);
     }
 
+    /// Appends a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `u32` little-endian.
     pub fn put_u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -85,67 +90,51 @@ impl<'a> ByteReader<'a> {
         ByteReader { buf, pos: 0 }
     }
 
-    fn need(&self, n: usize) -> Result<(), SzError> {
-        if self.remaining() < n {
-            Err(SzError::Corrupt(format!(
-                "need {n} bytes, {} remain",
-                self.remaining()
-            )))
-        } else {
-            Ok(())
-        }
+    /// Consumes `n` bytes — the single bounds-checked cursor advance
+    /// every typed read goes through. Failed reads consume nothing.
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SzError> {
+        let remain = self.remaining();
+        let short = || SzError::Corrupt(format!("need {n} bytes, {remain} remain"));
+        let end = self.pos.checked_add(n).ok_or_else(short)?;
+        let out = self.buf.get(self.pos..end).ok_or_else(short)?;
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Consumes exactly `N` bytes as a fixed-size array.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], SzError> {
+        let bytes = self.take(N)?;
+        <[u8; N]>::try_from(bytes).map_err(|_| SzError::Corrupt("short read".into()))
     }
 
     /// Reads one byte.
     pub fn get_u8(&mut self) -> Result<u8, SzError> {
-        self.need(1)?;
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        Ok(v)
+        Ok(u8::from_le_bytes(self.take_array()?))
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, SzError> {
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, SzError> {
-        self.need(4)?;
-        let v = u32::from_le_bytes(
-            self.buf[self.pos..self.pos + 4]
-                .try_into()
-                .expect("4 bytes"),
-        );
-        self.pos += 4;
-        Ok(v)
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, SzError> {
-        self.need(8)?;
-        let v = u64::from_le_bytes(
-            self.buf[self.pos..self.pos + 8]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        self.pos += 8;
-        Ok(v)
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `f64`.
     pub fn get_f64(&mut self) -> Result<f64, SzError> {
-        self.need(8)?;
-        let v = f64::from_le_bytes(
-            self.buf[self.pos..self.pos + 8]
-                .try_into()
-                .expect("8 bytes"),
-        );
-        self.pos += 8;
-        Ok(v)
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads `n` raw bytes (borrowed).
     pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8], SzError> {
-        self.need(n)?;
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
+        self.take(n)
     }
 
     /// Reads a `u64`-length-prefixed blob (borrowed).
@@ -164,9 +153,12 @@ impl<'a> ByteReader<'a> {
     /// Advances past `n` bytes without inspecting them (a seek over an
     /// uninteresting payload region).
     pub fn skip(&mut self, n: usize) -> Result<(), SzError> {
-        self.need(n)?;
-        self.pos += n;
-        Ok(())
+        self.take(n).map(|_| ())
+    }
+
+    /// The unread tail of the buffer, without consuming it.
+    pub fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or_default()
     }
 
     /// Current byte offset from the start of the buffer.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # tac-testkit
 //!
 //! Systematic evidence that the TAC stack keeps its promises on
