@@ -8,6 +8,7 @@
 
 use crate::aabb::Aabb;
 use crate::level::AmrLevel;
+use tac_dtype::Element;
 
 /// Per-unit-block occupancy summary of one AMR level.
 #[derive(Debug, Clone)]
@@ -22,7 +23,7 @@ impl BlockGrid {
     ///
     /// # Panics
     /// Panics if `unit` does not divide the level dimension.
-    pub fn build(level: &AmrLevel, unit: usize) -> Self {
+    pub fn build<T: Element>(level: &AmrLevel<T>, unit: usize) -> Self {
         let dim = level.dim();
         assert!(
             unit > 0 && dim % unit == 0,
@@ -150,12 +151,12 @@ impl BlockGrid {
 /// Copies the cell cuboid with origin `(x0, y0, z0)` and extents
 /// `(w, h, d)` out of a level's flat data into a contiguous buffer
 /// (x fastest).
-pub fn copy_region(
-    data: &[f64],
+pub fn copy_region<T: Copy>(
+    data: &[T],
     dim: usize,
     (x0, y0, z0): (usize, usize, usize),
     (w, h, d): (usize, usize, usize),
-) -> Vec<f64> {
+) -> Vec<T> {
     assert!(
         x0 + w <= dim && y0 + h <= dim && z0 + d <= dim,
         "region out of bounds"
@@ -172,12 +173,12 @@ pub fn copy_region(
 
 /// Writes a contiguous buffer produced by [`copy_region`] back at the same
 /// position.
-pub fn paste_region(
-    data: &mut [f64],
+pub fn paste_region<T: Copy>(
+    data: &mut [T],
     dim: usize,
     (x0, y0, z0): (usize, usize, usize),
     (w, h, d): (usize, usize, usize),
-    src: &[f64],
+    src: &[T],
 ) {
     assert!(
         x0 + w <= dim && y0 + h <= dim && z0 + d <= dim,
@@ -252,7 +253,7 @@ mod tests {
             Aabb::new((6, 6, 6), (8, 8, 8))
         );
         // Empty level: no box.
-        let grid = BlockGrid::build(&AmrLevel::empty(8), 2);
+        let grid = BlockGrid::build(&AmrLevel::<f64>::empty(8), 2);
         assert!(grid.nonempty_aabb().is_none());
     }
 
@@ -291,7 +292,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must divide")]
     fn non_dividing_unit_panics() {
-        let lvl = AmrLevel::empty(10);
+        let lvl = AmrLevel::<f64>::empty(10);
         BlockGrid::build(&lvl, 3);
     }
 

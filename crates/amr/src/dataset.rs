@@ -1,6 +1,7 @@
 //! A multi-level tree-based AMR dataset.
 
 use crate::level::AmrLevel;
+use tac_dtype::{Element, TacDtype};
 
 /// A complete AMR snapshot of one scalar field.
 ///
@@ -12,10 +13,12 @@ use crate::level::AmrLevel;
 /// The *tree-based* invariant (AMReX quadtree/octree mode, used by Nyx):
 /// every spatial position at finest resolution is covered by **exactly
 /// one** present cell across all levels — no redundancy.
+///
+/// All levels share one element type `T` (`f64` by default).
 #[derive(Debug, Clone)]
-pub struct AmrDataset {
+pub struct AmrDataset<T: Element = f64> {
     name: String,
-    levels: Vec<AmrLevel>,
+    levels: Vec<AmrLevel<T>>,
 }
 
 /// Violations reported by [`AmrDataset::validate`].
@@ -65,13 +68,13 @@ impl std::fmt::Display for AmrValidationError {
 
 impl std::error::Error for AmrValidationError {}
 
-impl AmrDataset {
+impl<T: Element> AmrDataset<T> {
     /// Builds a dataset from fine-to-coarse levels.
     ///
     /// # Panics
     /// Panics if `levels` is empty. Refinement/coverage issues are *not*
     /// checked here; call [`AmrDataset::validate`].
-    pub fn new(name: impl Into<String>, levels: Vec<AmrLevel>) -> Self {
+    pub fn new(name: impl Into<String>, levels: Vec<AmrLevel<T>>) -> Self {
         assert!(!levels.is_empty(), "dataset needs at least one level");
         AmrDataset {
             name: name.into(),
@@ -84,8 +87,13 @@ impl AmrDataset {
         &self.name
     }
 
+    /// Element type shared by every level.
+    pub fn dtype(&self) -> TacDtype {
+        T::DTYPE
+    }
+
     /// Levels, fine to coarse.
-    pub fn levels(&self) -> &[AmrLevel] {
+    pub fn levels(&self) -> &[AmrLevel<T>] {
         &self.levels
     }
 
@@ -95,7 +103,7 @@ impl AmrDataset {
     }
 
     /// The finest level.
-    pub fn finest(&self) -> &AmrLevel {
+    pub fn finest(&self) -> &AmrLevel<T> {
         &self.levels[0]
     }
 
@@ -249,7 +257,7 @@ mod tests {
     #[test]
     fn hole_detected() {
         // Nothing covers any position.
-        let fine = AmrLevel::empty(4);
+        let fine = AmrLevel::<f64>::empty(4);
         let coarse = AmrLevel::empty(2);
         let ds = AmrDataset::new("hole", vec![fine, coarse]);
         assert!(matches!(

@@ -1,26 +1,30 @@
 //! A single AMR refinement level: a cubic grid with an occupancy mask.
 
 use crate::mask::BitMask;
+use tac_dtype::{Element, TacDtype};
 
 /// One refinement level of a tree-based AMR dataset.
 ///
 /// The grid is cubic with side `dim`; cell `(x, y, z)` lives at flat index
 /// `x + dim*(y + dim*z)`. A cell is *present* (stored at this level) iff
-/// its mask bit is set; absent cells hold `0.0` in `data` and their values
+/// its mask bit is set; absent cells hold zero in `data` and their values
 /// live at some other level.
+///
+/// The element type `T` is `f64` by default (the historical stack-wide
+/// width) or `f32`; every kernel downstream is monomorphized over it.
 #[derive(Debug, Clone, PartialEq)]
-pub struct AmrLevel {
+pub struct AmrLevel<T: Element = f64> {
     dim: usize,
-    data: Vec<f64>,
+    data: Vec<T>,
     mask: BitMask,
 }
 
-impl AmrLevel {
+impl<T: Element> AmrLevel<T> {
     /// Creates a level from raw parts.
     ///
     /// # Panics
     /// Panics if `data.len() != dim^3` or the mask length differs.
-    pub fn new(dim: usize, data: Vec<f64>, mask: BitMask) -> Self {
+    pub fn new(dim: usize, data: Vec<T>, mask: BitMask) -> Self {
         let n = dim * dim * dim;
         assert_eq!(data.len(), n, "data length must be dim^3");
         assert_eq!(mask.len(), n, "mask length must be dim^3");
@@ -32,13 +36,13 @@ impl AmrLevel {
         let n = dim * dim * dim;
         AmrLevel {
             dim,
-            data: vec![0.0; n],
+            data: vec![T::ZERO; n],
             mask: BitMask::zeros(n),
         }
     }
 
     /// Creates a fully populated level from dense data.
-    pub fn dense(dim: usize, data: Vec<f64>) -> Self {
+    pub fn dense(dim: usize, data: Vec<T>) -> Self {
         let n = dim * dim * dim;
         assert_eq!(data.len(), n, "data length must be dim^3");
         AmrLevel {
@@ -46,6 +50,11 @@ impl AmrLevel {
             data,
             mask: BitMask::ones(n),
         }
+    }
+
+    /// Element type of this level's values.
+    pub fn dtype(&self) -> TacDtype {
+        T::DTYPE
     }
 
     /// Grid side length.
@@ -84,14 +93,14 @@ impl AmrLevel {
         self.mask.get(self.index(x, y, z))
     }
 
-    /// Value at `(x, y, z)` (0.0 for absent cells).
+    /// Value at `(x, y, z)` (zero for absent cells).
     #[inline]
-    pub fn value(&self, x: usize, y: usize, z: usize) -> f64 {
+    pub fn value(&self, x: usize, y: usize, z: usize) -> T {
         self.data[self.index(x, y, z)]
     }
 
     /// Writes a present cell.
-    pub fn set_value(&mut self, x: usize, y: usize, z: usize, v: f64) {
+    pub fn set_value(&mut self, x: usize, y: usize, z: usize, v: T) {
         let i = self.index(x, y, z);
         self.data[i] = v;
         self.mask.set(i, true);
@@ -100,19 +109,19 @@ impl AmrLevel {
     /// Marks a cell absent and zeroes its storage.
     pub fn clear_cell(&mut self, x: usize, y: usize, z: usize) {
         let i = self.index(x, y, z);
-        self.data[i] = 0.0;
+        self.data[i] = T::ZERO;
         self.mask.set(i, false);
     }
 
-    /// Raw data slice (absent cells are 0.0).
+    /// Raw data slice (absent cells are zero).
     #[inline]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable raw data slice. Callers must keep mask semantics intact.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
 
@@ -124,13 +133,15 @@ impl AmrLevel {
 
     /// Values of present cells, in flat-index order (the "1D baseline"
     /// representation of this level).
-    pub fn present_values(&self) -> Vec<f64> {
+    pub fn present_values(&self) -> Vec<T> {
         self.mask.iter_ones().map(|i| self.data[i]).collect()
     }
 
-    /// Min/max over present cells; `None` if the level is empty.
+    /// Min/max over present cells in `f64` working precision; `None` if
+    /// the level is empty. (Widening is exact for both element types, so
+    /// relative error bounds resolve against the true range.)
     pub fn value_range(&self) -> Option<(f64, f64)> {
-        let mut it = self.mask.iter_ones().map(|i| self.data[i]);
+        let mut it = self.mask.iter_ones().map(|i| self.data[i].to_f64());
         let first = it.next()?;
         let mut min = first;
         let mut max = first;
@@ -156,6 +167,7 @@ mod tests {
         assert_eq!(lvl.value(1, 2, 3), 9.5);
         assert!(!lvl.present(3, 2, 1));
         assert_eq!(lvl.density(), 1.0 / 64.0);
+        assert_eq!(lvl.dtype(), TacDtype::F64);
     }
 
     #[test]
@@ -182,6 +194,19 @@ mod tests {
         lvl.set_value(0, 0, 0, -3.0);
         lvl.set_value(1, 1, 1, 12.0);
         assert_eq!(lvl.value_range(), Some((-3.0, 12.0)));
+    }
+
+    #[test]
+    fn f32_levels_carry_native_width_values() {
+        let mut lvl: AmrLevel<f32> = AmrLevel::empty(2);
+        assert_eq!(lvl.dtype(), TacDtype::F32);
+        lvl.set_value(0, 0, 0, 1.5f32);
+        lvl.set_value(1, 0, 0, f32::MIN_POSITIVE);
+        assert_eq!(lvl.value(0, 0, 0), 1.5f32);
+        let (min, max) = lvl.value_range().unwrap();
+        assert_eq!(min, f32::MIN_POSITIVE as f64);
+        assert_eq!(max, 1.5);
+        assert_eq!(lvl.present_values(), vec![1.5f32, f32::MIN_POSITIVE]);
     }
 
     #[test]

@@ -46,3 +46,7 @@ pub use morton::{morton2_decode, morton2_encode, morton3_decode, morton3_encode}
 pub use upsample::{
     from_uniform, from_uniform_averaged, level_to_uniform, redundant_points, to_uniform,
 };
+
+// Re-exported so dataset-shaped code can name element types without a
+// direct `tac-dtype` dependency.
+pub use tac_dtype::{Element, TacDtype};

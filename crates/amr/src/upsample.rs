@@ -3,6 +3,7 @@
 
 use crate::dataset::AmrDataset;
 use crate::level::AmrLevel;
+use tac_dtype::Element;
 
 /// Up-samples every level to finest resolution (piecewise-constant /
 /// nearest-neighbour, the standard AMR prolongation for cell data) and
@@ -10,9 +11,9 @@ use crate::level::AmrLevel;
 ///
 /// Because the tree invariant guarantees exactly-one coverage, the merge
 /// has no conflicts. This is also step 1 of the paper's "3D baseline".
-pub fn to_uniform(ds: &AmrDataset) -> Vec<f64> {
+pub fn to_uniform<T: Element>(ds: &AmrDataset<T>) -> Vec<T> {
     let n = ds.finest_dim();
-    let mut out = vec![0.0f64; n * n * n];
+    let mut out = vec![T::ZERO; n * n * n];
     for (l, level) in ds.levels().iter().enumerate() {
         let scale = ds.upsample_rate(l);
         splat_level(level, scale, n, &mut out);
@@ -22,14 +23,14 @@ pub fn to_uniform(ds: &AmrDataset) -> Vec<f64> {
 
 /// Up-samples a single level into an `n^3` grid (positions not covered by
 /// this level stay zero). Used by per-level post-analysis.
-pub fn level_to_uniform(level: &AmrLevel, scale: usize, n: usize) -> Vec<f64> {
+pub fn level_to_uniform<T: Element>(level: &AmrLevel<T>, scale: usize, n: usize) -> Vec<T> {
     assert_eq!(level.dim() * scale, n, "scale must map level onto the grid");
-    let mut out = vec![0.0f64; n * n * n];
+    let mut out = vec![T::ZERO; n * n * n];
     splat_level(level, scale, n, &mut out);
     out
 }
 
-fn splat_level(level: &AmrLevel, scale: usize, n: usize, out: &mut [f64]) {
+fn splat_level<T: Element>(level: &AmrLevel<T>, scale: usize, n: usize, out: &mut [T]) {
     let dim = level.dim();
     for z in 0..dim {
         for y in 0..dim {
@@ -52,7 +53,7 @@ fn splat_level(level: &AmrLevel, scale: usize, n: usize, out: &mut [f64]) {
 /// Number of *redundant* points the 3D baseline materializes: the uniform
 /// grid size minus the true AMR storage. Each coarse cell at level `l`
 /// expands to `8^l` copies, `8^l - 1` of them redundant.
-pub fn redundant_points(ds: &AmrDataset) -> usize {
+pub fn redundant_points<T: Element>(ds: &AmrDataset<T>) -> usize {
     let n = ds.finest_dim();
     n * n * n - ds.total_present()
 }
@@ -62,7 +63,7 @@ pub fn redundant_points(ds: &AmrDataset) -> usize {
 /// *first* (lowest-coordinate) covered fine position. With
 /// piecewise-constant up-sampling this inverts [`to_uniform`] exactly for
 /// data that came from an AMR dataset.
-pub fn from_uniform(template: &AmrDataset, uniform: &[f64]) -> AmrDataset {
+pub fn from_uniform<T: Element>(template: &AmrDataset<T>, uniform: &[T]) -> AmrDataset<T> {
     let n = template.finest_dim();
     assert_eq!(uniform.len(), n * n * n, "uniform grid size mismatch");
     let mut levels = Vec::with_capacity(template.num_levels());
@@ -89,8 +90,9 @@ pub fn from_uniform(template: &AmrDataset, uniform: &[f64]) -> AmrDataset {
 
 /// Averages (rather than samples) each covered block when scattering back
 /// — the restriction operator used when the uniform grid has been
-/// modified (e.g. decompressed) and block values may disagree.
-pub fn from_uniform_averaged(template: &AmrDataset, uniform: &[f64]) -> AmrDataset {
+/// modified (e.g. decompressed) and block values may disagree. The mean
+/// accumulates in `f64` working precision and narrows once per cell.
+pub fn from_uniform_averaged<T: Element>(template: &AmrDataset<T>, uniform: &[T]) -> AmrDataset<T> {
     let n = template.finest_dim();
     assert_eq!(uniform.len(), n * n * n, "uniform grid size mismatch");
     let mut levels = Vec::with_capacity(template.num_levels());
@@ -112,11 +114,11 @@ pub fn from_uniform_averaged(template: &AmrDataset, uniform: &[f64]) -> AmrDatas
                                 let fx = x * scale + dx;
                                 let fy = y * scale + dy;
                                 let fz = z * scale + dz;
-                                acc += uniform[fx + n * (fy + n * fz)];
+                                acc += uniform[fx + n * (fy + n * fz)].to_f64();
                             }
                         }
                     }
-                    new_level.set_value(x, y, z, acc * inv);
+                    new_level.set_value(x, y, z, T::from_f64(acc * inv));
                 }
             }
         }
@@ -185,5 +187,36 @@ mod tests {
         // Fine half of the domain is zero in the coarse-only expansion.
         assert_eq!(coarse_only[7], 0.0);
         assert_eq!(coarse_only[0], 1.0);
+    }
+
+    #[test]
+    fn f32_uniform_roundtrip() {
+        // A small two-level f32 dataset round-trips through the uniform
+        // grid exactly, like its f64 counterpart.
+        let mut fine: AmrLevel<f32> = AmrLevel::empty(4);
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 2..4 {
+                    fine.set_value(x, y, z, (x + y + z) as f32 * 0.5);
+                }
+            }
+        }
+        let mut coarse: AmrLevel<f32> = AmrLevel::empty(2);
+        for z in 0..2 {
+            for y in 0..2 {
+                coarse.set_value(0, y, z, (y + z) as f32 + 1.0);
+            }
+        }
+        let ds = AmrDataset::new("f32demo", vec![fine, coarse]);
+        ds.validate().unwrap();
+        let uni = to_uniform(&ds);
+        let back = from_uniform(&ds, &uni);
+        for (a, b) in ds.levels().iter().zip(back.levels()) {
+            assert_eq!(a, b);
+        }
+        let avg = from_uniform_averaged(&ds, &uni);
+        for (a, b) in ds.levels().iter().zip(avg.levels()) {
+            assert_eq!(a, b, "constant blocks average back exactly");
+        }
     }
 }

@@ -3,15 +3,17 @@
 //! plus raw per-stream codec throughput on a representative level.
 //!
 //! Quick mode (`TAC_BENCH_QUICK=1`) additionally writes a
-//! machine-readable `BENCH_codec.json` (method x codec -> ratio and
-//! end-to-end MB/s) to the workspace root so CI can archive the numbers
-//! and catch ratio/throughput regressions per backend.
+//! machine-readable `BENCH_codec.json` (method x codec x dtype ->
+//! ratio and end-to-end MB/s) to the workspace root so CI can archive
+//! the numbers and catch ratio/throughput regressions per backend.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use tac_bench::experiments::codec_comparison::{bench_config, measure_matrix};
+use tac_bench::experiments::codec_comparison::{bench_config, measure_matrix, measure_matrix_f32};
+use tac_bench::support::narrow_dataset_f32;
 use tac_bench::{default_scale, load_dataset};
 use tac_core::{
-    codec_for, compress_dataset, decompress_dataset_par, CodecConfig, CodecId, Method, Parallelism,
+    codec_for, compress_dataset, compress_dataset_f32, decompress_dataset_f32,
+    decompress_dataset_par, CodecConfig, CodecId, Method, Parallelism,
 };
 
 fn setup() -> (tac_amr::AmrDataset, usize) {
@@ -41,6 +43,35 @@ fn bench_dataset_by_codec(c: &mut Criterion) {
         let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
         group.bench_function(codec.label(), |b| {
             b.iter(|| decompress_dataset_par(black_box(&cd), Parallelism::Serial).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The same dataset sweep at `f32` storage, through the monomorphized
+/// single-precision pipeline and the dtype-tagged v4 wire.
+fn bench_dataset_by_codec_f32(c: &mut Criterion) {
+    let (ds, unit) = setup();
+    let ds32 = narrow_dataset_f32(&ds);
+    let bytes = (ds.total_present() * 4) as u64;
+
+    let mut group = c.benchmark_group("codec_compress_f32");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for codec in CodecId::all() {
+        let cfg = bench_config(unit, codec);
+        group.bench_function(codec.label(), |b| {
+            b.iter(|| compress_dataset_f32(black_box(&ds32), &cfg, Method::Tac).unwrap())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("codec_decompress_f32");
+    group.sample_size(10).throughput(Throughput::Bytes(bytes));
+    for codec in CodecId::all() {
+        let cfg = bench_config(unit, codec);
+        let cd = compress_dataset_f32(&ds32, &cfg, Method::Tac).unwrap();
+        group.bench_function(codec.label(), |b| {
+            b.iter(|| decompress_dataset_f32(black_box(&cd)).unwrap())
         });
     }
     group.finish();
@@ -80,13 +111,14 @@ fn emit_quick_json() {
         return;
     }
     let (ds, unit) = setup();
-    let rows = measure_matrix(&ds, unit, 2);
+    let mut rows = measure_matrix(&ds, unit, 2);
+    rows.extend(measure_matrix_f32(&ds, unit, 2));
     let cells: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}}}",
-                r.method, r.codec, r.ratio, r.throughput_mb_s, r.psnr
+                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"dtype\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}}}",
+                r.method, r.codec, r.dtype, r.ratio, r.throughput_mb_s, r.psnr
             )
         })
         .collect();
@@ -105,6 +137,7 @@ fn emit_quick_json() {
 
 fn bench_all(c: &mut Criterion) {
     bench_dataset_by_codec(c);
+    bench_dataset_by_codec_f32(c);
     bench_raw_streams(c);
     emit_quick_json();
 }

@@ -18,7 +18,10 @@
 //! dominate). The point of the table is that the answer is per-level —
 //! which is exactly what the pluggable backend layer makes actionable.
 
-use crate::support::{default_scale, default_unit, load_dataset, measure, quick_mode};
+use crate::support::{
+    default_scale, default_unit, load_dataset, measure, measure_f32, narrow_dataset_f32,
+    quick_mode, Measured,
+};
 use tac_core::{compress_dataset, CodecId, Method, MethodBody, TacConfig};
 use tac_sz::ErrorBound;
 
@@ -29,6 +32,8 @@ pub struct CodecRow {
     pub method: &'static str,
     /// Codec label.
     pub codec: &'static str,
+    /// Element type the pipeline ran at (`"f64"` / `"f32"`).
+    pub dtype: &'static str,
     /// Compression ratio over present cells.
     pub ratio: f64,
     /// End-to-end throughput (MB/s over present-cell bytes).
@@ -53,7 +58,28 @@ pub fn bench_config(unit: usize, codec: CodecId) -> TacConfig {
 
 /// Measures every method under every registered codec on `ds`.
 pub fn measure_matrix(ds: &tac_amr::AmrDataset, unit: usize, reps: usize) -> Vec<CodecRow> {
-    let original_bytes = ds.total_present() * 8;
+    matrix_rows(ds.total_present() * 8, "f64", unit, reps, |cfg, method| {
+        measure(ds, cfg, method, 1e-3)
+    })
+}
+
+/// [`measure_matrix`] with the dataset narrowed to `f32` storage: the
+/// same sweep through the monomorphized single-precision pipeline and
+/// the v4 wire, original bytes counted at 4 B/value.
+pub fn measure_matrix_f32(ds: &tac_amr::AmrDataset, unit: usize, reps: usize) -> Vec<CodecRow> {
+    let ds32 = narrow_dataset_f32(ds);
+    matrix_rows(ds.total_present() * 4, "f32", unit, reps, |cfg, method| {
+        measure_f32(&ds32, cfg, method, 1e-3)
+    })
+}
+
+fn matrix_rows(
+    original_bytes: usize,
+    dtype: &'static str,
+    unit: usize,
+    reps: usize,
+    mut run: impl FnMut(&TacConfig, Method) -> Measured,
+) -> Vec<CodecRow> {
     let mut rows = Vec::new();
     for method in [
         Method::Tac,
@@ -63,9 +89,9 @@ pub fn measure_matrix(ds: &tac_amr::AmrDataset, unit: usize, reps: usize) -> Vec
     ] {
         for codec in CodecId::all() {
             let cfg = bench_config(unit, codec);
-            let mut best: Option<crate::support::Measured> = None;
+            let mut best: Option<Measured> = None;
             for _ in 0..reps.max(1) {
-                let m = measure(ds, &cfg, method, 1e-3);
+                let m = run(&cfg, method);
                 let better = best.as_ref().map_or(true, |b| {
                     m.compress_s + m.decompress_s < b.compress_s + b.decompress_s
                 });
@@ -77,6 +103,7 @@ pub fn measure_matrix(ds: &tac_amr::AmrDataset, unit: usize, reps: usize) -> Vec
             rows.push(CodecRow {
                 method: method.label(),
                 codec: codec.label(),
+                dtype,
                 ratio: m.ratio,
                 throughput_mb_s: m.throughput_mb_s(original_bytes),
                 psnr: m.psnr,
@@ -155,6 +182,21 @@ mod tests {
         let rows = measure_matrix(&ds, 2, 1);
         assert_eq!(rows.len(), 4 * CodecId::all().len());
         for r in &rows {
+            assert_eq!(r.dtype, "f64");
+            assert!(r.ratio > 1.0, "{}/{} ratio {}", r.method, r.codec, r.ratio);
+            assert!(r.throughput_mb_s > 0.0);
+            assert!(r.psnr > 20.0, "{}/{} psnr {}", r.method, r.codec, r.psnr);
+        }
+    }
+
+    #[test]
+    fn f32_matrix_sweeps_the_same_space() {
+        crate::support::set_bench_overrides(32, true);
+        let ds = load_dataset("Run1_Z10", 32, 3);
+        let rows = measure_matrix_f32(&ds, 2, 1);
+        assert_eq!(rows.len(), 4 * CodecId::all().len());
+        for r in &rows {
+            assert_eq!(r.dtype, "f32");
             assert!(r.ratio > 1.0, "{}/{} ratio {}", r.method, r.codec, r.ratio);
             assert!(r.throughput_mb_s > 0.0);
             assert!(r.psnr > 20.0, "{}/{} psnr {}", r.method, r.codec, r.psnr);

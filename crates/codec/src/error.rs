@@ -22,6 +22,14 @@ pub enum CodecError {
         /// What the stream's magic actually looks like.
         found: String,
     },
+    /// The stream's element type does not match the caller's request
+    /// (e.g. decoding an `f32` stream through the `f64` entry point).
+    WrongDtype {
+        /// Element type recorded in the stream's flag bits.
+        stream: &'static str,
+        /// Element type the caller asked to decode.
+        requested: &'static str,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -33,6 +41,12 @@ impl fmt::Display for CodecError {
             CodecError::UnknownCodec(tag) => write!(f, "unknown codec wire tag {tag}"),
             CodecError::WrongCodec { expected, found } => {
                 write!(f, "stream is not a {expected} stream (found {found})")
+            }
+            CodecError::WrongDtype { stream, requested } => {
+                write!(
+                    f,
+                    "stream holds {stream} elements, caller expected {requested}"
+                )
             }
         }
     }

@@ -73,7 +73,9 @@ mod sz;
 pub use error::CodecError;
 pub use pco::PcoLite;
 pub use sz::SzCodec;
-// The array-shape and bound vocabulary is shared with the SZ substrate.
+// The array-shape and bound vocabulary is shared with the SZ substrate;
+// the element-type vocabulary with the dtype substrate.
+pub use tac_dtype::{Element, TacDtype};
 pub use tac_sz::{Dims, ErrorBound};
 
 use serde::{Deserialize, Serialize};
@@ -205,12 +207,120 @@ pub trait ScalarCodec: Send + Sync {
     ) -> Result<(Vec<u8>, Vec<f64>), CodecError>;
 
     /// Decompresses a stream produced by this backend, returning the
-    /// values and their shape. Foreign or corrupt bytes must error.
+    /// values and their shape. Foreign or corrupt bytes must error, as
+    /// must `f32` streams ([`CodecError::WrongDtype`]).
     fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError>;
+
+    /// [`ScalarCodec::compress`] for `f32` elements: verbatim/exception
+    /// values are stored at 4 bytes and the stream's dtype flag is set.
+    fn compress_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError>;
+
+    /// [`ScalarCodec::compress_with_recon`] for `f32` elements.
+    fn compress_with_recon_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f32>), CodecError>;
+
+    /// [`ScalarCodec::decompress`] for `f32` streams. Rejects `f64`
+    /// streams with [`CodecError::WrongDtype`].
+    fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError>;
 
     /// Cheap magic-number sniff: does `bytes` start like one of this
     /// backend's streams?
     fn looks_like(&self, bytes: &[u8]) -> bool;
+}
+
+/// Element types the codec layer can move through a [`ScalarCodec`]:
+/// the bridge between `tac-dtype`'s sealed [`Element`] vocabulary and the
+/// width-specific trait entry points.
+///
+/// Generic pipeline code writes `fn f<T: CodecElement>(...)` and calls
+/// `T::codec_compress(codec, ...)`; monomorphization resolves the width
+/// **once per stream**, so decode hot loops carry no per-value dtype
+/// branches and no extra trait objects.
+pub trait CodecElement: Element {
+    /// Routes to the width-matching [`ScalarCodec`] compress entry point.
+    fn codec_compress(
+        codec: &dyn ScalarCodec,
+        data: &[Self],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError>;
+
+    /// Routes to the width-matching compress-with-recon entry point.
+    fn codec_compress_with_recon(
+        codec: &dyn ScalarCodec,
+        data: &[Self],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<Self>), CodecError>;
+
+    /// Routes to the width-matching decompress entry point.
+    fn codec_decompress(
+        codec: &dyn ScalarCodec,
+        bytes: &[u8],
+    ) -> Result<(Vec<Self>, Dims), CodecError>;
+}
+
+impl CodecElement for f64 {
+    fn codec_compress(
+        codec: &dyn ScalarCodec,
+        data: &[f64],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError> {
+        codec.compress(data, dims, cfg)
+    }
+
+    fn codec_compress_with_recon(
+        codec: &dyn ScalarCodec,
+        data: &[f64],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f64>), CodecError> {
+        codec.compress_with_recon(data, dims, cfg)
+    }
+
+    fn codec_decompress(
+        codec: &dyn ScalarCodec,
+        bytes: &[u8],
+    ) -> Result<(Vec<f64>, Dims), CodecError> {
+        codec.decompress(bytes)
+    }
+}
+
+impl CodecElement for f32 {
+    fn codec_compress(
+        codec: &dyn ScalarCodec,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError> {
+        codec.compress_f32(data, dims, cfg)
+    }
+
+    fn codec_compress_with_recon(
+        codec: &dyn ScalarCodec,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f32>), CodecError> {
+        codec.compress_with_recon_f32(data, dims, cfg)
+    }
+
+    fn codec_decompress(
+        codec: &dyn ScalarCodec,
+        bytes: &[u8],
+    ) -> Result<(Vec<f32>, Dims), CodecError> {
+        codec.decompress_f32(bytes)
+    }
 }
 
 /// The registered backend for a codec id.
@@ -242,6 +352,19 @@ pub fn sniff_codec(bytes: &[u8]) -> Option<CodecId> {
 /// streams.
 pub fn looks_like_stream(bytes: &[u8]) -> bool {
     sniff_codec(bytes).is_some()
+}
+
+/// Sniffs the element type of a recognized stream without decoding it.
+/// Every registered backend keeps its flag byte at offset 5 with bit 1
+/// meaning `f32`; `None` when no backend recognizes the bytes.
+pub fn stream_dtype(bytes: &[u8]) -> Option<TacDtype> {
+    sniff_codec(bytes)?;
+    let flags = *bytes.get(5)?;
+    Some(if flags & 0b0000_0010 != 0 {
+        TacDtype::F32
+    } else {
+        TacDtype::F64
+    })
 }
 
 #[cfg(test)]
@@ -308,6 +431,78 @@ mod tests {
         }
         assert_eq!(sniff_codec(b"not a stream at all"), None);
         assert!(!looks_like_stream(&[]));
+    }
+
+    #[test]
+    fn every_backend_roundtrips_f32_within_bound() {
+        let data: Vec<f32> = smooth(1000).iter().map(|&v| v as f32).collect();
+        for id in CodecId::all() {
+            let codec = codec_for(id);
+            let cfg = CodecConfig::abs(1e-3);
+            let (bytes, recon) = codec
+                .compress_with_recon_f32(&data, Dims::D2(50, 20), &cfg)
+                .unwrap();
+            assert_eq!(stream_dtype(&bytes), Some(TacDtype::F32), "{id}");
+            let (out, dims) = codec.decompress_f32(&bytes).unwrap();
+            assert_eq!(dims, Dims::D2(50, 20), "{id}");
+            for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+                assert!(
+                    (a as f64 - b as f64).abs() <= 1e-3 * (1.0 + 1e-6),
+                    "{id} point {i}: {a} vs {b}"
+                );
+            }
+            for (a, b) in recon.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{id} recon mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_mismatch_errors_are_typed_for_all_backends() {
+        let data64 = smooth(64);
+        let data32: Vec<f32> = data64.iter().map(|&v| v as f32).collect();
+        let cfg = CodecConfig::abs(1e-3);
+        for id in CodecId::all() {
+            let codec = codec_for(id);
+            let b64 = codec.compress(&data64, Dims::D1(64), &cfg).unwrap();
+            let b32 = codec.compress_f32(&data32, Dims::D1(64), &cfg).unwrap();
+            assert_eq!(stream_dtype(&b64), Some(TacDtype::F64), "{id}");
+            assert!(
+                matches!(
+                    codec.decompress_f32(&b64),
+                    Err(CodecError::WrongDtype { .. })
+                ),
+                "{id} decoded an f64 stream through the f32 entry point"
+            );
+            assert!(
+                matches!(codec.decompress(&b32), Err(CodecError::WrongDtype { .. })),
+                "{id} decoded an f32 stream through the f64 entry point"
+            );
+        }
+        assert_eq!(stream_dtype(b"not a stream"), None);
+    }
+
+    #[test]
+    fn codec_element_dispatch_matches_direct_calls() {
+        // The monomorphized CodecElement routes must hit the exact same
+        // entry points as direct calls — byte-for-byte.
+        let data64 = smooth(256);
+        let data32: Vec<f32> = data64.iter().map(|&v| v as f32).collect();
+        let cfg = CodecConfig::abs(1e-4);
+        for id in CodecId::all() {
+            let codec = codec_for(id);
+            let via_t = f64::codec_compress(codec, &data64, Dims::D1(256), &cfg).unwrap();
+            let direct = codec.compress(&data64, Dims::D1(256), &cfg).unwrap();
+            assert_eq!(via_t, direct, "{id} f64");
+            let (out, _) = f64::codec_decompress(codec, &via_t).unwrap();
+            assert_eq!(out.len(), data64.len());
+
+            let via_t = f32::codec_compress(codec, &data32, Dims::D1(256), &cfg).unwrap();
+            let direct = codec.compress_f32(&data32, Dims::D1(256), &cfg).unwrap();
+            assert_eq!(via_t, direct, "{id} f32");
+            let (out, _) = f32::codec_decompress(codec, &via_t).unwrap();
+            assert_eq!(out.len(), data32.len());
+        }
     }
 
     #[test]

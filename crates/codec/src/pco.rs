@@ -24,6 +24,7 @@
 //! the encoding.
 
 use crate::{CodecConfig, CodecError, CodecId, ScalarCodec};
+use tac_dtype::{Element, TacDtype};
 use tac_sz::wire::{ByteReader, ByteWriter};
 use tac_sz::{lossless, Dims};
 
@@ -33,11 +34,19 @@ const MAGIC: [u8; 4] = *b"TPL1";
 const VERSION: u8 = 1;
 /// Flag bit: body passed through the LZSS stage.
 const FLAG_LOSSLESS: u8 = 0b0000_0001;
+/// Flag bit: elements are `f32` (unset: `f64`, so every pre-dtype stream
+/// decodes unchanged). Kept at the same bit as `tac-sz`'s dtype flag so
+/// registry-level sniffing reads one byte for either backend.
+const FLAG_F32: u8 = 0b0000_0010;
 /// Values per page. Each page picks its own bit width, so the page size
 /// trades adaptivity against per-page header overhead.
 const PAGE: usize = 1024;
-/// Serialized size of one exception entry (index u64 + f64 bits).
-const EXCEPTION_BYTES: usize = 16;
+/// Serialized size of one exception entry for element type `T`
+/// (index u64 + the element's native-width bits: 16 bytes at f64, 12 at
+/// f32 — pages and exceptions both carry the element width).
+fn exception_bytes<T: Element>() -> usize {
+    8 + T::WIRE_BYTES
+}
 /// Serialized size of one page outlier (position u16 + zigzag u64).
 const OUTLIER_BYTES: usize = 10;
 
@@ -61,9 +70,13 @@ fn unzigzag(z: u64) -> i64 {
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
-/// Quantizes one value, or `None` when it must be stored raw.
+/// Quantizes one value, or `None` when it must be stored raw. Returns
+/// the code and the `T`-narrowed reconstruction the decoder will
+/// materialize; the bound check runs on that narrowed value, so `T`'s
+/// rounding can never silently break the bound.
 #[inline]
-fn quantize(v: f64, two_eb: f64, abs_eb: f64) -> Option<i64> {
+fn quantize<T: Element>(value: T, two_eb: f64, abs_eb: f64) -> Option<(i64, T)> {
+    let v = value.to_f64();
     if !v.is_finite() {
         return None;
     }
@@ -75,9 +88,9 @@ fn quantize(v: f64, two_eb: f64, abs_eb: f64) -> Option<i64> {
         return None;
     }
     let q = t.round() as i64;
-    let recon = q as f64 * two_eb;
-    if (v - recon).abs() <= abs_eb {
-        Some(q)
+    let recon = T::from_f64(q as f64 * two_eb);
+    if (v - recon.to_f64()).abs() <= abs_eb {
+        Some((q, recon))
     } else {
         None
     }
@@ -222,14 +235,266 @@ fn corrupt(msg: impl Into<String>) -> CodecError {
     CodecError::Corrupt(msg.into())
 }
 
+/// Element-generic encoder body shared by the `f64` and `f32` trait
+/// entry points. The `f64` instantiation is byte-identical to the
+/// historical format (the dtype flag stays clear).
+fn compress_impl<T: Element>(
+    data: &[T],
+    dims: Dims,
+    cfg: &CodecConfig,
+) -> Result<(Vec<u8>, Vec<T>), CodecError> {
+    dims.validate(data.len())?;
+    cfg.validate()?;
+    let abs_eb = cfg.abs_eb;
+    let two_eb = 2.0 * abs_eb;
+
+    // Quantize; exceptions keep the running q (delta 0) so the delta
+    // stream stays smooth across them.
+    let n = data.len();
+    let mut recon = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    let mut exceptions: Vec<(u64, T)> = Vec::new();
+    let mut prev = 0i64;
+    for (i, &v) in data.iter().enumerate() {
+        match quantize(v, two_eb, abs_eb) {
+            Some((q, r)) => {
+                recon.push(r);
+                z.push(zigzag(q.wrapping_sub(prev)));
+                prev = q;
+            }
+            None => {
+                recon.push(v);
+                z.push(zigzag(0));
+                exceptions.push((i as u64, v));
+            }
+        }
+    }
+
+    // Body: exception table, then the pages back to back.
+    // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths; a wrong guess only costs a reallocation.
+    let mut body =
+        Vec::with_capacity(8 + exceptions.len() * exception_bytes::<T>() + n * 2 / PAGE.max(1) + n);
+    body.extend((exceptions.len() as u64).to_le_bytes());
+    for &(idx, v) in &exceptions {
+        body.extend(idx.to_le_bytes());
+        v.append_le(&mut body);
+    }
+    for page in z.chunks(PAGE) {
+        encode_page(page, &mut body);
+    }
+
+    let mut flags = 0u8;
+    if T::DTYPE == TacDtype::F32 {
+        flags |= FLAG_F32;
+    }
+    let body = if cfg.lossless {
+        let packed = lossless::compress(&body);
+        if packed.len() < body.len() {
+            flags |= FLAG_LOSSLESS;
+            packed
+        } else {
+            body
+        }
+    } else {
+        body
+    };
+
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(flags);
+    w.put_u8(dims.rank());
+    match dims {
+        Dims::D1(a) => w.put_u64(a as u64),
+        Dims::D2(a, b) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+        }
+        Dims::D3(a, b, c) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+            w.put_u64(c as u64);
+        }
+        Dims::D4(a, b, c, d) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+            w.put_u64(c as u64);
+            w.put_u64(d as u64);
+        }
+    }
+    w.put_f64(abs_eb);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&body);
+    Ok((out, recon))
+}
+
+/// Element-generic decoder body: the stream's dtype flag must match `T`.
+fn decompress_impl<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .get_bytes(4)
+        .map_err(|_| corrupt("stream shorter than header"))?;
+    if magic != MAGIC {
+        return Err(CodecError::WrongCodec {
+            expected: "pco-lite",
+            found: format!("magic {magic:02x?}"),
+        });
+    }
+    let version = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "pco-lite version {version} (expected {VERSION})"
+        )));
+    }
+    let flags = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    let stream_dtype = if flags & FLAG_F32 != 0 {
+        TacDtype::F32
+    } else {
+        TacDtype::F64
+    };
+    if stream_dtype != T::DTYPE {
+        return Err(CodecError::WrongDtype {
+            stream: stream_dtype.label(),
+            requested: T::DTYPE.label(),
+        });
+    }
+    let rank = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    if !(1..=4).contains(&rank) {
+        return Err(corrupt(format!("invalid rank {rank}")));
+    }
+    let mut dim = || -> Result<usize, CodecError> {
+        r.get_u64()
+            .map(|v| v as usize)
+            .map_err(|_| corrupt("header truncated"))
+    };
+    let dims = match rank {
+        1 => Dims::D1(dim()?),
+        2 => Dims::D2(dim()?, dim()?),
+        3 => Dims::D3(dim()?, dim()?, dim()?),
+        _ => Dims::D4(dim()?, dim()?, dim()?, dim()?),
+    };
+    if dims.is_empty() {
+        return Err(corrupt("zero-sized dimensions"));
+    }
+    if dims.len() > (1usize << 40) {
+        return Err(corrupt(format!(
+            "declared element count {} is implausible",
+            dims.len()
+        )));
+    }
+    let abs_eb = r.get_f64().map_err(|_| corrupt("header truncated"))?;
+    if abs_eb <= 0.0 || !abs_eb.is_finite() {
+        return Err(corrupt(format!("invalid stored eb {abs_eb}")));
+    }
+    let two_eb = 2.0 * abs_eb;
+    let n = dims.len();
+
+    let raw_body = r.rest();
+    let body_owned;
+    let body: &[u8] = if flags & FLAG_LOSSLESS != 0 {
+        body_owned = lossless::decompress(raw_body)?;
+        &body_owned
+    } else {
+        raw_body
+    };
+    let mut b = ByteReader::new(body);
+
+    // Bound the up-front `recon` allocation by what the body can
+    // actually hold: even a stream of all-zero-width pages needs a
+    // 3-byte header per page plus the 8-byte exception count, so a
+    // crafted header cannot demand terabytes from a tiny body.
+    let min_body = 8usize.saturating_add(n.div_ceil(PAGE).saturating_mul(3));
+    if min_body > body.len() {
+        return Err(corrupt(format!(
+            "{n} declared points need at least {min_body} body bytes, found {}",
+            body.len()
+        )));
+    }
+
+    // Exception table.
+    let n_exc = b.get_u64().map_err(|_| corrupt("body truncated"))? as usize;
+    if n_exc > n || n_exc.saturating_mul(exception_bytes::<T>()) > b.remaining() {
+        return Err(corrupt(format!("{n_exc} exceptions for {n} points")));
+    }
+    let mut exceptions = Vec::with_capacity(n_exc);
+    let mut last_idx: Option<usize> = None;
+    for _ in 0..n_exc {
+        let idx = b.get_u64().map_err(|_| corrupt("exception truncated"))? as usize;
+        let chunk = b
+            .get_bytes(T::WIRE_BYTES)
+            .map_err(|_| corrupt("exception truncated"))?;
+        let v = T::read_le(chunk).ok_or_else(|| corrupt("exception truncated"))?;
+        if idx >= n || last_idx.is_some_and(|p| idx <= p) {
+            return Err(corrupt(format!("exception index {idx} out of order")));
+        }
+        last_idx = Some(idx);
+        exceptions.push((idx, v));
+    }
+
+    // Pages.
+    let mut recon = Vec::with_capacity(n);
+    let mut prev = 0i64;
+    let mut done = 0usize;
+    while done < n {
+        let page_len = PAGE.min(n - done);
+        let width = b.get_u8().map_err(|_| corrupt("page header truncated"))? as usize;
+        if width > 64 {
+            return Err(corrupt(format!("page bit width {width}")));
+        }
+        let n_out = b.get_u16().map_err(|_| corrupt("page header truncated"))? as usize;
+        if n_out > page_len {
+            return Err(corrupt(format!(
+                "{n_out} outliers in a {page_len}-value page"
+            )));
+        }
+        let mut outliers = Vec::with_capacity(n_out);
+        let mut last_pos: Option<usize> = None;
+        for _ in 0..n_out {
+            let truncated = |_| corrupt("page outlier truncated");
+            let pos = b.get_u16().map_err(truncated)? as usize;
+            let zv = b.get_u64().map_err(truncated)?;
+            if pos >= page_len || last_pos.is_some_and(|p| pos <= p) {
+                return Err(corrupt(format!("outlier position {pos} out of order")));
+            }
+            last_pos = Some(pos);
+            outliers.push((pos, zv));
+        }
+        let packed = b
+            .get_bytes(packed_bytes(page_len, width))
+            .map_err(|_| corrupt("page payload truncated"))?;
+        let mut unpacker = BitUnpacker::new(packed);
+        let mut next_outlier = outliers.iter().peekable();
+        for pos in 0..page_len {
+            let mut zv = unpacker.read(width);
+            if next_outlier.peek().is_some_and(|&&(p, _)| p == pos) {
+                if let Some(&(_, ozv)) = next_outlier.next() {
+                    zv = ozv;
+                }
+            }
+            prev = prev.wrapping_add(unzigzag(zv));
+            recon.push(T::from_f64(prev as f64 * two_eb));
+        }
+        done += page_len;
+    }
+    if b.remaining() != 0 {
+        return Err(corrupt(format!("{} trailing bytes", b.remaining())));
+    }
+    for (idx, v) in exceptions {
+        let slot = recon
+            .get_mut(idx)
+            .ok_or_else(|| corrupt(format!("exception index {idx} out of range")))?;
+        *slot = v;
+    }
+    Ok((recon, dims))
+}
+
 impl ScalarCodec for PcoLite {
     fn id(&self) -> CodecId {
         CodecId::PcoLite
     }
 
     fn compress(&self, data: &[f64], dims: Dims, cfg: &CodecConfig) -> Result<Vec<u8>, CodecError> {
-        self.compress_with_recon(data, dims, cfg)
-            .map(|(bytes, _)| bytes)
+        compress_impl(data, dims, cfg).map(|(bytes, _)| bytes)
     }
 
     fn compress_with_recon(
@@ -238,231 +503,33 @@ impl ScalarCodec for PcoLite {
         dims: Dims,
         cfg: &CodecConfig,
     ) -> Result<(Vec<u8>, Vec<f64>), CodecError> {
-        dims.validate(data.len())?;
-        cfg.validate()?;
-        let abs_eb = cfg.abs_eb;
-        let two_eb = 2.0 * abs_eb;
-
-        // Quantize; exceptions keep the running q (delta 0) so the delta
-        // stream stays smooth across them.
-        let n = data.len();
-        let mut recon = Vec::with_capacity(n);
-        let mut z = Vec::with_capacity(n);
-        let mut exceptions: Vec<(u64, u64)> = Vec::new();
-        let mut prev = 0i64;
-        for (i, &v) in data.iter().enumerate() {
-            match quantize(v, two_eb, abs_eb) {
-                Some(q) => {
-                    recon.push(q as f64 * two_eb);
-                    z.push(zigzag(q.wrapping_sub(prev)));
-                    prev = q;
-                }
-                None => {
-                    recon.push(v);
-                    z.push(zigzag(0));
-                    exceptions.push((i as u64, v.to_bits()));
-                }
-            }
-        }
-
-        // Body: exception table, then the pages back to back.
-        // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths; a wrong guess only costs a reallocation.
-        let mut body =
-            Vec::with_capacity(8 + exceptions.len() * EXCEPTION_BYTES + n * 2 / PAGE.max(1) + n);
-        body.extend((exceptions.len() as u64).to_le_bytes());
-        for &(idx, bits) in &exceptions {
-            body.extend(idx.to_le_bytes());
-            body.extend(bits.to_le_bytes());
-        }
-        for page in z.chunks(PAGE) {
-            encode_page(page, &mut body);
-        }
-
-        let mut flags = 0u8;
-        let body = if cfg.lossless {
-            let packed = lossless::compress(&body);
-            if packed.len() < body.len() {
-                flags |= FLAG_LOSSLESS;
-                packed
-            } else {
-                body
-            }
-        } else {
-            body
-        };
-
-        let mut w = ByteWriter::new();
-        w.put_bytes(&MAGIC);
-        w.put_u8(VERSION);
-        w.put_u8(flags);
-        w.put_u8(dims.rank());
-        match dims {
-            Dims::D1(a) => w.put_u64(a as u64),
-            Dims::D2(a, b) => {
-                w.put_u64(a as u64);
-                w.put_u64(b as u64);
-            }
-            Dims::D3(a, b, c) => {
-                w.put_u64(a as u64);
-                w.put_u64(b as u64);
-                w.put_u64(c as u64);
-            }
-            Dims::D4(a, b, c, d) => {
-                w.put_u64(a as u64);
-                w.put_u64(b as u64);
-                w.put_u64(c as u64);
-                w.put_u64(d as u64);
-            }
-        }
-        w.put_f64(abs_eb);
-        let mut out = w.into_bytes();
-        out.extend_from_slice(&body);
-        Ok((out, recon))
+        compress_impl(data, dims, cfg)
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
-        let mut r = ByteReader::new(bytes);
-        let magic = r
-            .get_bytes(4)
-            .map_err(|_| corrupt("stream shorter than header"))?;
-        if magic != MAGIC {
-            return Err(CodecError::WrongCodec {
-                expected: "pco-lite",
-                found: format!("magic {magic:02x?}"),
-            });
-        }
-        let version = r.get_u8().map_err(|_| corrupt("header truncated"))?;
-        if version != VERSION {
-            return Err(corrupt(format!(
-                "pco-lite version {version} (expected {VERSION})"
-            )));
-        }
-        let flags = r.get_u8().map_err(|_| corrupt("header truncated"))?;
-        let rank = r.get_u8().map_err(|_| corrupt("header truncated"))?;
-        if !(1..=4).contains(&rank) {
-            return Err(corrupt(format!("invalid rank {rank}")));
-        }
-        let mut dim = || -> Result<usize, CodecError> {
-            r.get_u64()
-                .map(|v| v as usize)
-                .map_err(|_| corrupt("header truncated"))
-        };
-        let dims = match rank {
-            1 => Dims::D1(dim()?),
-            2 => Dims::D2(dim()?, dim()?),
-            3 => Dims::D3(dim()?, dim()?, dim()?),
-            _ => Dims::D4(dim()?, dim()?, dim()?, dim()?),
-        };
-        if dims.is_empty() {
-            return Err(corrupt("zero-sized dimensions"));
-        }
-        if dims.len() > (1usize << 40) {
-            return Err(corrupt(format!(
-                "declared element count {} is implausible",
-                dims.len()
-            )));
-        }
-        let abs_eb = r.get_f64().map_err(|_| corrupt("header truncated"))?;
-        if abs_eb <= 0.0 || !abs_eb.is_finite() {
-            return Err(corrupt(format!("invalid stored eb {abs_eb}")));
-        }
-        let two_eb = 2.0 * abs_eb;
-        let n = dims.len();
+        decompress_impl(bytes)
+    }
 
-        let raw_body = r.rest();
-        let body_owned;
-        let body: &[u8] = if flags & FLAG_LOSSLESS != 0 {
-            body_owned = lossless::decompress(raw_body)?;
-            &body_owned
-        } else {
-            raw_body
-        };
-        let mut b = ByteReader::new(body);
+    fn compress_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError> {
+        compress_impl(data, dims, cfg).map(|(bytes, _)| bytes)
+    }
 
-        // Bound the up-front `recon` allocation by what the body can
-        // actually hold: even a stream of all-zero-width pages needs a
-        // 3-byte header per page plus the 8-byte exception count, so a
-        // crafted header cannot demand terabytes from a tiny body.
-        let min_body = 8usize.saturating_add(n.div_ceil(PAGE).saturating_mul(3));
-        if min_body > body.len() {
-            return Err(corrupt(format!(
-                "{n} declared points need at least {min_body} body bytes, found {}",
-                body.len()
-            )));
-        }
+    fn compress_with_recon_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f32>), CodecError> {
+        compress_impl(data, dims, cfg)
+    }
 
-        // Exception table.
-        let n_exc = b.get_u64().map_err(|_| corrupt("body truncated"))? as usize;
-        if n_exc > n || n_exc.saturating_mul(EXCEPTION_BYTES) > b.remaining() {
-            return Err(corrupt(format!("{n_exc} exceptions for {n} points")));
-        }
-        let mut exceptions = Vec::with_capacity(n_exc);
-        let mut last_idx: Option<usize> = None;
-        for _ in 0..n_exc {
-            let idx = b.get_u64().map_err(|_| corrupt("exception truncated"))? as usize;
-            let bits = b.get_u64().map_err(|_| corrupt("exception truncated"))?;
-            if idx >= n || last_idx.is_some_and(|p| idx <= p) {
-                return Err(corrupt(format!("exception index {idx} out of order")));
-            }
-            last_idx = Some(idx);
-            exceptions.push((idx, f64::from_bits(bits)));
-        }
-
-        // Pages.
-        let mut recon = Vec::with_capacity(n);
-        let mut prev = 0i64;
-        let mut done = 0usize;
-        while done < n {
-            let page_len = PAGE.min(n - done);
-            let width = b.get_u8().map_err(|_| corrupt("page header truncated"))? as usize;
-            if width > 64 {
-                return Err(corrupt(format!("page bit width {width}")));
-            }
-            let n_out = b.get_u16().map_err(|_| corrupt("page header truncated"))? as usize;
-            if n_out > page_len {
-                return Err(corrupt(format!(
-                    "{n_out} outliers in a {page_len}-value page"
-                )));
-            }
-            let mut outliers = Vec::with_capacity(n_out);
-            let mut last_pos: Option<usize> = None;
-            for _ in 0..n_out {
-                let truncated = |_| corrupt("page outlier truncated");
-                let pos = b.get_u16().map_err(truncated)? as usize;
-                let zv = b.get_u64().map_err(truncated)?;
-                if pos >= page_len || last_pos.is_some_and(|p| pos <= p) {
-                    return Err(corrupt(format!("outlier position {pos} out of order")));
-                }
-                last_pos = Some(pos);
-                outliers.push((pos, zv));
-            }
-            let packed = b
-                .get_bytes(packed_bytes(page_len, width))
-                .map_err(|_| corrupt("page payload truncated"))?;
-            let mut unpacker = BitUnpacker::new(packed);
-            let mut next_outlier = outliers.iter().peekable();
-            for pos in 0..page_len {
-                let mut zv = unpacker.read(width);
-                if next_outlier.peek().is_some_and(|&&(p, _)| p == pos) {
-                    if let Some(&(_, ozv)) = next_outlier.next() {
-                        zv = ozv;
-                    }
-                }
-                prev = prev.wrapping_add(unzigzag(zv));
-                recon.push(prev as f64 * two_eb);
-            }
-            done += page_len;
-        }
-        if b.remaining() != 0 {
-            return Err(corrupt(format!("{} trailing bytes", b.remaining())));
-        }
-        for (idx, v) in exceptions {
-            let slot = recon
-                .get_mut(idx)
-                .ok_or_else(|| corrupt(format!("exception index {idx} out of range")))?;
-            *slot = v;
-        }
-        Ok((recon, dims))
+    fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
+        decompress_impl(bytes)
     }
 
     fn looks_like(&self, bytes: &[u8]) -> bool {
@@ -635,6 +702,64 @@ mod tests {
             Err(CodecError::WrongCodec { .. })
         ));
         assert!(!PcoLite.looks_like(&sz));
+    }
+
+    #[test]
+    fn f32_exceptions_are_stored_at_native_width() {
+        // All-exception input (NaN-heavy): the f32 stream's exception
+        // table is 12 bytes/entry vs 16 at f64, so it must be smaller.
+        let data64 = vec![f64::NAN; 600];
+        let data32 = vec![f32::NAN; 600];
+        let cfg = CodecConfig {
+            lossless: false,
+            ..CodecConfig::abs(1e-3)
+        };
+        let b64 = PcoLite.compress(&data64, Dims::D1(600), &cfg).unwrap();
+        let b32 = PcoLite.compress_f32(&data32, Dims::D1(600), &cfg).unwrap();
+        assert!(
+            b32.len() + 600 * 4 <= b64.len(),
+            "f32 {} vs f64 {}",
+            b32.len(),
+            b64.len()
+        );
+        let (out, _) = PcoLite.decompress_f32(&b32).unwrap();
+        assert!(out.iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn f32_narrowed_reconstruction_respects_bound() {
+        // Quantized reconstructions are narrowed to f32 before the bound
+        // check; large-magnitude values whose narrow breaks the bound must
+        // ride as exceptions instead.
+        let data: Vec<f32> = (0..2048)
+            .map(|i| 99_999_992.0f32 + (i as f32 * 0.25).sin() * 40.0)
+            .collect();
+        let cfg = CodecConfig::abs(6.0);
+        let (bytes, recon) = PcoLite
+            .compress_with_recon_f32(&data, Dims::D1(2048), &cfg)
+            .unwrap();
+        let (out, _) = PcoLite.decompress_f32(&bytes).unwrap();
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            assert!((a as f64 - b as f64).abs() <= 6.0, "point {i}: {a} vs {b}");
+            assert_eq!(recon[i].to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_corrupt_streams_error_never_panic() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let cfg = CodecConfig::abs(1e-4);
+        let bytes = PcoLite.compress_f32(&data, Dims::D1(1000), &cfg).unwrap();
+        let mut mutated = bytes.clone();
+        for i in (0..mutated.len()).step_by(3) {
+            mutated[i] ^= 0xFF;
+            let _ = PcoLite.decompress_f32(&mutated);
+            let _ = PcoLite.decompress(&mutated);
+            mutated[i] ^= 0xFF;
+        }
+        for cut in 0..bytes.len().min(64) {
+            assert!(PcoLite.decompress_f32(&bytes[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -19,6 +19,19 @@ impl SzCodec {
             regression: cfg.regression,
         })
     }
+
+    /// Maps a width mismatch to the codec layer's typed error (the SZ
+    /// substrate would report it as `UnsupportedFormat`, losing the
+    /// machine-checkable distinction).
+    fn check_dtype(bytes: &[u8], want: tac_dtype::TacDtype) -> Result<(), CodecError> {
+        match tac_sz::stream_dtype(bytes) {
+            Some(found) if found != want => Err(CodecError::WrongDtype {
+                stream: found.label(),
+                requested: want.label(),
+            }),
+            _ => Ok(()), // absent/corrupt headers fall through to decode errors
+        }
+    }
 }
 
 impl ScalarCodec for SzCodec {
@@ -44,7 +57,35 @@ impl ScalarCodec for SzCodec {
     }
 
     fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
+        Self::check_dtype(bytes, tac_dtype::TacDtype::F64)?;
         Ok(tac_sz::decompress(bytes)?)
+    }
+
+    fn compress_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError> {
+        Ok(tac_sz::compress_t(data, dims, &Self::sz_config(cfg)?)?)
+    }
+
+    fn compress_with_recon_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f32>), CodecError> {
+        Ok(tac_sz::compress_with_recon_t(
+            data,
+            dims,
+            &Self::sz_config(cfg)?,
+        )?)
+    }
+
+    fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
+        Self::check_dtype(bytes, tac_dtype::TacDtype::F32)?;
+        Ok(tac_sz::decompress_t(bytes)?)
     }
 
     fn looks_like(&self, bytes: &[u8]) -> bool {

@@ -22,12 +22,17 @@
 //! * **v3** — v2 plus a scalar-codec byte ([`CodecId`]) per level in
 //!   the method metadata *and* per chunk-table row, so chunks are
 //!   self-describing whichever backend wrote them.
+//! * **v4** — v3 plus one element-type byte ([`TacDtype`]) in the
+//!   header and per chunk-table row. Written only for non-`f64`
+//!   datasets; an absent dtype byte always means `f64`, so every v1/v2/
+//!   v3 container (and every golden fixture) decodes bit-exactly.
 //!
 //! [`CompressedDataset::to_bytes`] writes v2 when every stream uses the
-//! default SZ codec — bit-compatible with pre-codec readers — and
-//! promotes to v3 as soon as any other backend is involved. v1 and v2
-//! bytes produced before the codec layer existed parse unchanged and
-//! default to [`CodecId::Sz`].
+//! default SZ codec — bit-compatible with pre-codec readers — promotes
+//! to v3 as soon as any other backend is involved, and to v4 as soon as
+//! the element type is not `f64`. v1 and v2 bytes produced before the
+//! codec layer existed parse unchanged and default to [`CodecId::Sz`]
+//! and [`TacDtype::F64`].
 
 use crate::config::Strategy;
 use crate::error::TacError;
@@ -35,6 +40,7 @@ use crate::stream::{CompressedLevel, LevelPayload, Reader, Writer};
 use serde::{Deserialize, Serialize};
 use tac_amr::{Aabb, BitMask};
 use tac_codec::{sniff_codec, CodecId};
+use tac_dtype::TacDtype;
 use tac_sz::CompressionStats;
 
 /// Container magic number.
@@ -45,6 +51,8 @@ const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 /// Chunked format with per-level and per-chunk codec tags.
 const VERSION_V3: u8 = 3;
+/// Chunked format with a dataset dtype byte and per-chunk dtype tags.
+pub(crate) const VERSION_V4: u8 = 4;
 /// Serialized chunk-table row size in a v2 container: level `u8` +
 /// offset `u64` + len `u64` + bbox `6 x u32`. The writer
 /// ([`ChunkEntry::write`]), the reader ([`ChunkEntry::read`]), the
@@ -54,6 +62,9 @@ pub const CHUNK_ROW_BYTES_V2: usize = 41;
 /// Serialized chunk-table row size in a v3 container: the v2 row plus
 /// one codec byte.
 pub const CHUNK_ROW_BYTES_V3: usize = 42;
+/// Serialized chunk-table row size in a v4 container: the v3 row plus
+/// one element-type ([`TacDtype`]) byte.
+pub const CHUNK_ROW_BYTES_V4: usize = 43;
 /// Size of the chunk table's `u32` row-count prefix.
 pub const CHUNK_COUNT_PREFIX_BYTES: usize = 4;
 /// Size of the trailing `u64` table-offset footer a v2/v3 container
@@ -175,6 +186,9 @@ pub struct CompressedDataset {
     pub name: String,
     /// Side of the finest grid.
     pub finest_dim: usize,
+    /// Element type of every payload stream (`f64` for every container
+    /// written before the dtype layer existed).
+    pub dtype: TacDtype,
     /// Per-level occupancy masks, fine to coarse.
     pub masks: Vec<BitMask>,
     /// Method payload.
@@ -236,15 +250,20 @@ impl CompressedDataset {
 
     /// Compression accounting over the AMR representation (present cells
     /// only — the true storage the dataset needs before compression).
+    /// Original bytes are counted at the container's element width, so
+    /// `f32` datasets are not credited with `f64`-sized input.
     pub fn stats(&self) -> CompressionStats {
-        CompressionStats::new(self.total_present(), self.payload_bytes())
+        CompressionStats::new_for(self.total_present(), self.payload_bytes(), self.dtype)
     }
 
     /// Serializes the container in the current chunked format: v2 bytes
     /// (bit-compatible with pre-codec readers) when every stream uses
-    /// the default SZ codec, v3 (codec-tagged) otherwise.
+    /// the default SZ codec over `f64`, v3 (codec-tagged) for other
+    /// codecs, v4 (dtype-tagged) for other element types.
     pub fn to_bytes(&self) -> Vec<u8> {
-        if self.body.codecs_all_default() {
+        if self.dtype != TacDtype::F64 {
+            self.to_bytes_chunked(VERSION_V4)
+        } else if self.body.codecs_all_default() {
             self.to_bytes_chunked(VERSION_V2)
         } else {
             self.to_bytes_chunked(VERSION_V3)
@@ -302,9 +321,11 @@ impl CompressedDataset {
         w.into_bytes()
     }
 
-    /// Serializes the chunked (v2/v3) container. v3 additionally writes
-    /// a codec byte per level in the method metadata and per chunk-table
-    /// row; v2 is byte-for-byte the pre-codec format.
+    /// Serializes the chunked (v2/v3/v4) container. v3 additionally
+    /// writes a codec byte per level in the method metadata and per
+    /// chunk-table row; v4 adds a dataset dtype byte after the method
+    /// tag and one per chunk-table row; v2 is byte-for-byte the
+    /// pre-codec format.
     // tac-lint: allow(arith) -- writer-side width reduction: level, mask, and group counts come from validated in-memory datasets (<= 16 levels, group counts bounded by the grid volume).
     fn to_bytes_chunked(&self, version: u8) -> Vec<u8> {
         let tagged = version >= VERSION_V3;
@@ -312,10 +333,17 @@ impl CompressedDataset {
             tagged || self.body.codecs_all_default(),
             "v2 cannot represent non-default codecs"
         );
+        debug_assert!(
+            version >= VERSION_V4 || self.dtype == TacDtype::F64,
+            "pre-v4 layouts cannot represent non-f64 elements"
+        );
         let mut w = Writer::new();
         w.put_bytes(MAGIC);
         w.put_u8(version);
         w.put_u8(self.method().tag());
+        if version >= VERSION_V4 {
+            w.put_u8(self.dtype.tag());
+        }
         w.put_str(&self.name);
         w.put_u64(self.finest_dim as u64);
         w.put_u8(self.masks.len() as u8);
@@ -380,6 +408,7 @@ impl CompressedDataset {
                 offset: len_before,
                 len: payload.len() - len_before,
                 codec,
+                dtype: self.dtype,
                 bbox,
             });
         };
@@ -445,21 +474,21 @@ impl CompressedDataset {
         let table_pos = w.len();
         w.put_u32(entries.len() as u32);
         for e in &entries {
-            e.write(&mut w, tagged);
+            e.write(&mut w, version);
         }
         w.put_u64(table_pos as u64);
         w.into_bytes()
     }
 
-    /// Parses a container written by [`CompressedDataset::to_bytes`] (v2)
-    /// or [`CompressedDataset::to_bytes_v1`].
+    /// Parses a container written by [`CompressedDataset::to_bytes`]
+    /// (chunked) or [`CompressedDataset::to_bytes_v1`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TacError> {
         let mut r = Reader::new(bytes);
-        let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
-        match version {
-            VERSION_V1 => parse_v1_body(&mut r, method, name, finest_dim, masks),
-            VERSION_V2 | VERSION_V3 => {
-                let layout = parse_chunked_tail(&mut r, version, method, name, finest_dim, masks)?;
+        let prelude = parse_prelude(&mut r)?;
+        match prelude.version {
+            VERSION_V1 => parse_v1_body(&mut r, prelude),
+            VERSION_V2 | VERSION_V3 | VERSION_V4 => {
+                let layout = parse_chunked_tail(&mut r, prelude)?;
                 layout.assemble()
             }
             v => Err(TacError::Corrupt(format!(
@@ -469,22 +498,40 @@ impl CompressedDataset {
     }
 }
 
-/// Shared front matter of both container versions: magic, version byte,
-/// method, name, finest dim, packed masks.
-fn parse_prelude(
-    r: &mut Reader<'_>,
-) -> Result<(u8, Method, String, usize, Vec<BitMask>), TacError> {
+/// Parsed shared front matter of every container version.
+#[derive(Debug)]
+pub(crate) struct Prelude {
+    pub version: u8,
+    pub method: Method,
+    /// From the v4 header byte; `F64` for every earlier version (v1
+    /// bodies may refine this from their self-describing payloads).
+    pub dtype: TacDtype,
+    pub name: String,
+    pub finest_dim: usize,
+    pub masks: Vec<BitMask>,
+}
+
+/// Shared front matter of every container version: magic, version byte,
+/// method, dtype byte (v4), name, finest dim, packed masks.
+fn parse_prelude(r: &mut Reader<'_>) -> Result<Prelude, TacError> {
     let magic = r.get_bytes(4)?;
     if magic != MAGIC {
         return Err(TacError::Corrupt(format!("bad magic {magic:02x?}")));
     }
     let version = r.get_u8()?;
-    if !(VERSION_V1..=VERSION_V3).contains(&version) {
+    if !(VERSION_V1..=VERSION_V4).contains(&version) {
         return Err(TacError::Corrupt(format!(
             "unsupported container version {version}"
         )));
     }
     let method = Method::from_tag(r.get_u8()?)?;
+    let dtype = if version >= VERSION_V4 {
+        let tag = r.get_u8()?;
+        TacDtype::from_tag(tag)
+            .ok_or_else(|| TacError::Corrupt(format!("unknown element-type tag {tag}")))?
+    } else {
+        TacDtype::F64
+    };
     let name = r.get_str()?;
     let finest_dim = r.get_u64()? as usize;
     // A crafted dimension must fail cleanly before any `dim^3` products:
@@ -517,17 +564,28 @@ fn parse_prelude(
         }
         masks.push(mask);
     }
-    Ok((version, method, name, finest_dim, masks))
+    Ok(Prelude {
+        version,
+        method,
+        dtype,
+        name,
+        finest_dim,
+        masks,
+    })
 }
 
-/// Parses the v1 (monolithic) body.
-fn parse_v1_body(
-    r: &mut Reader<'_>,
-    method: Method,
-    name: String,
-    finest_dim: usize,
-    masks: Vec<BitMask>,
-) -> Result<CompressedDataset, TacError> {
+/// Parses the v1 (monolithic) body. v1 has no dtype byte; the element
+/// type is recovered from the payload itself — TAC level tags are
+/// self-describing, and the baselines' scalar streams carry a dtype
+/// flag in their own headers.
+fn parse_v1_body(r: &mut Reader<'_>, prelude: Prelude) -> Result<CompressedDataset, TacError> {
+    let Prelude {
+        method,
+        name,
+        finest_dim,
+        masks,
+        ..
+    } = prelude;
     let num_levels = masks.len();
     let body = match method {
         Method::Tac => {
@@ -581,30 +639,55 @@ fn parse_v1_body(
             r.remaining()
         )));
     }
+    let dtype = match &body {
+        MethodBody::Tac(levels) => {
+            let dtype = levels.first().map(|l| l.dtype).unwrap_or_default();
+            if levels.iter().any(|l| l.dtype != dtype) {
+                return Err(TacError::Corrupt(
+                    "levels disagree on the element type".into(),
+                ));
+            }
+            dtype
+        }
+        // The baselines' streams carry a dtype flag in their scalar-codec
+        // headers; empty streams (all-empty datasets) default to f64.
+        MethodBody::Baseline1D(levels) => levels
+            .iter()
+            .flatten()
+            .find_map(|(_, _, s)| tac_codec::stream_dtype(s))
+            .unwrap_or_default(),
+        MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => {
+            tac_codec::stream_dtype(stream).unwrap_or_default()
+        }
+    };
     Ok(CompressedDataset {
         name,
         finest_dim,
+        dtype,
         masks,
         body,
     })
 }
 
 /// One chunk-table row: which level the chunk belongs to, where its
-/// bytes live in the payload, which scalar codec wrote it (v3; v2 rows
-/// imply SZ), and the cell-coordinate box it covers (level-local
-/// coordinates).
+/// bytes live in the payload, which scalar codec wrote it (v3+; v2 rows
+/// imply SZ), its element type (v4+; earlier rows imply `f64`), and the
+/// cell-coordinate box it covers (level-local coordinates).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct ChunkEntry {
     pub level: u8,
     pub offset: usize,
     pub len: usize,
     pub codec: CodecId,
+    pub dtype: TacDtype,
     pub bbox: Aabb,
 }
 
-/// Serialized chunk-table row size of the given format flavor.
-pub(crate) fn chunk_entry_bytes(tagged: bool) -> usize {
-    if tagged {
+/// Serialized chunk-table row size of the given container version.
+pub(crate) fn chunk_entry_bytes(version: u8) -> usize {
+    if version >= VERSION_V4 {
+        CHUNK_ROW_BYTES_V4
+    } else if version >= VERSION_V3 {
         CHUNK_ROW_BYTES_V3
     } else {
         CHUNK_ROW_BYTES_V2
@@ -613,12 +696,15 @@ pub(crate) fn chunk_entry_bytes(tagged: bool) -> usize {
 
 impl ChunkEntry {
     // tac-lint: allow(arith) -- writer-side width reduction: bbox coordinates are cell indices bounded by MAX_FINEST_DIM (2^13), far below u32::MAX.
-    fn write(&self, w: &mut Writer, tagged: bool) {
+    fn write(&self, w: &mut Writer, version: u8) {
         w.put_u8(self.level);
         w.put_u64(self.offset as u64);
         w.put_u64(self.len as u64);
-        if tagged {
+        if version >= VERSION_V3 {
             w.put_u8(self.codec.tag());
+        }
+        if version >= VERSION_V4 {
+            w.put_u8(self.dtype.tag());
         }
         let (x0, y0, z0) = self.bbox.min;
         let (x1, y1, z1) = self.bbox.max;
@@ -627,14 +713,21 @@ impl ChunkEntry {
         }
     }
 
-    fn read(r: &mut Reader<'_>, tagged: bool) -> Result<Self, TacError> {
+    fn read(r: &mut Reader<'_>, version: u8) -> Result<Self, TacError> {
         let level = r.get_u8()?;
         let offset = r.get_u64()? as usize;
         let len = r.get_u64()? as usize;
-        let codec = if tagged {
+        let codec = if version >= VERSION_V3 {
             CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)?
         } else {
             CodecId::Sz
+        };
+        let dtype = if version >= VERSION_V4 {
+            let tag = r.get_u8()?;
+            TacDtype::from_tag(tag)
+                .ok_or_else(|| TacError::Corrupt(format!("unknown element-type tag {tag}")))?
+        } else {
+            TacDtype::F64
         };
         let x0 = r.get_u32()? as usize;
         let y0 = r.get_u32()? as usize;
@@ -657,6 +750,7 @@ impl ChunkEntry {
             offset,
             len,
             codec,
+            dtype,
             bbox: Aabb::new((x0, y0, z0), (x1, y1, z1)),
         })
     }
@@ -704,34 +798,36 @@ pub(crate) enum V2Meta {
 pub(crate) struct V2Layout<'a> {
     pub name: String,
     pub finest_dim: usize,
+    pub dtype: TacDtype,
     pub masks: Vec<BitMask>,
     pub meta: V2Meta,
     pub payload: &'a [u8],
     pub entries: Vec<ChunkEntry>,
 }
 
-/// Parses a chunked (v2/v3) container down to its layout without
+/// Parses a chunked (v2/v3/v4) container down to its layout without
 /// decoding any chunk.
 pub(crate) fn parse_v2(bytes: &[u8]) -> Result<V2Layout<'_>, TacError> {
     let mut r = Reader::new(bytes);
-    let (version, method, name, finest_dim, masks) = parse_prelude(&mut r)?;
-    if version == VERSION_V1 {
+    let prelude = parse_prelude(&mut r)?;
+    if prelude.version == VERSION_V1 {
         return Err(TacError::Corrupt(
             "chunk-table access needs a chunked (v2+) container (found v1)".into(),
         ));
     }
-    parse_chunked_tail(&mut r, version, method, name, finest_dim, masks)
+    parse_chunked_tail(&mut r, prelude)
 }
 
 /// Parses everything after the shared prelude of a chunked container.
-fn parse_chunked_tail<'a>(
-    r: &mut Reader<'a>,
-    version: u8,
-    method: Method,
-    name: String,
-    finest_dim: usize,
-    masks: Vec<BitMask>,
-) -> Result<V2Layout<'a>, TacError> {
+fn parse_chunked_tail<'a>(r: &mut Reader<'a>, prelude: Prelude) -> Result<V2Layout<'a>, TacError> {
+    let Prelude {
+        version,
+        method,
+        dtype,
+        name,
+        finest_dim,
+        masks,
+    } = prelude;
     let tagged = version >= VERSION_V3;
     let read_codec = |r: &mut Reader<'_>| -> Result<CodecId, TacError> {
         if tagged {
@@ -801,7 +897,7 @@ fn parse_chunked_tail<'a>(
     // Bound the allocation by what the buffer can hold (entries are
     // fixed-size: level u8 + offset/len u64 + codec byte on v3 + bbox
     // 6 x u32).
-    let entry_bytes = chunk_entry_bytes(tagged);
+    let entry_bytes = chunk_entry_bytes(version);
     if num_chunks > r.remaining() / entry_bytes {
         return Err(TacError::Corrupt(format!(
             "table declares {num_chunks} chunks but only {} bytes remain",
@@ -810,7 +906,7 @@ fn parse_chunked_tail<'a>(
     }
     let mut entries = Vec::with_capacity(num_chunks);
     for _ in 0..num_chunks {
-        let e = ChunkEntry::read(r, tagged)?;
+        let e = ChunkEntry::read(r, version)?;
         // checked_add: a crafted offset near u64::MAX must fail cleanly,
         // not wrap past the bound and panic at slice time.
         let in_bounds = e
@@ -848,6 +944,7 @@ fn parse_chunked_tail<'a>(
     let layout = V2Layout {
         name,
         finest_dim,
+        dtype,
         masks,
         meta,
         payload,
@@ -867,6 +964,16 @@ impl V2Layout<'_> {
     /// container was tampered with — better to refuse than to hand the
     /// chunk to the wrong backend.
     fn validate_chunk_counts(&self) -> Result<(), TacError> {
+        // Every chunk must agree with the container's element type; a
+        // mismatch would hand f32 bytes to an f64 monomorphization.
+        for e in &self.entries {
+            if e.dtype != self.dtype {
+                return Err(TacError::Corrupt(format!(
+                    "chunk tagged {} but the container header says {}",
+                    e.dtype, self.dtype
+                )));
+            }
+        }
         let check = |level: usize, want: usize, codec: CodecId| -> Result<(), TacError> {
             let mut have = 0usize;
             for e in self.level_entries(level) {
@@ -976,6 +1083,7 @@ impl V2Layout<'_> {
                         dim: meta.dim,
                         abs_eb: meta.abs_eb,
                         codec: meta.codec,
+                        dtype: self.dtype,
                         payload,
                     });
                 }
@@ -1010,6 +1118,7 @@ impl V2Layout<'_> {
         Ok(CompressedDataset {
             name: self.name,
             finest_dim: self.finest_dim,
+            dtype: self.dtype,
             masks: self.masks,
             body,
         })
@@ -1043,10 +1152,11 @@ mod tests {
         vec![fine, coarse]
     }
 
-    fn sample_tac_with(codec: CodecId) -> CompressedDataset {
+    fn sample_tac_typed(codec: CodecId, dtype: TacDtype) -> CompressedDataset {
         CompressedDataset {
             name: "Run1_Z10".into(),
             finest_dim: 4,
+            dtype,
             masks: sample_masks(),
             body: MethodBody::Tac(vec![
                 CompressedLevel {
@@ -1054,6 +1164,7 @@ mod tests {
                     dim: 4,
                     abs_eb: 1e-3,
                     codec,
+                    dtype,
                     payload: crate::stream::LevelPayload::Groups(vec![crate::stream::BlockGroup {
                         shape: (2, 2, 2),
                         origins: vec![(0, 0, 0), (2, 2, 2)],
@@ -1065,10 +1176,15 @@ mod tests {
                     dim: 2,
                     abs_eb: 2e-3,
                     codec,
+                    dtype,
                     payload: crate::stream::LevelPayload::Whole(vec![1, 2, 3]),
                 },
             ]),
         }
+    }
+
+    fn sample_tac_with(codec: CodecId) -> CompressedDataset {
+        sample_tac_typed(codec, TacDtype::F64)
     }
 
     fn sample_tac() -> CompressedDataset {
@@ -1134,6 +1250,7 @@ mod tests {
                 let cd = CompressedDataset {
                     name: "x".into(),
                     finest_dim: 4,
+                    dtype: TacDtype::F64,
                     masks: sample_masks(),
                     body,
                 };
@@ -1169,6 +1286,7 @@ mod tests {
         let cd = CompressedDataset {
             name: "sniffed".into(),
             finest_dim: 4,
+            dtype: TacDtype::F64,
             masks: sample_masks(),
             body: MethodBody::ZMesh {
                 abs_eb: 0.5,
@@ -1205,6 +1323,7 @@ mod tests {
         let cd = CompressedDataset {
             name: "s".into(),
             finest_dim: 4,
+            dtype: TacDtype::F64,
             masks: sample_masks(),
             body: MethodBody::ZMesh {
                 abs_eb: 1.0,
@@ -1224,6 +1343,7 @@ mod tests {
         let cd = CompressedDataset {
             name: "c".into(),
             finest_dim: 4,
+            dtype: TacDtype::F64,
             masks: sample_masks(),
             body: MethodBody::Baseline3D {
                 abs_eb: 1.0,
@@ -1262,6 +1382,79 @@ mod tests {
     fn truncated_v2_is_rejected_at_every_cut() {
         let cd = sample_tac();
         let bytes = cd.to_bytes();
+        for cut in 5..bytes.len() {
+            assert!(
+                CompressedDataset::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_dataset_promotes_to_v4_and_roundtrips() {
+        for codec in CodecId::all() {
+            let cd = sample_tac_typed(codec, TacDtype::F32);
+            let bytes = cd.to_bytes();
+            assert_eq!(bytes[4], VERSION_V4, "non-f64 must promote to v4");
+            // The dtype byte sits right after the method tag.
+            assert_eq!(bytes[6], TacDtype::F32.tag());
+            assert_eq!(CompressedDataset::from_bytes(&bytes).unwrap(), cd);
+            // v1 recovers the dtype from the self-describing level tags.
+            let v1 = cd.to_bytes_v1();
+            assert_eq!(v1[4], VERSION_V1);
+            assert_eq!(CompressedDataset::from_bytes(&v1).unwrap(), cd);
+        }
+    }
+
+    #[test]
+    fn v4_chunk_rows_carry_the_dtype() {
+        let cd = sample_tac_typed(CodecId::Sz, TacDtype::F32);
+        let bytes = cd.to_bytes();
+        let layout = parse_v2(&bytes).unwrap();
+        assert_eq!(layout.dtype, TacDtype::F32);
+        assert!(layout.entries.iter().all(|e| e.dtype == TacDtype::F32));
+        // Table geometry: count prefix + fixed-size v4 rows, then footer.
+        let footer = &bytes[bytes.len() - TABLE_FOOTER_BYTES..];
+        let table_pos = u64::from_le_bytes(footer.try_into().unwrap()) as usize;
+        let table_len = bytes.len() - TABLE_FOOTER_BYTES - table_pos;
+        assert_eq!(
+            table_len,
+            CHUNK_COUNT_PREFIX_BYTES + layout.entries.len() * CHUNK_ROW_BYTES_V4
+        );
+    }
+
+    #[test]
+    fn v4_dtype_corruption_is_rejected() {
+        let cd = sample_tac_typed(CodecId::Sz, TacDtype::F32);
+        let bytes = cd.to_bytes();
+        // Unknown header dtype tag.
+        let mut bad = bytes.clone();
+        bad[6] = 9;
+        assert!(CompressedDataset::from_bytes(&bad).is_err());
+        // A chunk row disagreeing with the header must be refused, not
+        // silently reinterpreted: flip the first row's dtype byte (at
+        // level + offset + len + codec = 18 bytes into the row) to f64.
+        let footer = &bytes[bytes.len() - TABLE_FOOTER_BYTES..];
+        let table_pos = u64::from_le_bytes(footer.try_into().unwrap()) as usize;
+        let dtype_at = table_pos + CHUNK_COUNT_PREFIX_BYTES + 18;
+        assert_eq!(bytes[dtype_at], TacDtype::F32.tag());
+        let mut mismatched = bytes.clone();
+        mismatched[dtype_at] = TacDtype::F64.tag();
+        assert!(CompressedDataset::from_bytes(&mismatched).is_err());
+    }
+
+    #[test]
+    fn v1_mixed_level_dtypes_are_rejected() {
+        let mut cd = sample_tac_typed(CodecId::Sz, TacDtype::F32);
+        if let MethodBody::Tac(levels) = &mut cd.body {
+            levels[1].dtype = TacDtype::F64;
+        }
+        assert!(CompressedDataset::from_bytes(&cd.to_bytes_v1()).is_err());
+    }
+
+    #[test]
+    fn truncated_v4_is_rejected_at_every_cut() {
+        let bytes = sample_tac_typed(CodecId::PcoLite, TacDtype::F32).to_bytes();
         for cut in 5..bytes.len() {
             assert!(
                 CompressedDataset::from_bytes(&bytes[..cut]).is_err(),

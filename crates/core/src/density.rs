@@ -3,6 +3,7 @@
 
 use crate::config::{Strategy, TacConfig};
 use tac_amr::AmrLevel;
+use tac_dtype::Element;
 
 /// Selects the strategy for `level` under `cfg`'s thresholds:
 ///
@@ -15,7 +16,7 @@ use tac_amr::AmrLevel;
 ///
 /// A forced strategy in the config overrides density selection (except for
 /// empty levels, which have nothing to compress).
-pub fn choose_strategy(level: &AmrLevel, cfg: &TacConfig) -> Strategy {
+pub fn choose_strategy<T: Element>(level: &AmrLevel<T>, cfg: &TacConfig) -> Strategy {
     let d = level.density();
     if d == 0.0 {
         return Strategy::Empty;

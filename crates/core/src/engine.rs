@@ -31,7 +31,8 @@ use crate::nast::plan_nast;
 use crate::opst::plan_opst;
 use crate::stream::{BlockGroup, CompressedLevel, LevelPayload};
 use tac_amr::{AmrLevel, BitMask, BlockGrid};
-use tac_codec::{codec_for, CodecConfig, CodecId, Dims};
+use tac_codec::{codec_for, CodecConfig, CodecElement, CodecError, CodecId, Dims};
+use tac_dtype::Element;
 
 /// Effective unit-block size for a level: the configured unit, clamped
 /// down to the level dimension when the level is smaller than one unit.
@@ -51,41 +52,41 @@ pub(crate) fn unit_for(dim: usize, unit: usize) -> Result<usize, TacError> {
 
 /// Where a whole-grid compression task reads its input.
 #[derive(Debug)]
-pub(crate) enum WholeSource {
+pub(crate) enum WholeSource<T: Element> {
     /// The level's own flat array (ZeroFill).
     Level,
     /// An owned pre-processed buffer (GSP's padded grid).
-    Owned(Vec<f64>),
+    Owned(Vec<T>),
 }
 
 /// The planned work for one level.
 #[derive(Debug)]
-pub(crate) enum LevelWork {
+pub(crate) enum LevelWork<T: Element> {
     /// Nothing to compress.
     Empty,
     /// One whole-grid rank-3 stream.
-    Whole(WholeSource),
+    Whole(WholeSource<T>),
     /// Extracted region groups, each an independent task.
     Groups(Vec<GroupPlan>),
 }
 
 /// A fully planned level, ready for the execute phase.
 #[derive(Debug)]
-pub(crate) struct LevelPlan {
+pub(crate) struct LevelPlan<T: Element> {
     pub strategy: Strategy,
     pub dim: usize,
     pub abs_eb: f64,
-    pub work: LevelWork,
+    pub work: LevelWork<T>,
 }
 
 /// Plans one level: partition planning and pre-processing, no
 /// compression.
-pub(crate) fn plan_level(
-    level: &AmrLevel,
+pub(crate) fn plan_level<T: Element>(
+    level: &AmrLevel<T>,
     strategy: Strategy,
     abs_eb: f64,
     cfg: &TacConfig,
-) -> Result<LevelPlan, TacError> {
+) -> Result<LevelPlan<T>, TacError> {
     let dim = level.dim();
     let work = match strategy {
         Strategy::Empty => LevelWork::Empty,
@@ -122,20 +123,20 @@ pub(crate) fn plan_level(
 }
 
 /// One flattened compression task (borrowing the plan and level data).
-struct CompressTask<'a> {
+struct CompressTask<'a, T: Element> {
     dim: usize,
     codec: CodecId,
     codec_cfg: CodecConfig,
-    kind: CompressKind<'a>,
+    kind: CompressKind<'a, T>,
 }
 
-enum CompressKind<'a> {
-    Whole(&'a [f64]),
+enum CompressKind<'a, T: Element> {
+    Whole(&'a [T]),
     /// A region group plus the flat array of its owning level.
-    Group(&'a GroupPlan, &'a [f64]),
+    Group(&'a GroupPlan, &'a [T]),
 }
 
-impl CompressTask<'_> {
+impl<T: Element> CompressTask<'_, T> {
     fn cost(&self) -> u64 {
         match &self.kind {
             CompressKind::Whole(_) => (self.dim * self.dim * self.dim) as u64,
@@ -153,16 +154,16 @@ enum TaskOut {
 /// per-level compressed payloads in plan order. `level_data[i]` is the
 /// flat array of the i-th planned level (read by ZeroFill tasks and
 /// region-group tasks).
-pub(crate) fn compress_plans(
-    plans: &[LevelPlan],
-    level_data: &[&[f64]],
+pub(crate) fn compress_plans<T: CodecElement>(
+    plans: &[LevelPlan<T>],
+    level_data: &[&[T]],
     cfg: &TacConfig,
     workers: usize,
 ) -> Result<Vec<CompressedLevel>, TacError> {
     assert_eq!(plans.len(), level_data.len());
     // Flatten: tasks are generated level-major, groups in plan order, so
     // task index order is deterministic.
-    let mut tasks: Vec<CompressTask<'_>> = Vec::new();
+    let mut tasks: Vec<CompressTask<'_, T>> = Vec::new();
     for (plan, &data) in plans.iter().zip(level_data) {
         let codec_cfg = cfg.codec_config(plan.abs_eb);
         match &plan.work {
@@ -196,7 +197,8 @@ pub(crate) fn compress_plans(
         |t| -> Result<TaskOut, TacError> {
             match &t.kind {
                 CompressKind::Whole(data) => {
-                    let stream = codec_for(t.codec).compress(
+                    let stream = T::codec_compress(
+                        codec_for(t.codec),
                         data,
                         Dims::D3(t.dim, t.dim, t.dim),
                         &t.codec_cfg,
@@ -246,6 +248,7 @@ pub(crate) fn compress_plans(
             dim: plan.dim,
             abs_eb: plan.abs_eb,
             codec,
+            dtype: T::DTYPE,
             payload,
         });
     }
@@ -279,15 +282,21 @@ impl DecompressTask<'_> {
 /// Decompresses TAC per-level payloads on `workers` threads: every
 /// whole-grid stream and every region group decodes as an independent
 /// task; pasting and mask application stay serial.
-pub(crate) fn decompress_tac_levels(
+pub(crate) fn decompress_tac_levels<T: CodecElement>(
     compressed: &[CompressedLevel],
     masks: &[BitMask],
     workers: usize,
-) -> Result<Vec<AmrLevel>, TacError> {
+) -> Result<Vec<AmrLevel<T>>, TacError> {
     // Validate masks up front (decode tasks do not see them). The
     // checked product guards in-memory callers handing over a crafted
     // dim (wire readers bound it already).
     for (l, (cl, mask)) in compressed.iter().zip(masks).enumerate() {
+        if cl.dtype != T::DTYPE {
+            return Err(TacError::Codec(CodecError::WrongDtype {
+                stream: cl.dtype.label(),
+                requested: T::DTYPE.label(),
+            }));
+        }
         let n = cl
             .dim
             .checked_mul(cl.dim)
@@ -330,10 +339,10 @@ pub(crate) fn decompress_tac_levels(
         workers,
         &tasks,
         DecompressTask::cost,
-        |t| -> Result<Vec<f64>, TacError> {
+        |t| -> Result<Vec<T>, TacError> {
             match &t.kind {
                 DecompressKind::Whole(stream) => {
-                    let (values, dims) = codec_for(t.codec).decompress(stream)?;
+                    let (values, dims) = T::codec_decompress(codec_for(t.codec), stream)?;
                     if dims != Dims::D3(t.dim, t.dim, t.dim) {
                         return Err(TacError::Corrupt(format!(
                             "whole-grid stream dims {dims:?} for a {}^3 level",
@@ -342,15 +351,15 @@ pub(crate) fn decompress_tac_levels(
                     }
                     Ok(values)
                 }
-                DecompressKind::Group(g) => decode_group(g, t.codec),
+                DecompressKind::Group(g) => decode_group::<T>(g, t.codec),
             }
         },
     );
 
     // Assemble: paste decoded buffers level by level, then mask.
-    let mut grids: Vec<Vec<f64>> = compressed
+    let mut grids: Vec<Vec<T>> = compressed
         .iter()
-        .map(|cl| vec![0.0f64; cl.dim * cl.dim * cl.dim])
+        .map(|cl| vec![T::ZERO; cl.dim * cl.dim * cl.dim])
         .collect();
     for (task, result) in tasks.iter().zip(results) {
         let values = result?;
@@ -366,7 +375,7 @@ pub(crate) fn decompress_tac_levels(
         .map(|((cl, mut data), mask)| {
             for (i, v) in data.iter_mut().enumerate() {
                 if !mask.get(i) {
-                    *v = 0.0;
+                    *v = T::ZERO;
                 }
             }
             AmrLevel::new(cl.dim, data, mask.clone())

@@ -22,6 +22,18 @@ pub enum TacError {
     /// finite, so no meaningful absolute bound exists). Absolute bounds
     /// accept non-finite values and store them verbatim instead.
     NonFinite(String),
+    /// The resolved absolute error bound is positive in `f64` working
+    /// precision but underflows to zero at the target element type, so
+    /// the quantizer step would silently degenerate (every value
+    /// unpredictable, or worse, a zero-width bin). Raised instead of
+    /// propagating the meaningless bound — e.g. a relative bound over a
+    /// tiny dynamic range on an `f32` field.
+    DegenerateBound {
+        /// The resolved absolute bound in `f64` working precision.
+        abs_eb: f64,
+        /// Label of the element type it underflows (`"f32"`).
+        dtype: &'static str,
+    },
 }
 
 impl fmt::Display for TacError {
@@ -33,6 +45,11 @@ impl fmt::Display for TacError {
             TacError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TacError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             TacError::NonFinite(msg) => write!(f, "non-finite data: {msg}"),
+            TacError::DegenerateBound { abs_eb, dtype } => write!(
+                f,
+                "error bound {abs_eb} underflows {dtype}: the quantizer \
+                 step would be zero at that precision"
+            ),
         }
     }
 }
@@ -77,5 +94,11 @@ mod tests {
         let n = TacError::NonFinite("range is NaN".into());
         assert!(n.to_string().contains("non-finite"));
         assert!(std::error::Error::source(&n).is_none());
+        let d = TacError::DegenerateBound {
+            abs_eb: 1e-46,
+            dtype: "f32",
+        };
+        assert!(d.to_string().contains("underflows f32"), "{d}");
+        assert!(std::error::Error::source(&d).is_none());
     }
 }

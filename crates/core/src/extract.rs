@@ -12,7 +12,8 @@
 use crate::error::TacError;
 use crate::stream::BlockGroup;
 use tac_amr::{copy_region, paste_region, Aabb};
-use tac_codec::{codec_for, CodecConfig, CodecId, Dims};
+use tac_codec::{codec_for, CodecConfig, CodecElement, CodecId, Dims};
+use tac_dtype::Element;
 
 /// A cuboid region of a level, in **cell** coordinates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,9 +97,10 @@ pub(crate) fn plan_groups(regions: &[Region], tile: Option<usize>) -> Vec<GroupP
 
 /// Runs one planned job: gathers the batched region data out of the
 /// level's flat array and compresses it as one rank-4 stream through the
-/// given scalar codec.
-pub(crate) fn compress_group(
-    data: &[f64],
+/// given scalar codec. Generic over the element type; the width resolves
+/// once per stream through [`CodecElement`].
+pub(crate) fn compress_group<T: CodecElement>(
+    data: &[T],
     dim: usize,
     plan: &GroupPlan,
     codec: CodecId,
@@ -111,7 +113,12 @@ pub(crate) fn compress_group(
         batch.extend_from_slice(&copy_region(data, dim, origin, plan.shape));
         origins.push((origin.0 as u32, origin.1 as u32, origin.2 as u32));
     }
-    let stream = codec_for(codec).compress(&batch, Dims::D4(w, h, d, plan.origins.len()), cfg)?;
+    let stream = T::codec_compress(
+        codec_for(codec),
+        &batch,
+        Dims::D4(w, h, d, plan.origins.len()),
+        cfg,
+    )?;
     Ok(BlockGroup {
         shape: plan.shape,
         origins,
@@ -121,10 +128,14 @@ pub(crate) fn compress_group(
 
 /// Decodes one group's stream through the given codec, validating the
 /// declared dimensions. A stream written by a different codec than the
-/// container's tag claims fails the backend's magic check here.
-pub(crate) fn decode_group(g: &BlockGroup, codec: CodecId) -> Result<Vec<f64>, TacError> {
+/// container's tag claims fails the backend's magic check here; a stream
+/// of the wrong element width fails the backend's dtype check.
+pub(crate) fn decode_group<T: CodecElement>(
+    g: &BlockGroup,
+    codec: CodecId,
+) -> Result<Vec<T>, TacError> {
     let (w, h, d) = g.shape;
-    let (values, dims) = codec_for(codec).decompress(&g.stream)?;
+    let (values, dims) = T::codec_decompress(codec_for(codec), &g.stream)?;
     if dims != Dims::D4(w, h, d, g.origins.len()) {
         return Err(TacError::Corrupt(format!(
             "group stream dims {dims:?} do not match shape {:?} x {}",
@@ -136,11 +147,11 @@ pub(crate) fn decode_group(g: &BlockGroup, codec: CodecId) -> Result<Vec<f64>, T
 }
 
 /// Pastes a decoded group back into a dense `dim^3` grid.
-pub(crate) fn paste_group(
-    out: &mut [f64],
+pub(crate) fn paste_group<T: Element>(
+    out: &mut [T],
     dim: usize,
     g: &BlockGroup,
-    values: &[f64],
+    values: &[T],
 ) -> Result<(), TacError> {
     let (w, h, d) = g.shape;
     let block = w * h * d;
@@ -171,14 +182,14 @@ pub(crate) fn paste_group(
 
 /// Decompresses groups back into a dense `dim^3` grid (cells outside every
 /// region are zero).
-pub(crate) fn decompress_groups(
+pub(crate) fn decompress_groups<T: CodecElement>(
     groups: &[BlockGroup],
     dim: usize,
     codec: CodecId,
-) -> Result<Vec<f64>, TacError> {
-    let mut out = vec![0.0f64; dim * dim * dim];
+) -> Result<Vec<T>, TacError> {
+    let mut out = vec![T::ZERO; dim * dim * dim];
     for g in groups {
-        let values = decode_group(g, codec)?;
+        let values = decode_group::<T>(g, codec)?;
         paste_group(&mut out, dim, g, &values)?;
     }
     Ok(out)
@@ -225,7 +236,7 @@ mod tests {
         for codec in CodecId::all() {
             let groups = compress_all(&data, dim, &regions, codec, &CodecConfig::abs(1e-3), None);
             assert_eq!(groups.len(), 2, "two shapes -> two groups");
-            let out = decompress_groups(&groups, dim, codec).unwrap();
+            let out = decompress_groups::<f64>(&groups, dim, codec).unwrap();
             for r in &regions {
                 for z in 0..r.shape.2 {
                     for y in 0..r.shape.1 {
@@ -259,7 +270,7 @@ mod tests {
             None,
         );
         // The stream is SZ but the caller claims PcoLite: magic check fails.
-        let err = decode_group(&groups[0], CodecId::PcoLite).unwrap_err();
+        let err = decode_group::<f64>(&groups[0], CodecId::PcoLite).unwrap_err();
         assert!(matches!(err, TacError::Codec(_)), "{err}");
     }
 
@@ -309,7 +320,7 @@ mod tests {
         assert_eq!(groups[0].aabb(), Aabb::new((0, 0, 0), (8, 8, 4)));
         assert_eq!(groups[1].aabb(), Aabb::new((0, 0, 4), (8, 8, 8)));
         // Roundtrip still exact.
-        let out = decompress_groups(&groups, dim, CodecId::Sz).unwrap();
+        let out = decompress_groups::<f64>(&groups, dim, CodecId::Sz).unwrap();
         assert!(out.iter().all(|&v| (v - 1.0).abs() <= 1e-6));
     }
 
@@ -348,7 +359,7 @@ mod tests {
             None,
         );
         groups[0].origins[0] = (6, 0, 0); // 6 + 4 > 8
-        assert!(decompress_groups(&groups, dim, CodecId::Sz).is_err());
+        assert!(decompress_groups::<f64>(&groups, dim, CodecId::Sz).is_err());
     }
 
     #[test]
@@ -368,6 +379,6 @@ mod tests {
             None,
         );
         groups[0].shape = (2, 2, 2);
-        assert!(decompress_groups(&groups, dim, CodecId::Sz).is_err());
+        assert!(decompress_groups::<f64>(&groups, dim, CodecId::Sz).is_err());
     }
 }

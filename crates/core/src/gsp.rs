@@ -16,10 +16,16 @@
 //! are absent in the occupancy mask, so reconstruction discards them.
 
 use tac_amr::{AmrLevel, BlockGrid};
+use tac_dtype::Element;
 
 /// Pads a copy of the level's dense grid. Returns the padded grid and the
 /// number of blocks padded.
-pub fn pad_ghost_shell(level: &AmrLevel, grid: &BlockGrid) -> (Vec<f64>, usize) {
+///
+/// Generic over the element type: averaging runs in `f64` working
+/// precision (exact for `f32` inputs) and the pad value narrows back to
+/// `T` once per block. The `f64` monomorphization is bit-identical to
+/// the historical implementation.
+pub fn pad_ghost_shell<T: Element>(level: &AmrLevel<T>, grid: &BlockGrid) -> (Vec<T>, usize) {
     let dim = level.dim();
     let unit = grid.unit();
     let nb = grid.blocks_per_side();
@@ -65,7 +71,7 @@ pub fn pad_ghost_shell(level: &AmrLevel, grid: &BlockGrid) -> (Vec<f64>, usize) 
                 if weight == 0 {
                     continue;
                 }
-                let pad = acc / weight as f64;
+                let pad = T::from_f64(acc / weight as f64);
                 padded += 1;
                 let (x0, y0, z0) = (bx * unit, by * unit, bz * unit);
                 for z in z0..z0 + unit {
@@ -83,8 +89,8 @@ pub fn pad_ghost_shell(level: &AmrLevel, grid: &BlockGrid) -> (Vec<f64>, usize) 
 /// Sums the *present* cells of the face slice of block `b` facing
 /// direction `toward` (unit vector pointing at the empty neighbour).
 /// Returns `(sum, count)`.
-fn boundary_slice_sum(
-    level: &AmrLevel,
+fn boundary_slice_sum<T: Element>(
+    level: &AmrLevel<T>,
     unit: usize,
     (bx, by, bz): (usize, usize, usize),
     toward: (isize, isize, isize),
@@ -113,7 +119,7 @@ fn boundary_slice_sum(
         for y in ys..ye {
             for x in xs..xe {
                 if level.present(x, y, z) {
-                    sum += level.value(x, y, z);
+                    sum += level.value(x, y, z).to_f64();
                     count += 1;
                 }
             }
@@ -222,7 +228,7 @@ mod tests {
 
     #[test]
     fn partial_neighbour_averages_present_cells_only() {
-        let mut lvl = AmrLevel::empty(8);
+        let mut lvl = AmrLevel::<f64>::empty(8);
         // Neighbour block (1,0,0) has only two present cells on its x==4
         // face, values 10 and 20.
         lvl.set_value(4, 0, 0, 10.0);

@@ -65,7 +65,7 @@ pub use akdtree::{plan_akdtree, AkdPlan};
 pub use config::{Strategy, TacConfig};
 pub use container::{
     Baseline1DLevel, CompressedDataset, Method, MethodBody, CHUNK_COUNT_PREFIX_BYTES,
-    CHUNK_ROW_BYTES_V2, CHUNK_ROW_BYTES_V3, TABLE_FOOTER_BYTES,
+    CHUNK_ROW_BYTES_V2, CHUNK_ROW_BYTES_V3, CHUNK_ROW_BYTES_V4, TABLE_FOOTER_BYTES,
 };
 pub use density::choose_strategy;
 pub use error::TacError;
@@ -74,10 +74,12 @@ pub use gsp::pad_ghost_shell;
 pub use nast::plan_nast;
 pub use opst::{plan_opst, plan_opst_from_occupancy, OpstPlan};
 pub use pipeline::{
-    compress_dataset, compress_level, decompress_dataset, decompress_dataset_par, decompress_level,
-    resolve_level_eb, select_method,
+    compress_dataset, compress_dataset_f32, compress_dataset_t, compress_level, compress_level_t,
+    decompress_dataset, decompress_dataset_any, decompress_dataset_f32, decompress_dataset_par,
+    decompress_dataset_par_t, decompress_dataset_t, decompress_level, decompress_level_t,
+    resolve_level_eb, resolve_level_eb_for, select_method, AnyDataset,
 };
-pub use roi::{decompress_region, RoiStats};
+pub use roi::{decompress_region, decompress_region_f32, decompress_region_t, RoiStats};
 pub use stream::{BlockGroup, CompressedLevel, LevelPayload};
 pub use zmesh::{gather, scatter, zmesh_order, ZmeshEntry};
 
@@ -89,4 +91,12 @@ pub use tac_par::Parallelism;
 // inspect scalar-codec backends — without a direct `tac-codec`
 // dependency. Every payload stream tac-core reads or writes dispatches
 // through this backend layer.
-pub use tac_codec::{codec_for, sniff_codec, CodecConfig, CodecError, CodecId, ScalarCodec};
+pub use tac_codec::{
+    codec_for, sniff_codec, stream_dtype, CodecConfig, CodecElement, CodecError, CodecId,
+    ScalarCodec,
+};
+
+// Re-exported so dtype-generic callers (benchmarks, test harnesses) can
+// name element types and dispatch over the wire tag without a direct
+// `tac-dtype` dependency.
+pub use tac_dtype::{dispatch_dtype, Element, TacDtype};

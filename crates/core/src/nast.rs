@@ -51,7 +51,7 @@ mod tests {
 
     #[test]
     fn empty_level_plans_nothing() {
-        let lvl = AmrLevel::empty(8);
+        let lvl = AmrLevel::<f64>::empty(8);
         let grid = BlockGrid::build(&lvl, 4);
         assert!(plan_nast(&grid).is_empty());
     }

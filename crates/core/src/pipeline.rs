@@ -15,7 +15,8 @@ use crate::extract::decompress_groups;
 use crate::stream::{CompressedLevel, LevelPayload};
 use crate::zmesh::{gather, scatter, zmesh_order};
 use tac_amr::{to_uniform, AmrDataset, AmrLevel, BitMask};
-use tac_codec::{codec_for, Dims, ErrorBound};
+use tac_codec::{codec_for, CodecElement, CodecError, Dims, ErrorBound};
+use tac_dtype::{dispatch_dtype, Element, TacDtype};
 use tac_par::Parallelism;
 
 /// Resolves the configured error bound for one level: applies the
@@ -68,6 +69,31 @@ pub fn resolve_level_eb(
     Ok(scaled.resolve(min, max)?)
 }
 
+/// [`resolve_level_eb`] with a narrowing check for the target element
+/// type: a bound that is positive in `f64` working precision but rounds
+/// to zero at `dtype` (e.g. a relative bound over a tiny dynamic range,
+/// resolved for `f32`) would make the quantizer step degenerate — every
+/// value would quantize to the same bin and the bound silently could not
+/// hold. Such bounds are a [`TacError::DegenerateBound`] instead.
+pub fn resolve_level_eb_for(
+    dtype: TacDtype,
+    eb: ErrorBound,
+    scale: f64,
+    range: Option<(f64, f64)>,
+) -> Result<f64, TacError> {
+    let abs_eb = resolve_level_eb(eb, scale, range)?;
+    let degenerate = dispatch_dtype!(dtype, T => {
+        abs_eb > 0.0 && T::from_f64(abs_eb).to_f64() == 0.0
+    });
+    if degenerate {
+        return Err(TacError::DegenerateBound {
+            abs_eb,
+            dtype: dtype.label(),
+        });
+    }
+    Ok(abs_eb)
+}
+
 /// Error bound recorded for a level with no payload (nothing was
 /// quantized, so no bound applies).
 const EMPTY_LEVEL_EB: f64 = 0.0;
@@ -82,6 +108,17 @@ pub fn compress_level(
     abs_eb: f64,
     cfg: &TacConfig,
 ) -> Result<CompressedLevel, TacError> {
+    compress_level_t(level, strategy, abs_eb, cfg)
+}
+
+/// Element-generic [`compress_level`]. The element type is recorded in
+/// the returned level, so it round-trips through every wire format.
+pub fn compress_level_t<T: CodecElement>(
+    level: &AmrLevel<T>,
+    strategy: Strategy,
+    abs_eb: f64,
+    cfg: &TacConfig,
+) -> Result<CompressedLevel, TacError> {
     cfg.validate()?;
     let plans = vec![engine::plan_level(level, strategy, abs_eb, cfg)?];
     let mut levels =
@@ -92,6 +129,22 @@ pub fn compress_level(
 /// Decompresses a level payload and applies the occupancy mask: absent
 /// cells are zeroed (discarding GSP padding and region zeros alike).
 pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel, TacError> {
+    decompress_level_t::<f64>(cl, mask)
+}
+
+/// Element-generic [`decompress_level`]. A payload whose recorded
+/// element type disagrees with `T` is rejected up front with
+/// [`CodecError::WrongDtype`] instead of being misinterpreted.
+pub fn decompress_level_t<T: CodecElement>(
+    cl: &CompressedLevel,
+    mask: &BitMask,
+) -> Result<AmrLevel<T>, TacError> {
+    if cl.dtype != T::DTYPE {
+        return Err(TacError::Codec(CodecError::WrongDtype {
+            stream: cl.dtype.label(),
+            requested: T::DTYPE.label(),
+        }));
+    }
     let dim = cl.dim;
     let n = dim
         .checked_mul(dim)
@@ -104,9 +157,9 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
         )));
     }
     let mut data = match &cl.payload {
-        LevelPayload::Empty => vec![0.0; n],
+        LevelPayload::Empty => vec![T::ZERO; n],
         LevelPayload::Whole(stream) => {
-            let (values, dims) = codec_for(cl.codec).decompress(stream)?;
+            let (values, dims) = T::codec_decompress(codec_for(cl.codec), stream)?;
             if dims != Dims::D3(dim, dim, dim) {
                 return Err(TacError::Corrupt(format!(
                     "whole-grid stream dims {dims:?} for a {dim}^3 level"
@@ -114,11 +167,11 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
             }
             values
         }
-        LevelPayload::Groups(groups) => decompress_groups(groups, dim, cl.codec)?,
+        LevelPayload::Groups(groups) => decompress_groups::<T>(groups, dim, cl.codec)?,
     };
     for (i, v) in data.iter_mut().enumerate() {
         if !mask.get(i) {
-            *v = 0.0;
+            *v = T::ZERO;
         }
     }
     Ok(AmrLevel::new(dim, data, mask.clone()))
@@ -126,7 +179,7 @@ pub fn decompress_level(cl: &CompressedLevel, mask: &BitMask) -> Result<AmrLevel
 
 /// Implements the paper's Sec. 4.4 top-level selector: TAC when the
 /// finest level is sparse, the 3D baseline when it is dense (>= `t2`).
-pub fn select_method(ds: &AmrDataset, cfg: &TacConfig) -> Method {
+pub fn select_method<T: Element>(ds: &AmrDataset<T>, cfg: &TacConfig) -> Method {
     if cfg.adaptive_3d_switch && ds.finest_density() >= cfg.t2 {
         Method::Baseline3D
     } else {
@@ -137,6 +190,27 @@ pub fn select_method(ds: &AmrDataset, cfg: &TacConfig) -> Method {
 /// Compresses a dataset with the given method.
 pub fn compress_dataset(
     ds: &AmrDataset,
+    cfg: &TacConfig,
+    method: Method,
+) -> Result<CompressedDataset, TacError> {
+    compress_dataset_t(ds, cfg, method)
+}
+
+/// [`compress_dataset`] for `f32` data. The container records the
+/// element type and serializes as a v4 stream.
+pub fn compress_dataset_f32(
+    ds: &AmrDataset<f32>,
+    cfg: &TacConfig,
+    method: Method,
+) -> Result<CompressedDataset, TacError> {
+    compress_dataset_t(ds, cfg, method)
+}
+
+/// Element-generic compression pipeline behind [`compress_dataset`].
+/// Monomorphized once per element type: the hot quantize/predict loops
+/// carry no per-value dtype branches.
+pub fn compress_dataset_t<T: CodecElement>(
+    ds: &AmrDataset<T>,
     cfg: &TacConfig,
     method: Method,
 ) -> Result<CompressedDataset, TacError> {
@@ -156,25 +230,34 @@ pub fn compress_dataset(
                 let abs_eb = if strategy == Strategy::Empty {
                     EMPTY_LEVEL_EB
                 } else {
-                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?
+                    resolve_level_eb_for(
+                        T::DTYPE,
+                        cfg.error_bound,
+                        cfg.level_scale(l),
+                        level.value_range(),
+                    )?
                 };
                 plans.push(engine::plan_level(level, strategy, abs_eb, cfg)?);
             }
-            let level_data: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
+            let level_data: Vec<&[T]> = ds.levels().iter().map(|l| l.data()).collect();
             MethodBody::Tac(engine::compress_plans(&plans, &level_data, cfg, workers)?)
         }
         Method::Baseline1D => {
             // One 1D compression task per non-empty level. Tasks borrow
             // their level and gather present values inside the closure,
             // so at most `workers` gathered copies are alive at once.
-            let mut jobs: Vec<Option<(f64, &AmrLevel)>> = Vec::with_capacity(ds.num_levels());
+            let mut jobs: Vec<Option<(f64, &AmrLevel<T>)>> = Vec::with_capacity(ds.num_levels());
             for (l, level) in ds.levels().iter().enumerate() {
                 if level.num_present() == 0 {
                     jobs.push(None);
                     continue;
                 }
-                let abs_eb =
-                    resolve_level_eb(cfg.error_bound, cfg.level_scale(l), level.value_range())?;
+                let abs_eb = resolve_level_eb_for(
+                    T::DTYPE,
+                    cfg.error_bound,
+                    cfg.level_scale(l),
+                    level.value_range(),
+                )?;
                 jobs.push(Some((abs_eb, level)));
             }
             let levels = tac_par::execute(
@@ -186,7 +269,8 @@ pub fn compress_dataset(
                         None => Ok(None),
                         Some((abs_eb, level)) => {
                             let values = level.present_values();
-                            let stream = codec_for(cfg.codec).compress(
+                            let stream = T::codec_compress(
+                                codec_for(cfg.codec),
                                 &values,
                                 Dims::D1(values.len()),
                                 &cfg.codec_config(*abs_eb),
@@ -203,7 +287,7 @@ pub fn compress_dataset(
         Method::ZMesh => {
             let mask_refs: Vec<&BitMask> = masks.iter().collect();
             let order = zmesh_order(&mask_refs, ds.finest_dim());
-            let data_refs: Vec<&[f64]> = ds.levels().iter().map(|l| l.data()).collect();
+            let data_refs: Vec<&[T]> = ds.levels().iter().map(|l| l.data()).collect();
             let values = gather(&order, &data_refs);
             if values.is_empty() {
                 return Err(TacError::InvalidDataset(
@@ -213,10 +297,11 @@ pub fn compress_dataset(
             let (min, max) = values
                 .iter()
                 .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                    (lo.min(v), hi.max(v))
+                    (lo.min(v.to_f64()), hi.max(v.to_f64()))
                 });
-            let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = codec_for(cfg.codec).compress(
+            let abs_eb = resolve_level_eb_for(T::DTYPE, cfg.error_bound, 1.0, Some((min, max)))?;
+            let stream = T::codec_compress(
+                codec_for(cfg.codec),
                 &values,
                 Dims::D1(values.len()),
                 &cfg.codec_config(abs_eb),
@@ -233,10 +318,11 @@ pub fn compress_dataset(
             let (min, max) = uniform
                 .iter()
                 .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                    (lo.min(v), hi.max(v))
+                    (lo.min(v.to_f64()), hi.max(v.to_f64()))
                 });
-            let abs_eb = resolve_level_eb(cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = codec_for(cfg.codec).compress(
+            let abs_eb = resolve_level_eb_for(T::DTYPE, cfg.error_bound, 1.0, Some((min, max)))?;
+            let stream = T::codec_compress(
+                codec_for(cfg.codec),
                 &uniform,
                 Dims::D3(n, n, n),
                 &cfg.codec_config(abs_eb),
@@ -251,6 +337,7 @@ pub fn compress_dataset(
     Ok(CompressedDataset {
         name: ds.name().to_string(),
         finest_dim: ds.finest_dim(),
+        dtype: T::DTYPE,
         masks,
         body,
     })
@@ -268,9 +355,75 @@ pub fn decompress_dataset_par(
     cd: &CompressedDataset,
     parallelism: Parallelism,
 ) -> Result<AmrDataset, TacError> {
+    decompress_dataset_par_t::<f64>(cd, parallelism)
+}
+
+/// [`decompress_dataset`] for `f32` containers (serial engine).
+pub fn decompress_dataset_f32(cd: &CompressedDataset) -> Result<AmrDataset<f32>, TacError> {
+    decompress_dataset_par_t::<f32>(cd, Parallelism::Serial)
+}
+
+/// Element-generic [`decompress_dataset`] (serial engine).
+pub fn decompress_dataset_t<T: CodecElement>(
+    cd: &CompressedDataset,
+) -> Result<AmrDataset<T>, TacError> {
+    decompress_dataset_par_t::<T>(cd, Parallelism::Serial)
+}
+
+/// A decompressed dataset of whichever element type the container
+/// declared — the dtype-sniffing decode path for callers that handle
+/// containers of unknown provenance.
+#[derive(Debug, Clone)]
+pub enum AnyDataset {
+    /// The container held `f64` data.
+    F64(AmrDataset),
+    /// The container held `f32` data.
+    F32(AmrDataset<f32>),
+}
+
+impl AnyDataset {
+    /// The element type of the decoded data.
+    pub fn dtype(&self) -> TacDtype {
+        match self {
+            AnyDataset::F64(_) => TacDtype::F64,
+            AnyDataset::F32(_) => TacDtype::F32,
+        }
+    }
+
+    /// Number of AMR levels, whatever the element type.
+    pub fn num_levels(&self) -> usize {
+        match self {
+            AnyDataset::F64(ds) => ds.num_levels(),
+            AnyDataset::F32(ds) => ds.num_levels(),
+        }
+    }
+}
+
+/// Decompresses a container of either element type, dispatching on the
+/// dtype it declares (serial engine).
+pub fn decompress_dataset_any(cd: &CompressedDataset) -> Result<AnyDataset, TacError> {
+    match cd.dtype {
+        TacDtype::F64 => decompress_dataset_t::<f64>(cd).map(AnyDataset::F64),
+        TacDtype::F32 => decompress_dataset_t::<f32>(cd).map(AnyDataset::F32),
+    }
+}
+
+/// Element-generic [`decompress_dataset_par`]. A container whose
+/// declared element type disagrees with `T` is rejected up front with
+/// [`CodecError::WrongDtype`].
+pub fn decompress_dataset_par_t<T: CodecElement>(
+    cd: &CompressedDataset,
+    parallelism: Parallelism,
+) -> Result<AmrDataset<T>, TacError> {
+    if cd.dtype != T::DTYPE {
+        return Err(TacError::Codec(CodecError::WrongDtype {
+            stream: cd.dtype.label(),
+            requested: T::DTYPE.label(),
+        }));
+    }
     let workers = parallelism.workers();
     let finest_dim = cd.finest_dim;
-    let levels: Vec<AmrLevel> = match &cd.body {
+    let levels: Vec<AmrLevel<T>> = match &cd.body {
         MethodBody::Tac(compressed) => {
             if compressed.len() != cd.masks.len() {
                 return Err(TacError::Corrupt(format!(
@@ -299,11 +452,11 @@ pub fn decompress_dataset_par(
                     let dim = finest_dim >> l;
                     (dim * dim * dim) as u64
                 },
-                |&(l, entry, mask)| -> Result<AmrLevel, TacError> {
+                |&(l, entry, mask)| -> Result<AmrLevel<T>, TacError> {
                     let dim = finest_dim >> l;
-                    let mut data = vec![0.0f64; dim * dim * dim];
+                    let mut data = vec![T::ZERO; dim * dim * dim];
                     if let Some((_, codec, stream)) = entry {
-                        let (values, dims) = codec_for(*codec).decompress(stream)?;
+                        let (values, dims) = T::codec_decompress(codec_for(*codec), stream)?;
                         if dims != Dims::D1(mask.count_ones()) {
                             return Err(TacError::Corrupt(format!(
                                 "level {l}: stream holds {dims:?}, mask has {} cells",
@@ -328,20 +481,20 @@ pub fn decompress_dataset_par(
         MethodBody::ZMesh { stream, codec, .. } => {
             let mask_refs: Vec<&BitMask> = cd.masks.iter().collect();
             let order = zmesh_order(&mask_refs, finest_dim);
-            let (values, dims) = codec_for(*codec).decompress(stream)?;
+            let (values, dims) = T::codec_decompress(codec_for(*codec), stream)?;
             if dims != Dims::D1(order.len()) {
                 return Err(TacError::Corrupt(format!(
                     "zMesh stream holds {dims:?}, traversal has {} cells",
                     order.len()
                 )));
             }
-            let mut bufs: Vec<Vec<f64>> = cd
+            let mut bufs: Vec<Vec<T>> = cd
                 .masks
                 .iter()
                 .enumerate()
                 .map(|(l, _)| {
                     let dim = finest_dim >> l;
-                    vec![0.0f64; dim * dim * dim]
+                    vec![T::ZERO; dim * dim * dim]
                 })
                 .collect();
             scatter(&order, &values, &mut bufs);
@@ -353,7 +506,7 @@ pub fn decompress_dataset_par(
         }
         MethodBody::Baseline3D { stream, codec, .. } => {
             let n = finest_dim;
-            let (uniform, dims) = codec_for(*codec).decompress(stream)?;
+            let (uniform, dims) = T::codec_decompress(codec_for(*codec), stream)?;
             if dims != Dims::D3(n, n, n) {
                 return Err(TacError::Corrupt(format!(
                     "3D baseline stream dims {dims:?} for finest dim {n}"
@@ -365,7 +518,7 @@ pub fn decompress_dataset_par(
                 .map(|(l, mask)| {
                     let dim = n >> l;
                     let scale = 1usize << l;
-                    let mut data = vec![0.0f64; dim * dim * dim];
+                    let mut data = vec![T::ZERO; dim * dim * dim];
                     for idx in mask.iter_ones() {
                         let x = idx % dim;
                         let y = (idx / dim) % dim;
@@ -645,5 +798,130 @@ mod tests {
             _ => 0,
         };
         assert!(count(&opst) < count(&nast));
+    }
+
+    /// [`blobby_dataset`] narrowed to `f32` (all its values are exactly
+    /// representable well within `f32` precision at the bounds we test).
+    fn blobby_dataset_f32(fine_dim: usize) -> AmrDataset<f32> {
+        let ds = blobby_dataset(fine_dim);
+        let levels = ds
+            .levels()
+            .iter()
+            .map(|l| {
+                let data: Vec<f32> = l.data().iter().map(|&v| v as f32).collect();
+                AmrLevel::new(l.dim(), data, l.mask().clone())
+            })
+            .collect();
+        AmrDataset::new("blobby32", levels)
+    }
+
+    #[test]
+    fn f32_dataset_roundtrip_all_methods_and_codecs() {
+        let ds = blobby_dataset_f32(16);
+        let eb = 1e-3f32;
+        for codec in tac_codec::CodecId::all() {
+            let cfg = TacConfig {
+                unit: 4,
+                error_bound: ErrorBound::Abs(1e-3),
+                parallelism: Parallelism::Threads(2),
+                codec,
+                ..Default::default()
+            };
+            for method in [
+                Method::Tac,
+                Method::Baseline1D,
+                Method::ZMesh,
+                Method::Baseline3D,
+            ] {
+                let cd = compress_dataset_f32(&ds, &cfg, method).unwrap();
+                assert_eq!(cd.dtype, TacDtype::F32);
+                for bytes in [cd.to_bytes(), cd.to_bytes_v1()] {
+                    let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+                    assert_eq!(parsed, cd, "{method:?}/{codec} reparse");
+                    let out = decompress_dataset_f32(&parsed).unwrap();
+                    assert_eq!(out.num_levels(), ds.num_levels());
+                    for (a, b) in ds.levels().iter().zip(out.levels()) {
+                        for i in a.mask().iter_ones() {
+                            let (x, y) = (a.data()[i], b.data()[i]);
+                            assert!(
+                                (x - y).abs() <= eb * (1.0 + 1e-5),
+                                "{method:?}/{codec} cell {i}: {x} vs {y}"
+                            );
+                        }
+                        for i in 0..a.num_cells() {
+                            if !a.mask().get(i) {
+                                assert_eq!(b.data()[i], 0.0);
+                            }
+                        }
+                    }
+                    // Decoding at the wrong width must be refused, not
+                    // misinterpreted.
+                    assert!(matches!(
+                        decompress_dataset(&parsed),
+                        Err(TacError::Codec(CodecError::WrongDtype { .. }))
+                    ));
+                    // The sniffing path picks the declared element type.
+                    let any = decompress_dataset_any(&parsed).unwrap();
+                    assert_eq!(any.dtype(), TacDtype::F32);
+                    assert_eq!(any.num_levels(), ds.num_levels());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f64_containers_refuse_f32_decode() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Tac).unwrap();
+        assert!(matches!(
+            decompress_dataset_f32(&cd),
+            Err(TacError::Codec(CodecError::WrongDtype { .. }))
+        ));
+        assert_eq!(decompress_dataset_any(&cd).unwrap().dtype(), TacDtype::F64);
+    }
+
+    #[test]
+    fn f32_relative_bound_over_tiny_range_is_degenerate() {
+        // Range 1e-30 wide at rel 1e-16 resolves to abs 1e-46: positive
+        // in f64 working precision, but below f32's smallest subnormal —
+        // the quantizer step would be zero and the bound a lie.
+        let tiny = Some((0.0, 1e-30));
+        let err =
+            resolve_level_eb_for(TacDtype::F32, ErrorBound::Rel(1e-16), 1.0, tiny).unwrap_err();
+        assert!(matches!(err, TacError::DegenerateBound { .. }), "{err}");
+        assert!(err.to_string().contains("underflows f32"), "{err}");
+        // The same bound is representable at f64...
+        assert!(
+            resolve_level_eb_for(TacDtype::F64, ErrorBound::Rel(1e-16), 1.0, tiny).unwrap() > 0.0
+        );
+        // ...and an ordinary bound is fine at f32.
+        assert_eq!(
+            resolve_level_eb_for(TacDtype::F32, ErrorBound::Abs(0.5), 2.0, None).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn f32_pipeline_rejects_underflowing_relative_bounds() {
+        // Values spanning ~5e-31: an f32-representable range whose
+        // resolved rel-1e-16 bound underflows f32.
+        let data: Vec<f32> = (0..512).map(|i| (i as f32) * 1e-33).collect();
+        let ds = AmrDataset::new("tiny-range", vec![AmrLevel::dense(8, data)]);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Rel(1e-16),
+            ..Default::default()
+        };
+        let err = compress_dataset_f32(&ds, &cfg, Method::Tac).unwrap_err();
+        assert!(matches!(err, TacError::DegenerateBound { .. }), "{err}");
+        // The identical f64 dataset compresses fine.
+        let data64: Vec<f64> = (0..512).map(|i| (i as f64) * 1e-33).collect();
+        let ds64 = AmrDataset::new("tiny-range", vec![AmrLevel::dense(8, data64)]);
+        compress_dataset(&ds64, &cfg, Method::Tac).unwrap();
     }
 }

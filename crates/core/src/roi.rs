@@ -15,9 +15,10 @@
 
 use crate::container::{parse_v2, CompressedDataset, MethodBody, V2Layout, V2Meta};
 use crate::error::TacError;
-use crate::pipeline::decompress_dataset;
+use crate::pipeline::decompress_dataset_t;
 use crate::stream::{CompressedLevel, LevelPayload};
 use tac_amr::{Aabb, AmrDataset};
+use tac_codec::{CodecElement, CodecError};
 
 /// Byte accounting of one [`decompress_region`] call. "Read" counts the
 /// payload chunks actually sliced and decoded; the header, masks, and
@@ -56,7 +57,31 @@ impl RoiStats {
 /// v1 containers have no chunk table and are rejected; re-serialize
 /// with [`CompressedDataset::to_bytes`] to upgrade.
 pub fn decompress_region(bytes: &[u8], roi: Aabb) -> Result<(AmrDataset, RoiStats), TacError> {
+    decompress_region_t::<f64>(bytes, roi)
+}
+
+/// [`decompress_region`] for `f32` containers.
+pub fn decompress_region_f32(
+    bytes: &[u8],
+    roi: Aabb,
+) -> Result<(AmrDataset<f32>, RoiStats), TacError> {
+    decompress_region_t::<f32>(bytes, roi)
+}
+
+/// Element-generic ROI decoder behind [`decompress_region`]. A container
+/// whose element type disagrees with `T` is rejected up front, before
+/// any chunk is sliced or decoded.
+pub fn decompress_region_t<T: CodecElement>(
+    bytes: &[u8],
+    roi: Aabb,
+) -> Result<(AmrDataset<T>, RoiStats), TacError> {
     let layout = parse_v2(bytes)?;
+    if layout.dtype != T::DTYPE {
+        return Err(TacError::Codec(CodecError::WrongDtype {
+            stream: layout.dtype.label(),
+            requested: T::DTYPE.label(),
+        }));
+    }
     let mut stats = RoiStats {
         chunks_total: layout.entries.len(),
         chunks_read: 0,
@@ -108,6 +133,7 @@ pub fn decompress_region(bytes: &[u8], roi: Aabb) -> Result<(AmrDataset, RoiStat
                     dim: meta.dim,
                     abs_eb: meta.abs_eb,
                     codec: meta.codec,
+                    dtype: layout.dtype,
                     payload,
                 });
             }
@@ -120,7 +146,7 @@ pub fn decompress_region(bytes: &[u8], roi: Aabb) -> Result<(AmrDataset, RoiStat
             stats.payload_bytes_read = stats.payload_bytes_total;
             return layout
                 .assemble()
-                .and_then(|cd| decompress_dataset(&cd))
+                .and_then(|cd| decompress_dataset_t::<T>(&cd))
                 .map(|ds| (ds, stats));
         }
     };
@@ -130,16 +156,18 @@ pub fn decompress_region(bytes: &[u8], roi: Aabb) -> Result<(AmrDataset, RoiStat
     let V2Layout {
         name,
         finest_dim,
+        dtype,
         masks,
         ..
     } = layout;
     let cd = CompressedDataset {
         name,
         finest_dim,
+        dtype,
         masks,
         body,
     };
-    Ok((decompress_dataset(&cd)?, stats))
+    Ok((decompress_dataset_t::<T>(&cd)?, stats))
 }
 
 #[cfg(test)]
@@ -147,7 +175,7 @@ mod tests {
     use super::*;
     use crate::config::TacConfig;
     use crate::container::Method;
-    use crate::pipeline::compress_dataset;
+    use crate::pipeline::{compress_dataset, decompress_dataset};
     use tac_amr::{AmrDataset, AmrLevel};
     use tac_sz::ErrorBound;
 
@@ -284,6 +312,47 @@ mod tests {
         tampered.extend((table_pos as u64).to_le_bytes());
         assert!(CompressedDataset::from_bytes(&tampered).is_err());
         assert!(decompress_region(&tampered, Aabb::whole(16)).is_err());
+    }
+
+    #[test]
+    fn f32_roi_decode_matches_full_decode_and_f64_decode_refuses() {
+        let ds = corners_dataset(16);
+        let levels = ds
+            .levels()
+            .iter()
+            .map(|l| {
+                let data: Vec<f32> = l.data().iter().map(|&v| v as f32).collect();
+                AmrLevel::new(l.dim(), data, l.mask().clone())
+            })
+            .collect();
+        let ds32 = AmrDataset::new("corners32", levels);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            roi_tile: Some(8),
+            ..Default::default()
+        };
+        let cd = crate::pipeline::compress_dataset_f32(&ds32, &cfg, Method::Tac).unwrap();
+        let bytes = cd.to_bytes();
+        let roi = Aabb::new((0, 0, 0), (8, 8, 8));
+        let (partial, stats) = decompress_region_f32(&bytes, roi).unwrap();
+        assert!(stats.chunks_read < stats.chunks_total);
+        let full = crate::pipeline::decompress_dataset_f32(
+            &CompressedDataset::from_bytes(&bytes).unwrap(),
+        )
+        .unwrap();
+        for (l, (p, f)) in partial.levels().iter().zip(full.levels()).enumerate() {
+            let roi_level = roi.coarsen(1 << l);
+            for z in roi_level.min.2..roi_level.max.2.min(p.dim()) {
+                for y in roi_level.min.1..roi_level.max.1.min(p.dim()) {
+                    for x in roi_level.min.0..roi_level.max.0.min(p.dim()) {
+                        assert_eq!(p.value(x, y, z), f.value(x, y, z));
+                    }
+                }
+            }
+        }
+        // Decoding an f32 container at f64 width is refused up front.
+        assert!(decompress_region(&bytes, roi).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::config::Strategy;
 use crate::error::TacError;
 use tac_codec::CodecId;
+use tac_dtype::TacDtype;
 
 // The little-endian wire primitives are shared with the SZ stream header
 // (one implementation, one set of bounds checks). `SzError`s raised on
@@ -115,6 +116,9 @@ pub struct CompressedLevel {
     pub abs_eb: f64,
     /// Scalar-codec backend of every stream in the payload.
     pub codec: CodecId,
+    /// Element type of every stream in the payload (`f64` for every
+    /// pre-dtype container).
+    pub dtype: TacDtype,
     /// The compressed payload.
     pub payload: LevelPayload,
 }
@@ -123,11 +127,19 @@ pub struct CompressedLevel {
 // imply the SZ codec; 3/4 are followed by a codec byte. The writer emits
 // legacy tags for SZ payloads, so default-codec containers stay
 // bit-compatible with pre-codec readers (and the golden fixtures).
+// 5/6/7 are the f32 encodings: nothing before the dtype layer ever
+// wrote them, so an absent f32 tag always means f64 and every legacy
+// container parses unchanged. f32 payloads are post-legacy by
+// construction, so their non-empty tags always carry the codec byte
+// (no untagged-SZ special case to preserve).
 const TAG_EMPTY: u8 = 0;
 const TAG_WHOLE_SZ: u8 = 1;
 const TAG_GROUPS_SZ: u8 = 2;
 const TAG_WHOLE_TAGGED: u8 = 3;
 const TAG_GROUPS_TAGGED: u8 = 4;
+const TAG_EMPTY_F32: u8 = 5;
+const TAG_WHOLE_F32: u8 = 6;
+const TAG_GROUPS_F32: u8 = 7;
 
 impl CompressedLevel {
     // tac-lint: allow(arith) -- writer-side width reduction: group counts come from the in-memory plan and are bounded by the grid volume.
@@ -135,6 +147,25 @@ impl CompressedLevel {
         w.put_u8(self.strategy.tag());
         w.put_u64(self.dim as u64);
         w.put_f64(self.abs_eb);
+        if self.dtype == TacDtype::F32 {
+            match &self.payload {
+                LevelPayload::Empty => w.put_u8(TAG_EMPTY_F32),
+                LevelPayload::Whole(stream) => {
+                    w.put_u8(TAG_WHOLE_F32);
+                    w.put_u8(self.codec.tag());
+                    w.put_blob(stream);
+                }
+                LevelPayload::Groups(groups) => {
+                    w.put_u8(TAG_GROUPS_F32);
+                    w.put_u8(self.codec.tag());
+                    w.put_u32(groups.len() as u32);
+                    for g in groups {
+                        g.write(w);
+                    }
+                }
+            }
+            return;
+        }
         let legacy = self.codec == CodecId::Sz;
         match &self.payload {
             LevelPayload::Empty => w.put_u8(TAG_EMPTY),
@@ -175,16 +206,22 @@ impl CompressedLevel {
         }
         let abs_eb = r.get_f64()?;
         let tag = r.get_u8()?;
+        let dtype = match tag {
+            TAG_EMPTY_F32 | TAG_WHOLE_F32 | TAG_GROUPS_F32 => TacDtype::F32,
+            _ => TacDtype::F64,
+        };
         let codec = match tag {
-            TAG_EMPTY | TAG_WHOLE_SZ | TAG_GROUPS_SZ => CodecId::Sz,
-            TAG_WHOLE_TAGGED | TAG_GROUPS_TAGGED => {
+            TAG_EMPTY | TAG_WHOLE_SZ | TAG_GROUPS_SZ | TAG_EMPTY_F32 => CodecId::Sz,
+            TAG_WHOLE_TAGGED | TAG_GROUPS_TAGGED | TAG_WHOLE_F32 | TAG_GROUPS_F32 => {
                 CodecId::from_tag(r.get_u8()?).map_err(TacError::Codec)?
             }
             t => return Err(TacError::Corrupt(format!("unknown payload tag {t}"))),
         };
         let payload = match tag {
-            TAG_EMPTY => LevelPayload::Empty,
-            TAG_WHOLE_SZ | TAG_WHOLE_TAGGED => LevelPayload::Whole(r.get_blob()?.to_vec()),
+            TAG_EMPTY | TAG_EMPTY_F32 => LevelPayload::Empty,
+            TAG_WHOLE_SZ | TAG_WHOLE_TAGGED | TAG_WHOLE_F32 => {
+                LevelPayload::Whole(r.get_blob()?.to_vec())
+            }
             _ => {
                 let n = r.get_u32()? as usize;
                 if n > r.remaining() {
@@ -202,6 +239,7 @@ impl CompressedLevel {
             dim,
             abs_eb,
             codec,
+            dtype,
             payload,
         })
     }
@@ -211,7 +249,7 @@ impl CompressedLevel {
     pub fn total_bytes(&self) -> usize {
         let codec_byte = match &self.payload {
             LevelPayload::Empty => 0,
-            _ if self.codec == CodecId::Sz => 0,
+            _ if self.dtype == TacDtype::F64 && self.codec == CodecId::Sz => 0,
             _ => 1,
         };
         let body = match &self.payload {
@@ -260,6 +298,7 @@ mod tests {
                     dim: 64,
                     abs_eb: 1e-3,
                     codec,
+                    dtype: TacDtype::F64,
                     payload,
                 };
                 let mut w = Writer::new();
@@ -276,6 +315,7 @@ mod tests {
             dim: 8,
             abs_eb: 0.0,
             codec: CodecId::default(),
+            dtype: TacDtype::F64,
             payload: LevelPayload::Empty,
         };
         let mut w = Writer::new();
@@ -294,6 +334,7 @@ mod tests {
             dim: 8,
             abs_eb: 1e-3,
             codec,
+            dtype: TacDtype::F64,
             payload: LevelPayload::Whole(vec![1, 2, 3]),
         };
         let bytes_of = |l: &CompressedLevel| {
@@ -310,12 +351,56 @@ mod tests {
     }
 
     #[test]
+    fn f32_levels_use_their_own_tags_and_roundtrip() {
+        for codec in CodecId::all() {
+            for (payload, want_tag) in [
+                (LevelPayload::Empty, TAG_EMPTY_F32),
+                (LevelPayload::Whole(vec![9, 9]), TAG_WHOLE_F32),
+                (
+                    LevelPayload::Groups(vec![BlockGroup {
+                        shape: (4, 4, 4),
+                        origins: vec![(0, 0, 0)],
+                        stream: vec![7; 6],
+                    }]),
+                    TAG_GROUPS_F32,
+                ),
+            ] {
+                let lvl = CompressedLevel {
+                    strategy: Strategy::OpST,
+                    dim: 16,
+                    abs_eb: 1e-2,
+                    // Empty payloads pin the canonical default codec.
+                    codec: if payload == LevelPayload::Empty {
+                        CodecId::default()
+                    } else {
+                        codec
+                    },
+                    dtype: TacDtype::F32,
+                    payload,
+                };
+                let mut w = Writer::new();
+                lvl.write(&mut w);
+                let bytes = w.into_bytes();
+                assert_eq!(bytes.len(), lvl.total_bytes());
+                // Byte 17 is the payload tag (strategy u8 + dim u64 + eb f64).
+                assert_eq!(bytes[17], want_tag);
+                if want_tag != TAG_EMPTY_F32 {
+                    assert_eq!(bytes[18], lvl.codec.tag(), "f32 always tags its codec");
+                }
+                let mut r = Reader::new(&bytes);
+                assert_eq!(CompressedLevel::read(&mut r).unwrap(), lvl);
+            }
+        }
+    }
+
+    #[test]
     fn unknown_codec_byte_is_rejected() {
         let lvl = CompressedLevel {
             strategy: Strategy::OpST,
             dim: 8,
             abs_eb: 1e-3,
             codec: CodecId::PcoLite,
+            dtype: TacDtype::F64,
             payload: LevelPayload::Whole(vec![1, 2, 3]),
         };
         let mut w = Writer::new();

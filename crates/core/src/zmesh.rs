@@ -14,6 +14,7 @@
 //! is reproduced by the `fig16_reorder_demo` harness.
 
 use tac_amr::BitMask;
+use tac_dtype::Element;
 
 /// One entry of the traversal: `(level, flat index within that level)`.
 pub type ZmeshEntry = (usize, usize);
@@ -76,13 +77,13 @@ fn visit(
 }
 
 /// Gathers level data values into a 1D array following `order`.
-pub fn gather(order: &[ZmeshEntry], level_data: &[&[f64]]) -> Vec<f64> {
+pub fn gather<T: Element>(order: &[ZmeshEntry], level_data: &[&[T]]) -> Vec<T> {
     order.iter().map(|&(l, idx)| level_data[l][idx]).collect()
 }
 
 /// Scatters a 1D array back into per-level dense buffers following
 /// `order`.
-pub fn scatter(order: &[ZmeshEntry], values: &[f64], level_data: &mut [Vec<f64>]) {
+pub fn scatter<T: Element>(order: &[ZmeshEntry], values: &[T], level_data: &mut [Vec<T>]) {
     assert_eq!(order.len(), values.len(), "order/value length mismatch");
     for (&(l, idx), &v) in order.iter().zip(values) {
         level_data[l][idx] = v;

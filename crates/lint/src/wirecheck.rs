@@ -8,14 +8,16 @@
 //!   once** in non-test code (the declaration itself — every other use
 //!   must go through the constant);
 //! * the chunk-table row sizes are named constants
-//!   (`CHUNK_ROW_BYTES_V2`/`_V3`, the v3 row being one codec byte
-//!   larger), and their values never recur as bare integer literals in
-//!   the container/ROI/stream modules;
+//!   (`CHUNK_ROW_BYTES_V2`/`_V3`/`_V4`, the v3 row being one codec byte
+//!   larger than v2 and the v4 row one dtype byte larger than v3), and
+//!   their values never recur as bare integer literals in the
+//!   container/ROI/stream modules;
 //! * the payload tag bytes in `core/stream.rs` are named `TAG_*`
-//!   constants with pairwise-distinct values;
+//!   constants with pairwise-distinct values, including the f32 level
+//!   tags (`TAG_EMPTY_F32`/`TAG_WHOLE_F32`/`TAG_GROUPS_F32`);
 //! * every golden fixture under `tests/data/*.tacd` agrees with the
-//!   declared constants: magic, version byte, and — for chunked
-//!   containers — the exact file geometry
+//!   declared constants: magic, version byte, for v4 a known dtype tag
+//!   byte, and — for chunked containers — the exact file geometry
 //!   `table_pos + count_prefix + rows * row_size + footer == file length`
 //!   recomputed from the footer offset, the row count, and the declared
 //!   row size. The writer, the reader, and the on-disk bytes must all
@@ -109,7 +111,12 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
     // single-version formats declare VERSION.
     let mut versions: Vec<u64> = Vec::new();
     if let Some(fa) = find(analyses, CORE_CONTAINER) {
-        for (name, want) in [("VERSION_V1", 1), ("VERSION_V2", 2), ("VERSION_V3", 3)] {
+        for (name, want) in [
+            ("VERSION_V1", 1),
+            ("VERSION_V2", 2),
+            ("VERSION_V3", 3),
+            ("VERSION_V4", 4),
+        ] {
             match get_const(fa, name).and_then(|c| c.int) {
                 Some(got) if got == want => versions.push(got),
                 Some(got) => v.push(violation(
@@ -140,9 +147,11 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
     // Chunk-table row sizes.
     let mut row_v2 = None;
     let mut row_v3 = None;
+    let mut row_v4 = None;
     if let Some(fa) = find(analyses, CORE_CONTAINER) {
         row_v2 = get_const(fa, "CHUNK_ROW_BYTES_V2").and_then(|c| c.int);
         row_v3 = get_const(fa, "CHUNK_ROW_BYTES_V3").and_then(|c| c.int);
+        row_v4 = get_const(fa, "CHUNK_ROW_BYTES_V4").and_then(|c| c.int);
         match (row_v2, row_v3) {
             (Some(a), Some(b)) if b != a + 1 => v.push(violation(
                 &fa.file,
@@ -161,9 +170,23 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
             )),
             _ => {}
         }
+        match (row_v3, row_v4) {
+            (Some(b), Some(c)) if c != b + 1 => v.push(violation(
+                &fa.file,
+                1,
+                format!("CHUNK_ROW_BYTES_V4 ({c}) must be CHUNK_ROW_BYTES_V3 ({b}) + 1 dtype byte"),
+            )),
+            (_, None) => v.push(violation(
+                &fa.file,
+                1,
+                "no `CHUNK_ROW_BYTES_V4` constant declared".into(),
+            )),
+            _ => {}
+        }
     }
 
-    // Payload tag bytes are named constants with distinct values.
+    // Payload tag bytes are named constants with distinct values, and
+    // the dtype-aware wire declares the three f32 level tags.
     if let Some(fa) = find(analyses, CORE_STREAM) {
         let tags: Vec<&ConstDecl> = fa
             .consts
@@ -176,6 +199,15 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
                 1,
                 "payload tag bytes must be named TAG_* constants".into(),
             ));
+        }
+        for name in ["TAG_EMPTY_F32", "TAG_WHOLE_F32", "TAG_GROUPS_F32"] {
+            if !tags.iter().any(|c| c.name == name && c.int.is_some()) {
+                v.push(violation(
+                    &fa.file,
+                    1,
+                    format!("no integer constant `{name}` declared (f32 level payload tag)"),
+                ));
+            }
         }
         for i in 0..tags.len() {
             for j in i + 1..tags.len() {
@@ -222,19 +254,22 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
 
     // Row sizes never recur as bare literals in the modules that share
     // them (the `container.rs` comment-as-spec failure mode).
-    if let (Some(a), Some(b)) = (row_v2, row_v3) {
+    let rows: Vec<(u64, u8)> = [(row_v2, 2u8), (row_v3, 3), (row_v4, 4)]
+        .into_iter()
+        .filter_map(|(r, n)| r.map(|val| (val, n)))
+        .collect();
+    if !rows.is_empty() {
         for file in [CORE_CONTAINER, CORE_STREAM, "crates/core/src/roi.rs"] {
             if let Some(fa) = find(analyses, file) {
                 for &(value, line, col) in &fa.bare_ints {
-                    if value == a || value == b {
+                    if let Some(&(_, n)) = rows.iter().find(|&&(r, _)| r == value) {
                         v.push(Violation {
                             rule: "wire",
                             file: fa.file.clone(),
                             line,
                             col,
                             message: format!(
-                                "bare chunk-row size {value}; use CHUNK_ROW_BYTES_V{}",
-                                if value == a { 2 } else { 3 }
+                                "bare chunk-row size {value}; use CHUNK_ROW_BYTES_V{n}"
                             ),
                         });
                     }
@@ -251,6 +286,7 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
         &versions,
         row_v2,
         row_v3,
+        row_v4,
     );
     v
 }
@@ -264,6 +300,7 @@ fn check_fixtures(
     versions: &[u64],
     row_v2: Option<u64>,
     row_v3: Option<u64>,
+    row_v4: Option<u64>,
 ) {
     let dir = root.join("tests").join("data");
     let mut fixtures: Vec<std::path::PathBuf> = match std::fs::read_dir(&dir) {
@@ -321,8 +358,26 @@ fn check_fixtures(
         if version < 2 {
             continue; // v1 has no chunk table to check.
         }
-        let row = match (version, row_v2, row_v3) {
-            (2, Some(r), _) | (3, _, Some(r)) => r,
+        if version >= 4 {
+            // v4 headers carry the element-type tag right after the
+            // method byte; only the two known tags are valid.
+            match bytes.get(6) {
+                Some(&tag) if tag <= 1 => {}
+                Some(&tag) => {
+                    bad(format!(
+                        "v4 fixture dtype tag byte {tag} is not a known element type \
+                         (0 = f64, 1 = f32)"
+                    ));
+                    continue;
+                }
+                None => {
+                    bad("v4 fixture too small to hold a dtype tag byte".into());
+                    continue;
+                }
+            }
+        }
+        let row = match (version, row_v2, row_v3, row_v4) {
+            (2, Some(r), _, _) | (3, _, Some(r), _) | (4, _, _, Some(r)) => r,
             _ => continue, // missing consts already reported
         };
         let len = bytes.len() as u64;

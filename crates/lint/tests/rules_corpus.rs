@@ -253,14 +253,19 @@ pub const MAGIC: &[u8; 4] = b"WCT1";
 const VERSION_V1: u8 = 1;
 const VERSION_V2: u8 = 2;
 const VERSION_V3: u8 = 3;
+const VERSION_V4: u8 = 4;
 pub const CHUNK_ROW_BYTES_V2: usize = 41;
 pub const CHUNK_ROW_BYTES_V3: usize = 42;
+pub const CHUNK_ROW_BYTES_V4: usize = 43;
 "#
             .to_string(),
         ),
         (
             "crates/core/src/stream.rs",
-            "const TAG_A: u8 = 0;\nconst TAG_B: u8 = 1;\n".to_string(),
+            "const TAG_A: u8 = 0;\nconst TAG_B: u8 = 1;\n\
+             const TAG_EMPTY_F32: u8 = 5;\nconst TAG_WHOLE_F32: u8 = 6;\n\
+             const TAG_GROUPS_F32: u8 = 7;\n"
+                .to_string(),
         ),
         (
             "crates/sz/src/container.rs",
@@ -283,7 +288,9 @@ fn fixture_bytes(version: u8, rows: usize, row: usize) -> Vec<u8> {
     let mut b = Vec::new();
     b.extend_from_slice(b"WCT1");
     b.push(version);
-    b.extend_from_slice(&[0xEE; 10]); // fake header/payload
+    b.push(0x00); // method tag
+    b.push(0x01); // dtype tag (checked for v4 headers; noise otherwise)
+    b.extend_from_slice(&[0xEE; 8]); // fake header/payload
     let table_pos = b.len() as u64;
     b.extend_from_slice(&(rows as u32).to_le_bytes());
     b.extend(std::iter::repeat(0u8).take(rows * row));
@@ -313,6 +320,7 @@ fn conformant_constants_and_fixtures_pass_wirecheck() {
         &[
             ("a.tacd", fixture_bytes(2, 3, 41)),
             ("b.tacd", fixture_bytes(3, 1, 42)),
+            ("c.tacd", fixture_bytes(4, 2, 43)),
         ],
     );
     let v = wire_checks(&root, &analyses_of(&good_sources()));
@@ -353,12 +361,61 @@ fn duplicated_magic_literal_is_reported() {
 #[test]
 fn wrong_row_size_relation_is_reported() {
     let mut sources = good_sources();
-    sources[0].1 = sources[0].1.replace("42", "43");
+    sources[0].1 = sources[0].1.replace("V3: usize = 42", "V3: usize = 44");
     let root = temp_root("wc_rowrel", &[("a.tacd", fixture_bytes(2, 1, 41))]);
     let v = wire_checks(&root, &analyses_of(&sources));
     assert!(
         v.iter()
             .any(|x| x.message.contains("must be CHUNK_ROW_BYTES_V2")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn wrong_v4_row_size_relation_is_reported() {
+    let mut sources = good_sources();
+    sources[0].1 = sources[0].1.replace("V4: usize = 43", "V4: usize = 45");
+    let root = temp_root("wc_rowrel4", &[("a.tacd", fixture_bytes(2, 1, 41))]);
+    let v = wire_checks(&root, &analyses_of(&sources));
+    assert!(
+        v.iter()
+            .any(|x| x.message.contains("must be CHUNK_ROW_BYTES_V3")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn missing_f32_level_tags_are_reported() {
+    let mut sources = good_sources();
+    sources[1].1 = "const TAG_A: u8 = 0;\nconst TAG_B: u8 = 1;\n".to_string();
+    let root = temp_root("wc_nof32tags", &[("a.tacd", fixture_bytes(2, 1, 41))]);
+    let v = wire_checks(&root, &analyses_of(&sources));
+    for name in ["TAG_EMPTY_F32", "TAG_WHOLE_F32", "TAG_GROUPS_F32"] {
+        assert!(v.iter().any(|x| x.message.contains(name)), "{v:?}");
+    }
+}
+
+#[test]
+fn v4_fixture_with_unknown_dtype_tag_is_reported() {
+    let mut fixture = fixture_bytes(4, 1, 43);
+    fixture[6] = 9; // not a known element-type tag
+    let root = temp_root("wc_baddtype", &[("a.tacd", fixture)]);
+    let v = wire_checks(&root, &analyses_of(&good_sources()));
+    assert!(
+        v.iter()
+            .any(|x| x.message.contains("not a known element type")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn v4_geometry_mismatch_is_reported() {
+    // v4 fixture written with v3-size rows: the dtype byte is missing
+    // from every row, so the length check must fire.
+    let root = temp_root("wc_geom4", &[("bad.tacd", fixture_bytes(4, 3, 42))]);
+    let v = wire_checks(&root, &analyses_of(&good_sources()));
+    assert!(
+        v.iter().any(|x| x.message.contains("geometry mismatch")),
         "{v:?}"
     );
 }

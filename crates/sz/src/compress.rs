@@ -9,7 +9,7 @@
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::config::{Dims, SzConfig};
-use crate::container::{Header, FLAG_LOSSLESS, MAGIC, VERSION};
+use crate::container::{Header, FLAG_F32, FLAG_LOSSLESS, MAGIC, VERSION};
 use crate::error::SzError;
 use crate::huffman::HuffmanCode;
 use crate::lossless;
@@ -17,28 +17,33 @@ use crate::predictor::{lorenzo_1d, lorenzo_2d, lorenzo_3d};
 use crate::quantizer::{Quantized, Quantizer, UNPREDICTABLE};
 use crate::regression::RegressionContext;
 use crate::wire::ByteReader;
+use tac_dtype::{Element, TacDtype};
 
 /// Per-point behaviour plugged into the shared traversal.
-trait PointCodec {
+///
+/// Generic over the element type: predictions are always `f64` working
+/// precision, but the stored reconstruction is the element's native width
+/// so encoder and decoder narrow identically.
+trait PointCodec<T: Element> {
     /// Processes the point at flat index `idx` with prediction `pred`,
     /// returning the reconstructed value to store.
-    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError>;
+    fn process(&mut self, idx: usize, pred: f64) -> Result<T, SzError>;
 }
 
 /// Encoder-side codec: quantizes the original data.
-struct Encoder<'a> {
-    data: &'a [f64],
+struct Encoder<'a, T: Element> {
+    data: &'a [T],
     quantizer: Quantizer,
     symbols: Vec<u32>,
-    raws: Vec<f64>,
+    raws: Vec<T>,
 }
 
-impl PointCodec for Encoder<'_> {
+impl<T: Element> PointCodec<T> for Encoder<'_, T> {
     #[inline]
     // tac-lint: allow(panic) -- encoder over in-memory data: the traversal only produces idx < dims.len() == data.len(), validated before entry.
-    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
+    fn process(&mut self, idx: usize, pred: f64) -> Result<T, SzError> {
         let v = self.data[idx];
-        let (q, recon) = self.quantizer.quantize(v, pred);
+        let (q, recon) = self.quantizer.quantize_t(v, pred);
         match q {
             Quantized::Code(sym) => self.symbols.push(sym),
             Quantized::Unpredictable => {
@@ -51,16 +56,16 @@ impl PointCodec for Encoder<'_> {
 }
 
 /// Decoder-side codec: replays the symbol stream.
-struct Decoder<'a> {
+struct Decoder<'a, T: Element> {
     quantizer: Quantizer,
     symbols: &'a [u32],
-    raws: &'a [f64],
+    raws: &'a [T],
     next_raw: usize,
 }
 
-impl PointCodec for Decoder<'_> {
+impl<T: Element> PointCodec<T> for Decoder<'_, T> {
     #[inline]
-    fn process(&mut self, idx: usize, pred: f64) -> Result<f64, SzError> {
+    fn process(&mut self, idx: usize, pred: f64) -> Result<T, SzError> {
         let sym = *self
             .symbols
             .get(idx)
@@ -73,7 +78,7 @@ impl PointCodec for Decoder<'_> {
             self.next_raw += 1;
             Ok(v)
         } else {
-            Ok(self.quantizer.recover(sym, pred))
+            Ok(self.quantizer.recover_t(sym, pred))
         }
     }
 }
@@ -84,9 +89,9 @@ impl PointCodec for Decoder<'_> {
 /// one optional regression context per 3D slab (one for `D3`, `nw` for
 /// `D4`, none for ranks 1-2).
 // tac-lint: allow(panic) -- shared encode/decode walk: recon.len() == dims.len() is validated by both callers, and every index stays below it by the loop bounds.
-fn traverse<C: PointCodec>(
+fn traverse<T: Element, C: PointCodec<T>>(
     dims: Dims,
-    recon: &mut [f64],
+    recon: &mut [T],
     contexts: &[Option<RegressionContext>],
     codec: &mut C,
 ) -> Result<(), SzError> {
@@ -130,12 +135,12 @@ fn traverse<C: PointCodec>(
 }
 
 // tac-lint: allow(panic, arith) -- shared encode/decode walk: base + nx*ny*nz <= recon.len() holds for every slab by the callers' dims validation, and x + nx*(y + ny*z) < nx*ny*nz by the loop bounds.
-fn traverse_3d<C: PointCodec>(
+fn traverse_3d<T: Element, C: PointCodec<T>>(
     nx: usize,
     ny: usize,
     nz: usize,
     base: usize,
-    recon: &mut [f64],
+    recon: &mut [T],
     ctx: Option<&RegressionContext>,
     codec: &mut C,
 ) -> Result<(), SzError> {
@@ -158,8 +163,8 @@ fn traverse_3d<C: PointCodec>(
 /// Builds encoder-side regression contexts (one per 3D slab) when the
 /// configuration enables them and the rank is 3 or 4.
 // tac-lint: allow(panic) -- encoder-only: slab slices cover exactly data.len() == nx*ny*nz*nw, validated before entry.
-fn build_contexts(
-    data: &[f64],
+fn build_contexts<T: Element>(
+    data: &[T],
     dims: Dims,
     abs_eb: f64,
     enabled: bool,
@@ -193,7 +198,7 @@ fn build_contexts(
 /// Fails on shape/config validation errors; never fails on data content
 /// (NaN/Inf values are stored verbatim).
 pub fn compress(data: &[f64], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>, SzError> {
-    compress_with_recon(data, dims, cfg).map(|(bytes, _)| bytes)
+    compress_with_recon_t(data, dims, cfg).map(|(bytes, _)| bytes)
 }
 
 /// Like [`compress`] but also returns the reconstruction the decompressor
@@ -204,11 +209,29 @@ pub fn compress_with_recon(
     dims: Dims,
     cfg: &SzConfig,
 ) -> Result<(Vec<u8>, Vec<f64>), SzError> {
+    compress_with_recon_t(data, dims, cfg)
+}
+
+/// Element-generic [`compress`]: monomorphized per width, no per-value
+/// dtype branches. The `f64` instantiation is byte-identical to the
+/// historical format; `f32` streams set [`FLAG_F32`] and store verbatim
+/// values at 4 bytes each.
+pub fn compress_t<T: Element>(data: &[T], dims: Dims, cfg: &SzConfig) -> Result<Vec<u8>, SzError> {
+    compress_with_recon_t(data, dims, cfg).map(|(bytes, _)| bytes)
+}
+
+/// Element-generic [`compress_with_recon`].
+pub fn compress_with_recon_t<T: Element>(
+    data: &[T],
+    dims: Dims,
+    cfg: &SzConfig,
+) -> Result<(Vec<u8>, Vec<T>), SzError> {
     dims.validate(data.len())?;
     cfg.validate()?;
     let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in data {
         if v.is_finite() {
+            let v = v.to_f64();
             min = min.min(v);
             max = max.max(v);
         }
@@ -218,11 +241,11 @@ pub fn compress_with_recon(
         min = 0.0;
         max = 0.0;
     }
-    let abs_eb = cfg.error_bound.resolve(min, max)?;
+    let abs_eb = cfg.error_bound.resolve_for(min, max, T::DTYPE)?;
     let quantizer = Quantizer::new(abs_eb, cfg.capacity);
     let contexts = build_contexts(data, dims, abs_eb, cfg.regression);
 
-    let mut recon = vec![0.0f64; data.len()];
+    let mut recon = vec![T::ZERO; data.len()];
     let mut enc = Encoder {
         data,
         quantizer,
@@ -243,8 +266,8 @@ pub fn compress_with_recon(
         }
     }
 
-    // Payload: raw count + raw values + predictor section + Huffman table
-    // + bit length + bits.
+    // Payload: raw count + raw values (element-native width) + predictor
+    // section + Huffman table + bit length + bits.
     let huffman = HuffmanCode::from_symbols(&symbols);
     let mut writer = BitWriter::with_capacity(symbols.len() / 4);
     huffman.encode(&symbols, &mut writer);
@@ -252,11 +275,16 @@ pub fn compress_with_recon(
 
     // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory section lengths; a wrong guess only costs a reallocation.
     let mut payload = Vec::with_capacity(
-        8 + raws.len() * 8 + pred_section.len() + 8 + huffman.table_size() + 8 + bits.len(),
+        8 + raws.len() * T::WIRE_BYTES
+            + pred_section.len()
+            + 8
+            + huffman.table_size()
+            + 8
+            + bits.len(),
     );
     payload.extend_from_slice(&(raws.len() as u64).to_le_bytes());
     for &r in &raws {
-        payload.extend_from_slice(&r.to_bits().to_le_bytes());
+        r.append_le(&mut payload);
     }
     payload.extend_from_slice(&(pred_section.len() as u64).to_le_bytes());
     payload.extend_from_slice(&pred_section);
@@ -265,6 +293,9 @@ pub fn compress_with_recon(
     payload.extend_from_slice(&bits);
 
     let mut flags = 0u8;
+    if T::DTYPE == TacDtype::F32 {
+        flags |= FLAG_F32;
+    }
     let body = if cfg.lossless {
         let packed = lossless::compress(&payload);
         if packed.len() < payload.len() {
@@ -293,8 +324,23 @@ pub fn compress_with_recon(
 
 /// Decompresses a stream produced by [`compress`], returning the data and
 /// its shape.
+///
+/// Rejects `f32` streams with [`SzError::UnsupportedFormat`]; sniff with
+/// [`stream_dtype`] and call [`decompress_t::<f32>`] for those.
 pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
+    decompress_t::<f64>(bytes)
+}
+
+/// Element-generic [`decompress`]: the stream's dtype flag must match `T`.
+pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError> {
     let (header, consumed) = Header::decode(bytes)?;
+    if header.dtype() != T::DTYPE {
+        return Err(SzError::UnsupportedFormat(format!(
+            "stream holds {} elements, caller expected {}",
+            header.dtype(),
+            T::DTYPE
+        )));
+    }
     let body = bytes
         .get(consumed..)
         .ok_or_else(|| SzError::Corrupt("stream truncated after header".into()))?;
@@ -313,7 +359,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     // Both bounds matter: `n` caps the semantic count, the payload length
     // caps the up-front allocation (a crafted count must not reserve
     // gigabytes before the reads start failing).
-    if n_raw > n || n_raw.saturating_mul(8) > r.remaining() {
+    if n_raw > n || n_raw.saturating_mul(T::WIRE_BYTES) > r.remaining() {
         return Err(SzError::Corrupt(format!(
             "{n_raw} raw values for {n} points in a {}-byte payload",
             payload.len()
@@ -321,7 +367,9 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     }
     let mut raws = Vec::with_capacity(n_raw);
     for _ in 0..n_raw {
-        raws.push(r.get_f64()?);
+        let chunk = r.get_bytes(T::WIRE_BYTES)?;
+        let v = T::read_le(chunk).ok_or_else(|| SzError::Corrupt("raw value truncated".into()))?;
+        raws.push(v);
     }
 
     // Predictor side-section.
@@ -390,7 +438,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
     let symbols = huffman.decode(&mut reader, n)?;
 
     let quantizer = Quantizer::new(header.abs_eb, header.capacity as usize);
-    let mut recon = vec![0.0f64; n];
+    let mut recon = vec![T::ZERO; n];
     let mut dec = Decoder {
         quantizer,
         symbols: &symbols,
@@ -410,6 +458,20 @@ pub fn decompress(bytes: &[u8]) -> Result<(Vec<f64>, Dims), SzError> {
 /// Sanity check available to callers: magic-number sniffing.
 pub fn looks_like_stream(bytes: &[u8]) -> bool {
     bytes.len() > 5 && bytes.get(..4) == Some(MAGIC.as_slice()) && bytes.get(4) == Some(&VERSION)
+}
+
+/// Sniffs the element type of a stream from its flag byte without decoding
+/// the payload. Returns `None` when the bytes are not a TSZ1 stream.
+pub fn stream_dtype(bytes: &[u8]) -> Option<TacDtype> {
+    if !looks_like_stream(bytes) {
+        return None;
+    }
+    let flags = *bytes.get(5)?;
+    Some(if flags & FLAG_F32 != 0 {
+        TacDtype::F32
+    } else {
+        TacDtype::F64
+    })
 }
 
 #[cfg(test)]
@@ -614,6 +676,123 @@ mod tests {
             let bytes = compress(&data, Dims::D1(n), &SzConfig::abs(0.1)).unwrap();
             let (out, _) = decompress(&bytes).unwrap();
             check_bound(&data, &out, 0.1);
+        }
+    }
+
+    #[test]
+    fn generic_f64_path_is_byte_identical_to_legacy() {
+        // The monomorphized f64 pipeline must produce the exact bytes the
+        // pre-dtype compressor did: golden fixtures depend on it.
+        let n = 12;
+        let data = smooth_3d(n);
+        let cfg = SzConfig::abs(1e-3);
+        let a = compress(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        let b = compress_t::<f64>(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(stream_dtype(&a), Some(TacDtype::F64));
+    }
+
+    #[test]
+    fn roundtrip_f32_3d_abs_bound() {
+        let n = 16;
+        let data: Vec<f32> = smooth_3d(n).iter().map(|&v| v as f32).collect();
+        let cfg = SzConfig::abs(1e-3);
+        let bytes = compress_t::<f32>(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        assert_eq!(stream_dtype(&bytes), Some(TacDtype::F32));
+        let (out, dims) = decompress_t::<f32>(&bytes).unwrap();
+        assert_eq!(dims, Dims::D3(n, n, n));
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            assert!(
+                (a as f64 - b as f64).abs() <= 1e-3 * (1.0 + 1e-6),
+                "point {i}: {a} vs {b}"
+            );
+        }
+        // f32 verbatim points cost 4 bytes, so the stream should beat the
+        // equivalent f64 stream on raw-heavy inputs; here just sanity-size.
+        assert!(bytes.len() < data.len() * 4);
+    }
+
+    #[test]
+    fn f32_recon_matches_decompressed_exactly() {
+        let n = 10;
+        let data: Vec<f32> = smooth_3d(n).iter().map(|&v| v as f32).collect();
+        let cfg = SzConfig::rel(1e-4);
+        let (bytes, recon) = compress_with_recon_t::<f32>(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        let (out, _) = decompress_t::<f32>(&bytes).unwrap();
+        for (a, b) in recon.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_nonfinite_values_roundtrip_bit_exactly() {
+        let mut data: Vec<f32> = smooth_3d(8).iter().map(|&v| v as f32).collect();
+        data[3] = f32::NAN;
+        data[100] = f32::INFINITY;
+        data[200] = f32::NEG_INFINITY;
+        data[301] = -0.0;
+        let bytes = compress_t::<f32>(&data, Dims::D3(8, 8, 8), &SzConfig::abs(1e-3)).unwrap();
+        let (out, _) = decompress_t::<f32>(&bytes).unwrap();
+        assert!(out[3].is_nan());
+        assert_eq!(out[100], f32::INFINITY);
+        assert_eq!(out[200], f32::NEG_INFINITY);
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            if a.is_finite() {
+                assert!(
+                    (a as f64 - b as f64).abs() <= 1e-3 * (1.0 + 1e-6),
+                    "point {i}"
+                );
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "non-finite point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dtype_mismatch_is_a_typed_error() {
+        let data64 = vec![1.0f64; 32];
+        let data32 = vec![1.0f32; 32];
+        let cfg = SzConfig::abs(0.1);
+        let b64 = compress_t::<f64>(&data64, Dims::D1(32), &cfg).unwrap();
+        let b32 = compress_t::<f32>(&data32, Dims::D1(32), &cfg).unwrap();
+        assert!(matches!(
+            decompress_t::<f32>(&b64),
+            Err(SzError::UnsupportedFormat(_))
+        ));
+        assert!(matches!(
+            decompress_t::<f64>(&b32),
+            Err(SzError::UnsupportedFormat(_))
+        ));
+        // The plain f64 entry point reports the same typed error.
+        assert!(matches!(
+            decompress(&b32),
+            Err(SzError::UnsupportedFormat(_))
+        ));
+    }
+
+    #[test]
+    fn f32_stream_is_smaller_than_f64_on_noisy_data() {
+        // White noise stores mostly verbatim values, so element width
+        // dominates: the f32 stream must be markedly smaller.
+        let noise64: Vec<f64> = (0..4096u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let noise32: Vec<f32> = noise64.iter().map(|&v| v as f32).collect();
+        let cfg = SzConfig::abs(1e-9);
+        let b64 = compress_t::<f64>(&noise64, Dims::D3(16, 16, 16), &cfg).unwrap();
+        let b32 = compress_t::<f32>(&noise32, Dims::D3(16, 16, 16), &cfg).unwrap();
+        assert!(
+            (b32.len() as f64) < b64.len() as f64 * 0.75,
+            "f32 {} vs f64 {}",
+            b32.len(),
+            b64.len()
+        );
+        let (out, _) = decompress_t::<f32>(&b32).unwrap();
+        for (&a, &b) in noise32.iter().zip(&out) {
+            assert!((a as f64 - b as f64).abs() <= 1e-9);
         }
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::error::SzError;
 use serde::{Deserialize, Serialize};
+use tac_dtype::{Element, TacDtype};
 
 /// How the user bounds the point-wise reconstruction error.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +21,15 @@ impl ErrorBound {
     /// Constant inputs (zero range) resolve to a tiny positive epsilon so
     /// that quantization still succeeds; every point then predicts exactly.
     pub fn resolve(self, min: f64, max: f64) -> Result<f64, SzError> {
+        self.resolve_for(min, max, TacDtype::F64)
+    }
+
+    /// Like [`ErrorBound::resolve`], but the zero-range fallback epsilon is
+    /// the smallest positive *normal* of the element type actually being
+    /// compressed, so the quantizer step stays representable at that
+    /// precision (`f64::MIN_POSITIVE` would silently flush to zero in an
+    /// `f32` pipeline).
+    pub fn resolve_for(self, min: f64, max: f64, dtype: TacDtype) -> Result<f64, SzError> {
         let abs = match self {
             ErrorBound::Abs(eb) => eb,
             ErrorBound::Rel(rel) => {
@@ -32,7 +42,10 @@ impl ErrorBound {
                 if range > 0.0 && range.is_finite() {
                     rel * range
                 } else {
-                    f64::MIN_POSITIVE
+                    match dtype {
+                        TacDtype::F64 => <f64 as Element>::MIN_POSITIVE,
+                        TacDtype::F32 => <f32 as Element>::MIN_POSITIVE,
+                    }
                 }
             }
         };

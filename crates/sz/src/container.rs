@@ -6,6 +6,7 @@
 //! magic  [u8; 4] = "TSZ1"
 //! version u8    = 1
 //! flags   u8      bit 0: payload is LZSS-compressed
+//!                 bit 1: elements are f32 (absent: f64)
 //! rank    u8      1..=4
 //! dims    rank x u64
 //! abs_eb  f64     resolved absolute error bound
@@ -16,6 +17,7 @@
 use crate::config::Dims;
 use crate::error::SzError;
 use crate::wire::{ByteReader, ByteWriter};
+use tac_dtype::TacDtype;
 
 /// Stream magic number.
 pub const MAGIC: [u8; 4] = *b"TSZ1";
@@ -23,6 +25,9 @@ pub const MAGIC: [u8; 4] = *b"TSZ1";
 pub const VERSION: u8 = 1;
 /// Flag bit: payload passed through the LZSS stage.
 pub const FLAG_LOSSLESS: u8 = 0b0000_0001;
+/// Flag bit: elements are `f32` (unset: `f64`, the historical default, so
+/// every pre-dtype stream decodes unchanged).
+pub const FLAG_F32: u8 = 0b0000_0010;
 
 /// Decoded stream header.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,6 +43,15 @@ pub struct Header {
 }
 
 impl Header {
+    /// Element type of the stream, derived from the flag bits.
+    pub fn dtype(&self) -> TacDtype {
+        if self.flags & FLAG_F32 != 0 {
+            TacDtype::F32
+        } else {
+            TacDtype::F64
+        }
+    }
+
     /// Serialized size in bytes.
     // tac-lint: allow(arith) -- writer-side size accounting: rank() <= 3, so the sum stays tiny.
     pub fn encoded_len(&self) -> usize {

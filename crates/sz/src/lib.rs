@@ -47,11 +47,15 @@ pub mod regression;
 mod stats;
 pub mod wire;
 
-pub use compress::{compress, compress_with_recon, decompress, looks_like_stream};
+pub use compress::{
+    compress, compress_t, compress_with_recon, compress_with_recon_t, decompress, decompress_t,
+    looks_like_stream, stream_dtype,
+};
 pub use config::{Dims, ErrorBound, SzConfig};
-pub use container::Header;
+pub use container::{Header, FLAG_F32, FLAG_LOSSLESS};
 pub use error::SzError;
 pub use huffman::HuffmanCode;
 pub use quantizer::{Quantized, Quantizer, UNPREDICTABLE};
 pub use regression::{RegressionContext, REGRESSION_BLOCK};
 pub use stats::CompressionStats;
+pub use tac_dtype::{Element, TacDtype};

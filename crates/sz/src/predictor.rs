@@ -10,12 +10,19 @@
 //! All predictions read from the *reconstructed* buffer, never the raw
 //! input: compressor and decompressor must derive identical predictions or
 //! the error bound breaks.
+//!
+//! Predictors are generic over the element type: neighbours are widened to
+//! `f64` working precision (exact for both widths), so the prediction a
+//! decoder derives from its `T`-typed reconstruction buffer is bit-equal
+//! to the encoder's.
+
+use tac_dtype::Element;
 
 /// 1D Lorenzo: previous value.
 #[inline]
-pub fn lorenzo_1d(recon: &[f64], i: usize) -> f64 {
+pub fn lorenzo_1d<T: Element>(recon: &[T], i: usize) -> f64 {
     if i >= 1 {
-        recon[i - 1]
+        recon[i - 1].to_f64()
     } else {
         0.0
     }
@@ -24,10 +31,10 @@ pub fn lorenzo_1d(recon: &[f64], i: usize) -> f64 {
 /// 2D Lorenzo on an `(nx, ny)` row-major grid (x fastest):
 /// `f(x-1,y) + f(x,y-1) - f(x-1,y-1)`.
 #[inline]
-pub fn lorenzo_2d(recon: &[f64], nx: usize, x: usize, y: usize) -> f64 {
+pub fn lorenzo_2d<T: Element>(recon: &[T], nx: usize, x: usize, y: usize) -> f64 {
     let at = |dx: usize, dy: usize| -> f64 {
         // dx/dy are offsets of 1 meaning "minus one"; guarded by callers.
-        recon[(x - dx) + nx * (y - dy)]
+        recon[(x - dx) + nx * (y - dy)].to_f64()
     };
     match (x >= 1, y >= 1) {
         (true, true) => at(1, 0) + at(0, 1) - at(1, 1),
@@ -40,28 +47,29 @@ pub fn lorenzo_2d(recon: &[f64], nx: usize, x: usize, y: usize) -> f64 {
 /// 3D Lorenzo on an `(nx, ny, nz)` row-major grid (x fastest):
 /// the inclusion–exclusion sum over the 7 lower-corner neighbours.
 #[inline]
-pub fn lorenzo_3d(recon: &[f64], nx: usize, ny: usize, x: usize, y: usize, z: usize) -> f64 {
-    let idx = |xx: usize, yy: usize, zz: usize| xx + nx * (yy + ny * zz);
+pub fn lorenzo_3d<T: Element>(
+    recon: &[T],
+    nx: usize,
+    ny: usize,
+    x: usize,
+    y: usize,
+    z: usize,
+) -> f64 {
+    let at = |xx: usize, yy: usize, zz: usize| recon[xx + nx * (yy + ny * zz)].to_f64();
     match (x >= 1, y >= 1, z >= 1) {
         (true, true, true) => {
-            recon[idx(x - 1, y, z)] + recon[idx(x, y - 1, z)] + recon[idx(x, y, z - 1)]
-                - recon[idx(x - 1, y - 1, z)]
-                - recon[idx(x - 1, y, z - 1)]
-                - recon[idx(x, y - 1, z - 1)]
-                + recon[idx(x - 1, y - 1, z - 1)]
+            at(x - 1, y, z) + at(x, y - 1, z) + at(x, y, z - 1)
+                - at(x - 1, y - 1, z)
+                - at(x - 1, y, z - 1)
+                - at(x, y - 1, z - 1)
+                + at(x - 1, y - 1, z - 1)
         }
-        (true, true, false) => {
-            recon[idx(x - 1, y, z)] + recon[idx(x, y - 1, z)] - recon[idx(x - 1, y - 1, z)]
-        }
-        (true, false, true) => {
-            recon[idx(x - 1, y, z)] + recon[idx(x, y, z - 1)] - recon[idx(x - 1, y, z - 1)]
-        }
-        (false, true, true) => {
-            recon[idx(x, y - 1, z)] + recon[idx(x, y, z - 1)] - recon[idx(x, y - 1, z - 1)]
-        }
-        (true, false, false) => recon[idx(x - 1, y, z)],
-        (false, true, false) => recon[idx(x, y - 1, z)],
-        (false, false, true) => recon[idx(x, y, z - 1)],
+        (true, true, false) => at(x - 1, y, z) + at(x, y - 1, z) - at(x - 1, y - 1, z),
+        (true, false, true) => at(x - 1, y, z) + at(x, y, z - 1) - at(x - 1, y, z - 1),
+        (false, true, true) => at(x, y - 1, z) + at(x, y, z - 1) - at(x, y - 1, z - 1),
+        (true, false, false) => at(x - 1, y, z),
+        (false, true, false) => at(x, y - 1, z),
+        (false, false, true) => at(x, y, z - 1),
         (false, false, false) => 0.0,
     }
 }

@@ -6,6 +6,8 @@
 //! non-finite arithmetic — mark the point *unpredictable*: its IEEE bits
 //! are stored verbatim and it reconstructs exactly.
 
+use tac_dtype::Element;
+
 /// Symbol reserved for unpredictable points in the code stream.
 pub const UNPREDICTABLE: u32 = 0;
 
@@ -53,7 +55,19 @@ impl Quantizer {
     /// reconstructed value the decompressor will see.
     #[inline]
     pub fn quantize(&self, value: f64, pred: f64) -> (Quantized, f64) {
-        let diff = value - pred;
+        self.quantize_t::<f64>(value, pred)
+    }
+
+    /// Element-generic quantization: arithmetic runs in `f64` working
+    /// precision, the reconstruction is narrowed to `T` (the value the
+    /// decoder will materialize), and the bound check runs on that
+    /// *narrowed* value — if `T`'s rounding breaks the bound, the point
+    /// falls back to verbatim storage. Encoder and decoder therefore agree
+    /// bit-exactly at every element width.
+    #[inline]
+    pub fn quantize_t<T: Element>(&self, value: T, pred: f64) -> (Quantized, T) {
+        let v = value.to_f64();
+        let diff = v - pred;
         if !diff.is_finite() {
             return (Quantized::Unpredictable, value);
         }
@@ -64,11 +78,11 @@ impl Quantizer {
             return (Quantized::Unpredictable, value);
         }
         let code = code_f as i64;
-        let recon = pred + self.two_eb * code as f64;
-        // Guard against floating-point edge cases: if reconstruction
-        // violates the bound (catastrophic cancellation near huge values),
-        // fall back to verbatim storage.
-        if !(recon - value).abs().le(&self.eb) {
+        let recon = T::from_f64(pred + self.two_eb * code as f64);
+        // Guard against floating-point edge cases: reconstruction may
+        // violate the bound through catastrophic cancellation near huge
+        // values or through narrowing to T; fall back to verbatim storage.
+        if !(recon.to_f64() - v).abs().le(&self.eb) {
             return (Quantized::Unpredictable, value);
         }
         (Quantized::Code((code + self.radius) as u32), recon)
@@ -77,9 +91,16 @@ impl Quantizer {
     /// Reconstructs a value from a non-zero symbol and its prediction.
     #[inline]
     pub fn recover(&self, symbol: u32, pred: f64) -> f64 {
+        self.recover_t::<f64>(symbol, pred)
+    }
+
+    /// Element-generic inverse of [`Quantizer::quantize_t`]: the same
+    /// `f64` bin arithmetic, narrowed to `T` exactly as the encoder did.
+    #[inline]
+    pub fn recover_t<T: Element>(&self, symbol: u32, pred: f64) -> T {
         debug_assert_ne!(symbol, UNPREDICTABLE);
         let code = symbol as i64 - self.radius;
-        pred + self.two_eb * code as f64
+        T::from_f64(pred + self.two_eb * code as f64)
     }
 }
 
@@ -152,6 +173,39 @@ mod tests {
             let (qz, _) = q.quantize(delta as f64 * 2.0, 0.0);
             if let Quantized::Code(sym) = qz {
                 assert_ne!(sym, UNPREDICTABLE);
+            }
+        }
+    }
+
+    #[test]
+    fn f32_narrowing_that_breaks_the_bound_falls_back_to_verbatim() {
+        // Near 1e8 the f32 grid spacing is 8: an f64 reconstruction that
+        // satisfies the bound can land between representable f32 values and
+        // round past it. The post-narrowing check must catch this.
+        let q = Quantizer::new(6.0, 65536);
+        let v: f32 = 99_999_992.0; // representable; next f32 up is 1e8
+        let pred = v as f64 + 5.0; // code rounds to 0, recon_f64 = pred
+        let (qz, recon) = q.quantize_t::<f32>(v, pred);
+        // recon_f64 = 99_999_997.0 -> nearest f32 is 100_000_000.0, which is
+        // 8.0 > 6.0 away from v: must store verbatim, not emit a code.
+        assert_eq!(qz, Quantized::Unpredictable);
+        assert_eq!(recon.to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn f32_quantization_respects_bound_through_narrowing() {
+        let q = Quantizer::new(1e-3, 65536);
+        for i in 0..1000 {
+            let v = ((i as f64 * 0.737).sin() * 5.0) as f32;
+            let pred = v as f64 + (i as f64 * 0.11).cos() * 0.3;
+            let (qz, recon) = q.quantize_t::<f32>(v, pred);
+            match qz {
+                Quantized::Code(sym) => {
+                    assert!((recon as f64 - v as f64).abs() <= 1e-3);
+                    let replay: f32 = q.recover_t(sym, pred);
+                    assert_eq!(replay.to_bits(), recon.to_bits());
+                }
+                Quantized::Unpredictable => assert_eq!(recon.to_bits(), v.to_bits()),
             }
         }
     }

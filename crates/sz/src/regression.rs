@@ -18,6 +18,7 @@
 //! `2*eb` bins plenty of headroom.
 
 use crate::error::SzError;
+use tac_dtype::Element;
 
 /// Block edge length for regression (SZ2 uses 6).
 pub const REGRESSION_BLOCK: usize = 6;
@@ -83,8 +84,9 @@ impl RegressionContext {
     /// Builds the encoder-side context: fits every block, compares the
     /// plane fit's residuals against a Lorenzo estimate on the *original*
     /// data, and keeps regression where it wins. Coefficients are already
-    /// quantized (encoder and decoder share exact values).
-    pub fn build(data: &[f64], nx: usize, ny: usize, nz: usize, eb: f64) -> Self {
+    /// quantized (encoder and decoder share exact values). Fitting widens
+    /// elements to `f64`; the serialized coefficients are width-agnostic.
+    pub fn build<T: Element>(data: &[T], nx: usize, ny: usize, nz: usize, eb: f64) -> Self {
         let nb = Self::grid(nx, ny, nz);
         let nblocks = nb.0 * nb.1 * nb.2;
         let mut modes = vec![false; nblocks];
@@ -232,8 +234,8 @@ fn coeff_steps(eb: f64) -> (f64, f64) {
 /// Least-squares plane fit over one block (local coordinates measured
 /// from the block's low corner). Axis-wise orthogonality on the full
 /// cuboid grid makes this a closed form.
-fn fit_block(
-    data: &[f64],
+fn fit_block<T: Element>(
+    data: &[T],
     nx: usize,
     ny: usize,
     (x0, y0, z0): (usize, usize, usize),
@@ -245,7 +247,7 @@ fn fit_block(
         for y in 0..h {
             let row = x0 + nx * (y0 + y + ny * (z0 + z));
             for x in 0..w {
-                mean += data[row + x];
+                mean += data[row + x].to_f64();
             }
         }
     }
@@ -268,7 +270,7 @@ fn fit_block(
         for y in 0..h {
             let row = x0 + nx * (y0 + y + ny * (z0 + z));
             for x in 0..w {
-                let v = data[row + x];
+                let v = data[row + x].to_f64();
                 sxv += (x as f64 - cx) * v;
                 syv += (y as f64 - cy) * v;
                 szv += (z as f64 - cz) * v;
@@ -292,8 +294,8 @@ fn fit_block(
 /// the real decoder-side Lorenzo suffers (~`eb` of extra error per
 /// point); that noise term is added explicitly, exactly the adjustment
 /// SZ2's selector applies.
-fn regression_loses(
-    data: &[f64],
+fn regression_loses<T: Element>(
+    data: &[T],
     nx: usize,
     ny: usize,
     (x0, y0, z0): (usize, usize, usize),
@@ -308,7 +310,7 @@ fn regression_loses(
         for y in 0..h {
             for x in 0..w {
                 let (gx, gy, gz) = (x0 + x, y0 + y, z0 + z);
-                let v = data[idx(gx, gy, gz)];
+                let v = data[idx(gx, gy, gz)].to_f64();
                 let pred_r =
                     fit.b0 + fit.b[0] * x as f64 + fit.b[1] * y as f64 + fit.b[2] * z as f64;
                 sae_reg += (v - pred_r).abs();

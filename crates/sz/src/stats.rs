@@ -1,6 +1,7 @@
 //! Compression accounting: ratio, bit-rate, and simple distortion summary.
 
 use serde::{Deserialize, Serialize};
+use tac_dtype::TacDtype;
 
 /// Size accounting for one compression run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -14,10 +15,16 @@ pub struct CompressionStats {
 }
 
 impl CompressionStats {
-    /// Builds stats from element count and compressed size.
+    /// Builds stats from element count and compressed size (f64 elements).
     pub fn new(elements: usize, compressed_bytes: usize) -> Self {
+        Self::new_for(elements, compressed_bytes, TacDtype::F64)
+    }
+
+    /// Builds stats with the original size accounted at the element type's
+    /// native width (4 bytes for f32, 8 for f64).
+    pub fn new_for(elements: usize, compressed_bytes: usize, dtype: TacDtype) -> Self {
         CompressionStats {
-            original_bytes: elements * std::mem::size_of::<f64>(),
+            original_bytes: elements * dtype.wire_bytes(),
             compressed_bytes,
             elements,
         }

@@ -20,10 +20,11 @@
 //! a machine-readable [`ConformanceReport`] (`CONFORMANCE.json` in CI).
 
 use crate::scenario::{scenarios, ScenarioSpec};
-use tac_amr::{Aabb, AmrDataset};
+use tac_amr::{Aabb, AmrDataset, AmrLevel};
 use tac_core::{
-    compress_dataset, decompress_dataset, decompress_dataset_par, decompress_region, CodecId,
-    CompressedDataset, Method, MethodBody, Parallelism, TacConfig,
+    compress_dataset_t, decompress_dataset_par_t, decompress_dataset_t, decompress_region_t,
+    CodecElement, CodecId, CompressedDataset, Element, Method, MethodBody, Parallelism, TacConfig,
+    TacDtype,
 };
 
 /// Worker counts every cell is swept over.
@@ -212,7 +213,10 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
     run_scenarios(&scenarios(), seed)
 }
 
-/// Runs the matrix over an explicit scenario subset.
+/// Runs the matrix over an explicit scenario subset. Every contract is
+/// checked at the scenario's declared element type: `F32` scenarios
+/// sweep the same method x codec x format x worker space through the
+/// monomorphized `f32` kernel stack and the v4 wire.
 pub fn run_scenarios(specs: &[ScenarioSpec], seed: u64) -> ConformanceReport {
     let methods = [
         Method::Tac,
@@ -223,13 +227,41 @@ pub fn run_scenarios(specs: &[ScenarioSpec], seed: u64) -> ConformanceReport {
     let mut cells = Vec::new();
     for spec in specs {
         let ds = spec.build(seed);
+        let ds32 = (spec.dtype == TacDtype::F32).then(|| narrow_to_f32(&ds));
         for method in methods {
             for codec in CodecId::all() {
-                cells.extend(run_cell(spec, &ds, method, codec));
+                cells.extend(match &ds32 {
+                    Some(narrow) => run_cell(spec, narrow, method, codec),
+                    None => run_cell(spec, &ds, method, codec),
+                });
             }
         }
     }
     ConformanceReport { seed, cells }
+}
+
+/// Narrows an `f64` scenario dataset to `f32` storage. `F32` scenarios
+/// generate only exactly-f32-representable values, so nothing is lost.
+pub(crate) fn narrow_to_f32(ds: &AmrDataset) -> AmrDataset<f32> {
+    let levels = ds
+        .levels()
+        .iter()
+        .map(|l| {
+            let dim = l.dim();
+            let mut out = AmrLevel::<f32>::empty(dim);
+            for z in 0..dim {
+                for y in 0..dim {
+                    for x in 0..dim {
+                        if l.present(x, y, z) {
+                            out.set_value(x, y, z, l.value(x, y, z) as f32);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    AmrDataset::new(ds.name(), levels)
 }
 
 /// Per-level resolved absolute bounds recorded in a container
@@ -249,9 +281,9 @@ fn resolved_level_bounds(cd: &CompressedDataset) -> Vec<f64> {
 
 /// Checks the bound contract of one reconstruction; returns
 /// `(max_err_ratio, nonfinite_exact)` or an error description.
-fn check_bounds(
-    orig: &AmrDataset,
-    recon: &AmrDataset,
+fn check_bounds<T: Element>(
+    orig: &AmrDataset<T>,
+    recon: &AmrDataset<T>,
     bounds: &[f64],
 ) -> Result<(f64, bool), String> {
     if orig.num_levels() != recon.num_levels() {
@@ -271,7 +303,7 @@ fn check_bounds(
         for i in a.mask().iter_ones() {
             let (x, y) = (a.data()[i], b.data()[i]);
             if !x.is_finite() {
-                nonfinite_exact &= x.to_bits() == y.to_bits();
+                nonfinite_exact &= x.to_bits_u64() == y.to_bits_u64();
                 continue;
             }
             // A finite input reconstructed as NaN/Inf is the worst
@@ -282,7 +314,7 @@ fn check_bounds(
                     "level {l} cell {i}: finite {x} reconstructed as {y}"
                 ));
             }
-            let err = (x - y).abs();
+            let err = (x.to_f64() - y.to_f64()).abs();
             if err > 0.0 {
                 if eb <= 0.0 {
                     return Err(format!(
@@ -294,7 +326,7 @@ fn check_bounds(
         }
         // Absent cells must reconstruct to exactly zero.
         for i in 0..a.num_cells() {
-            if !a.mask().get(i) && b.data()[i] != 0.0 {
+            if !a.mask().get(i) && b.data()[i].to_f64() != 0.0 {
                 return Err(format!(
                     "level {l} cell {i}: absent cell holds {}",
                     b.data()[i]
@@ -307,7 +339,7 @@ fn check_bounds(
 
 /// Bitwise dataset equality (reconstructions must be identical across
 /// worker counts, and ROI cells identical to the full decode).
-fn datasets_bit_equal(a: &AmrDataset, b: &AmrDataset) -> bool {
+fn datasets_bit_equal<T: Element>(a: &AmrDataset<T>, b: &AmrDataset<T>) -> bool {
     a.num_levels() == b.num_levels()
         && a.levels().iter().zip(b.levels()).all(|(x, y)| {
             x.dim() == y.dim()
@@ -315,15 +347,15 @@ fn datasets_bit_equal(a: &AmrDataset, b: &AmrDataset) -> bool {
                 && x.data()
                     .iter()
                     .zip(y.data())
-                    .all(|(p, q)| p.to_bits() == q.to_bits())
+                    .all(|(p, q)| p.to_bits_u64() == q.to_bits_u64())
         })
 }
 
 /// Runs one scenario x method x codec combination, producing one cell
 /// per container format.
-fn run_cell(
+fn run_cell<T: CodecElement>(
     spec: &ScenarioSpec,
-    ds: &AmrDataset,
+    ds: &AmrDataset<T>,
     method: Method,
     codec: CodecId,
 ) -> Vec<ConformanceCell> {
@@ -355,7 +387,7 @@ fn run_cell(
 
     // Compress at every worker count; the two serializations must be
     // byte-identical across all of them.
-    let reference = match compress_dataset(ds, &cfg_for(WORKER_COUNTS[0]), method) {
+    let reference = match compress_dataset_t(ds, &cfg_for(WORKER_COUNTS[0]), method) {
         Ok(cd) => cd,
         Err(e) => {
             return ContainerFormat::all()
@@ -368,7 +400,7 @@ fn run_cell(
     let ref_v1 = reference.to_bytes_v1();
     let mut workers_identical = true;
     for &w in &WORKER_COUNTS[1..] {
-        match compress_dataset(ds, &cfg_for(w), method) {
+        match compress_dataset_t(ds, &cfg_for(w), method) {
             Ok(cd) => {
                 workers_identical &= cd.to_bytes() == ref_chunked && cd.to_bytes_v1() == ref_v1;
             }
@@ -382,7 +414,7 @@ fn run_cell(
     }
 
     // Serial full decode, then parallel decode identity.
-    let full = match decompress_dataset(&reference) {
+    let full = match decompress_dataset_t::<T>(&reference) {
         Ok(out) => out,
         Err(e) => {
             return ContainerFormat::all()
@@ -394,7 +426,7 @@ fn run_cell(
     let mut decode_par_identical = true;
     let mut par_error = None;
     for &w in &WORKER_COUNTS[1..] {
-        match decompress_dataset_par(&reference, Parallelism::Threads(w)) {
+        match decompress_dataset_par_t::<T>(&reference, Parallelism::Threads(w)) {
             Ok(out) => decode_par_identical &= datasets_bit_equal(&full, &out),
             Err(e) => {
                 decode_par_identical = false;
@@ -415,10 +447,10 @@ fn run_cell(
         let decoded = match format {
             ContainerFormat::Memory => Ok(full.clone()),
             ContainerFormat::V1 => CompressedDataset::from_bytes(&ref_v1)
-                .and_then(|cd| decompress_dataset(&cd))
+                .and_then(|cd| decompress_dataset_t::<T>(&cd))
                 .map_err(|e| format!("v1 roundtrip failed: {e}")),
             ContainerFormat::Chunked => CompressedDataset::from_bytes(&ref_chunked)
-                .and_then(|cd| decompress_dataset(&cd))
+                .and_then(|cd| decompress_dataset_t::<T>(&cd))
                 .map_err(|e| format!("chunked roundtrip failed: {e}")),
         };
         c.container_bytes = match format {
@@ -447,7 +479,7 @@ fn run_cell(
 /// Decodes two regions of interest (a corner octant and an interior
 /// box) and checks each agrees bit-for-bit with the full decode inside
 /// the region.
-fn roi_agrees(bytes: &[u8], full: &AmrDataset, finest_dim: usize) -> bool {
+fn roi_agrees<T: CodecElement>(bytes: &[u8], full: &AmrDataset<T>, finest_dim: usize) -> bool {
     let half = (finest_dim / 2).max(1);
     let quarter = finest_dim / 4;
     let rois = [
@@ -458,7 +490,7 @@ fn roi_agrees(bytes: &[u8], full: &AmrDataset, finest_dim: usize) -> bool {
         ),
     ];
     for roi in rois {
-        let Ok((partial, _stats)) = decompress_region(bytes, roi) else {
+        let Ok((partial, _stats)) = decompress_region_t::<T>(bytes, roi) else {
             return false;
         };
         if partial.num_levels() != full.num_levels() {
@@ -469,7 +501,7 @@ fn roi_agrees(bytes: &[u8], full: &AmrDataset, finest_dim: usize) -> bool {
             for z in roi_level.min.2..roi_level.max.2.min(p.dim()) {
                 for y in roi_level.min.1..roi_level.max.1.min(p.dim()) {
                     for x in roi_level.min.0..roi_level.max.0.min(p.dim()) {
-                        if p.value(x, y, z).to_bits() != f.value(x, y, z).to_bits() {
+                        if p.value(x, y, z).to_bits_u64() != f.value(x, y, z).to_bits_u64() {
                             return false;
                         }
                     }
@@ -484,6 +516,7 @@ fn roi_agrees(bytes: &[u8], full: &AmrDataset, finest_dim: usize) -> bool {
 mod tests {
     use super::*;
     use crate::scenario::scenario;
+    use tac_core::{compress_dataset, decompress_dataset};
 
     #[test]
     fn single_scenario_matrix_passes_and_reports() {
@@ -507,6 +540,26 @@ mod tests {
         // scenario has finite data everywhere).
         for c in &report.cells {
             assert!(c.max_err_ratio.is_finite(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn f32_scenario_matrix_passes_through_the_v4_wire() {
+        let spec = scenario("checkerboard-f32").unwrap();
+        assert_eq!(spec.dtype, TacDtype::F32);
+        let report = run_scenarios(&[spec], 5);
+        // Same sweep breadth as an f64 scenario: 4 methods x 2 codecs x
+        // 3 formats, every leg through the monomorphized f32 stack.
+        assert_eq!(report.cells.len(), 24);
+        assert!(report.all_pass(), "{}", report.summary());
+    }
+
+    #[test]
+    fn f32_precision_edges_hold_their_contracts() {
+        for name in ["denormal-negzero-f32", "tiny-extremes-f32"] {
+            let spec = scenario(name).unwrap();
+            let report = run_scenarios(&[spec], 7);
+            assert!(report.all_pass(), "{name}: {}", report.summary());
         }
     }
 

@@ -21,8 +21,8 @@ use crate::scenario::scenario;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use tac_amr::Aabb;
 use tac_core::{
-    compress_dataset, decompress_dataset, decompress_region, CodecId, CompressedDataset, Method,
-    TacConfig,
+    compress_dataset, decompress_dataset_any, decompress_region, decompress_region_f32, AnyDataset,
+    CodecId, CompressedDataset, Element, Method, TacConfig, CHUNK_ROW_BYTES_V4,
 };
 
 /// Fuzz-run parameters.
@@ -127,6 +127,22 @@ pub fn corpus() -> Vec<Vec<u8>> {
             out.push(cd.to_bytes());
         }
     }
+    // f32 containers: the v4 wire (header dtype tag + per-row tags) and
+    // its monolithic v1 sibling join the corpus, so mutations reach the
+    // dtype-validation paths too.
+    for name in ["tiny-extremes-f32", "checkerboard-f32"] {
+        let spec = scenario(name).expect("registered scenario");
+        let ds = crate::conformance::narrow_to_f32(&spec.build(1));
+        for codec in CodecId::all() {
+            let cfg = TacConfig {
+                codec,
+                ..spec.config()
+            };
+            let cd = tac_core::compress_dataset_t(&ds, &cfg, Method::Tac).expect("corpus compress");
+            out.push(cd.to_bytes()); // v4
+            out.push(cd.to_bytes_v1());
+        }
+    }
     out
 }
 
@@ -135,41 +151,50 @@ pub fn corpus() -> Vec<Vec<u8>> {
 /// pinned regression tests replay.
 pub fn probe_container(bytes: &[u8]) -> ProbeResult {
     probe_with(|| {
-        // Region decode must fail or succeed cleanly whatever the bytes.
+        // Region decode must fail or succeed cleanly whatever the bytes
+        // — through both monomorphizations.
         let _ = decompress_region(bytes, Aabb::new((0, 0, 0), (2, 2, 2)));
+        let _ = decompress_region_f32(bytes, Aabb::new((0, 0, 0), (2, 2, 2)));
         match CompressedDataset::from_bytes(bytes) {
             Err(_) => Err(()),
-            Ok(cd) => match decompress_dataset(&cd) {
+            // Decode at whatever element type the container declares.
+            Ok(cd) => match decompress_dataset_any(&cd) {
                 Err(_) => Err(()),
-                Ok(ds) => {
-                    // Structural coherence of an accepted decode.
-                    if ds.num_levels() != cd.num_levels() {
-                        return Ok(Some(format!(
-                            "decode produced {} levels for {} masks",
-                            ds.num_levels(),
-                            cd.num_levels()
-                        )));
-                    }
-                    for (l, level) in ds.levels().iter().enumerate() {
-                        let mask = &cd.masks[l];
-                        if mask.len() != level.num_cells() {
-                            return Ok(Some(format!("level {l}: mask/grid size mismatch")));
-                        }
-                        for i in 0..level.num_cells() {
-                            if !mask.get(i) && level.data()[i] != 0.0 {
-                                return Ok(Some(format!("level {l}: absent cell {i} non-zero")));
-                            }
-                        }
-                    }
-                    // Accepted containers must re-serialize without
-                    // panicking (the writer trusts parsed state).
-                    let _ = cd.to_bytes();
-                    let _ = cd.to_bytes_v1();
-                    Ok(None)
-                }
+                Ok(AnyDataset::F64(ds)) => check_coherence(&cd, &ds),
+                Ok(AnyDataset::F32(ds)) => check_coherence(&cd, &ds),
             },
         }
     })
+}
+
+/// Structural coherence of an accepted decode, at either element type.
+fn check_coherence<T: Element>(
+    cd: &CompressedDataset,
+    ds: &tac_amr::AmrDataset<T>,
+) -> Result<Option<String>, ()> {
+    if ds.num_levels() != cd.num_levels() {
+        return Ok(Some(format!(
+            "decode produced {} levels for {} masks",
+            ds.num_levels(),
+            cd.num_levels()
+        )));
+    }
+    for (l, level) in ds.levels().iter().enumerate() {
+        let mask = &cd.masks[l];
+        if mask.len() != level.num_cells() {
+            return Ok(Some(format!("level {l}: mask/grid size mismatch")));
+        }
+        for i in 0..level.num_cells() {
+            if !mask.get(i) && level.data()[i].to_f64() != 0.0 {
+                return Ok(Some(format!("level {l}: absent cell {i} non-zero")));
+            }
+        }
+    }
+    // Accepted containers must re-serialize without panicking (the
+    // writer trusts parsed state).
+    let _ = cd.to_bytes();
+    let _ = cd.to_bytes_v1();
+    Ok(None)
 }
 
 /// Runs a probe body under `catch_unwind`, converting its three clean
@@ -212,7 +237,7 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
         return "seed byte into empty input".into();
     }
     let len = bytes.len();
-    match rng.below(10) {
+    match rng.below(11) {
         0 => {
             let i = rng.below(len);
             let bit = rng.below(8);
@@ -278,6 +303,23 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
             bytes[i] ^= (rng.next_u64() as u8) | 1;
             format!("tail corrupt byte {i}")
         }
+        9 => {
+            // Targeted dtype corruption: the v4 header tag lives at byte
+            // 6, and each v4 chunk row carries its own tag. Half the
+            // time hit the header; otherwise hunt a per-row tag.
+            if len > 6 && rng.chance(0.5) {
+                let v = [0u8, 1, 2, 9, 0xFF][rng.below(5)];
+                bytes[6] = v;
+                format!("header dtype byte = {v:#x}")
+            } else if let Some(pos) = v4_row_dtype_pos(bytes, rng) {
+                bytes[pos] ^= 1 + rng.below(255) as u8;
+                format!("corrupt v4 row dtype byte at {pos}")
+            } else {
+                let i = rng.below(len);
+                bytes[i] ^= 1;
+                format!("flip low bit of byte {i}")
+            }
+        }
         _ => {
             // Targeted head corruption: version/method/dims/level count.
             let window = len.min(32);
@@ -286,6 +328,30 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
             format!("head corrupt byte {i}")
         }
     }
+}
+
+/// Locates the dtype byte of a random chunk row, provided the bytes
+/// still look like an intact v4 chunked container (version byte 4,
+/// in-bounds footer offset and row count).
+fn v4_row_dtype_pos(bytes: &[u8], rng: &mut TestRng) -> Option<usize> {
+    // Row layout: level u8, offset u64, len u64, codec u8, dtype u8, …
+    const ROW_DTYPE_OFFSET: usize = 18;
+    if bytes.len() < 13 || bytes.get(4) != Some(&4) {
+        return None;
+    }
+    let footer: [u8; 8] = bytes[bytes.len() - 8..].try_into().ok()?;
+    let table_pos = usize::try_from(u64::from_le_bytes(footer)).ok()?;
+    let count_bytes: [u8; 4] = bytes.get(table_pos..table_pos + 4)?.try_into().ok()?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    if count == 0 {
+        return None;
+    }
+    let row = rng.below(count);
+    let pos = table_pos
+        .checked_add(4)?
+        .checked_add(row.checked_mul(CHUNK_ROW_BYTES_V4)?)?
+        .checked_add(ROW_DTYPE_OFFSET)?;
+    (pos < bytes.len()).then_some(pos)
 }
 
 /// Runs the fuzzer. Deterministic in `cfg`: the same config replays the

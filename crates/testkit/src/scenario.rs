@@ -18,7 +18,7 @@
 
 use crate::rng::TestRng;
 use tac_amr::{AmrDataset, AmrLevel};
-use tac_core::TacConfig;
+use tac_core::{TacConfig, TacDtype};
 use tac_sz::ErrorBound;
 
 /// One registered adversarial scenario: a named, seeded dataset
@@ -37,6 +37,11 @@ pub struct ScenarioSpec {
     pub error_bound: ErrorBound,
     /// Unit-block size for the TAC pre-process.
     pub unit: usize,
+    /// Element type the conformance matrix stores this scenario at. The
+    /// generator always produces `f64` values; `F32` scenarios generate
+    /// only exactly-f32-representable values, so the matrix narrows them
+    /// losslessly before compressing.
+    pub dtype: TacDtype,
     build: fn(u64) -> AmrDataset,
 }
 
@@ -87,6 +92,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Rel(1e-3),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_nyx_grf,
         },
         ScenarioSpec {
@@ -98,6 +104,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Rel(1e-3),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_shock_front,
         },
         ScenarioSpec {
@@ -108,6 +115,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Abs(1e-3),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_spike_field,
         },
         ScenarioSpec {
@@ -118,6 +126,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Rel(1e-4),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_dynamic_range,
         },
         ScenarioSpec {
@@ -129,6 +138,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 1,
             error_bound: ErrorBound::Abs(1e-320),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_denormal_negzero,
         },
         ScenarioSpec {
@@ -140,6 +150,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 5,
             error_bound: ErrorBound::Rel(1e-3),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_deep_column,
         },
         ScenarioSpec {
@@ -151,6 +162,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Abs(0.5),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_checkerboard,
         },
         ScenarioSpec {
@@ -162,6 +174,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 4,
             error_bound: ErrorBound::Rel(1e-3),
             unit: 2,
+            dtype: TacDtype::F64,
             build: build_degenerate_corner,
         },
         ScenarioSpec {
@@ -173,6 +186,7 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 2,
             error_bound: ErrorBound::Abs(1e-6),
             unit: 2,
+            dtype: TacDtype::F64,
             build: build_tiny_extremes,
         },
         ScenarioSpec {
@@ -183,7 +197,43 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             num_levels: 1,
             error_bound: ErrorBound::Rel(1e-3),
             unit: 4,
+            dtype: TacDtype::F64,
             build: build_dense_uniform,
+        },
+        ScenarioSpec {
+            name: "denormal-negzero-f32",
+            description: "the f32 precision edge: f32 denormals, f32::MIN_POSITIVE \
+                          neighbourhoods, and -0.0 under a sub-normal f32 bound — the \
+                          verbatim-fallback contract at single precision",
+            finest_dim: 8,
+            num_levels: 1,
+            error_bound: ErrorBound::Abs(1e-44),
+            unit: 4,
+            dtype: TacDtype::F32,
+            build: build_denormal_negzero_f32,
+        },
+        ScenarioSpec {
+            name: "tiny-extremes-f32",
+            description: "the smallest legal dataset stored at f32: single-value \
+                          streams and degenerate shapes through the narrow wire",
+            finest_dim: 2,
+            num_levels: 2,
+            error_bound: ErrorBound::Abs(1e-6),
+            unit: 2,
+            dtype: TacDtype::F32,
+            build: build_tiny_extremes_f32,
+        },
+        ScenarioSpec {
+            name: "checkerboard-f32",
+            description: "the checkerboard adversary at f32: worst-case spatial \
+                          prediction where every quantizer reconstruction must also \
+                          survive the narrowing round-trip",
+            finest_dim: 16,
+            num_levels: 2,
+            error_bound: ErrorBound::Abs(0.5),
+            unit: 4,
+            dtype: TacDtype::F32,
+            build: build_checkerboard_f32,
         },
     ]
 }
@@ -426,6 +476,63 @@ fn build_degenerate_corner(seed: u64) -> AmrDataset {
     )
 }
 
+/// Snaps every present value of an `f64` dataset to its nearest `f32`
+/// (stored back as `f64`), so an `F32` scenario's generator output can
+/// be narrowed losslessly by the conformance matrix.
+fn snap_to_f32(name: &str, ds: AmrDataset) -> AmrDataset {
+    let levels = ds
+        .levels()
+        .iter()
+        .map(|l| {
+            let dim = l.dim();
+            let mut out = AmrLevel::empty(dim);
+            for z in 0..dim {
+                for y in 0..dim {
+                    for x in 0..dim {
+                        if l.present(x, y, z) {
+                            out.set_value(x, y, z, l.value(x, y, z) as f32 as f64);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    AmrDataset::new(name, levels)
+}
+
+fn build_denormal_negzero_f32(seed: u64) -> AmrDataset {
+    let n = 8usize;
+    let mut rng = TestRng::new(seed);
+    let specials: [f64; 10] = [
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE as f64, // smallest normal
+        -(f32::MIN_POSITIVE as f64),
+        f32::from_bits(1) as f64, // smallest denormal (~1.4e-45)
+        -(f32::from_bits(1) as f64),
+        1e-40f32 as f64, // mid-denormal
+        -(1e-40f32 as f64),
+        (f32::MIN_POSITIVE * 1.5) as f64,
+        1e-35f32 as f64,
+    ];
+    let data: Vec<f64> = (0..n * n * n)
+        .map(|_| specials[rng.below(specials.len())])
+        .collect();
+    AmrDataset::new("denormal-negzero-f32", vec![AmrLevel::dense(n, data)])
+}
+
+fn build_tiny_extremes_f32(seed: u64) -> AmrDataset {
+    let mut rng = TestRng::new(seed);
+    let fine = AmrLevel::empty(2);
+    let coarse = AmrLevel::dense(1, vec![rng.range_f64(-5.0, 5.0) as f32 as f64]);
+    AmrDataset::new("tiny-extremes-f32", vec![fine, coarse])
+}
+
+fn build_checkerboard_f32(seed: u64) -> AmrDataset {
+    snap_to_f32("checkerboard-f32", build_checkerboard(seed))
+}
+
 fn build_tiny_extremes(seed: u64) -> AmrDataset {
     let mut rng = TestRng::new(seed);
     // Finest 2^3 entirely empty; coarsest 1^3 fully masked with one value.
@@ -520,6 +627,34 @@ mod tests {
         let data = ds.finest().data();
         assert!(data.iter().any(|v| v.to_bits() == (-0.0f64).to_bits()));
         assert!(data.iter().any(|&v| v != 0.0 && !v.is_normal()));
+    }
+
+    #[test]
+    fn f32_scenarios_generate_only_f32_exact_values() {
+        for name in [
+            "denormal-negzero-f32",
+            "tiny-extremes-f32",
+            "checkerboard-f32",
+        ] {
+            let spec = scenario(name).unwrap();
+            assert_eq!(spec.dtype, TacDtype::F32, "{name}");
+            let ds = spec.build(7);
+            for (l, level) in ds.levels().iter().enumerate() {
+                for &v in level.data() {
+                    assert_eq!(
+                        (v as f32 as f64).to_bits(),
+                        v.to_bits(),
+                        "{name} level {l}: {v} is not exactly f32-representable"
+                    );
+                }
+            }
+        }
+        // The f32 precision-edge scenario really exercises the edge:
+        // negative zero and f32 denormals.
+        let ds = scenario("denormal-negzero-f32").unwrap().build(3);
+        let data = ds.finest().data();
+        assert!(data.iter().any(|v| v.to_bits() == (-0.0f64).to_bits()));
+        assert!(data.iter().any(|&v| v != 0.0 && !(v as f32).is_normal()));
     }
 
     #[test]

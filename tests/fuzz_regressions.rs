@@ -181,6 +181,7 @@ fn in_memory_level_dim_overflow_is_an_error() {
         dim: usize::MAX,
         abs_eb: 0.0,
         codec: tac_core::CodecId::Sz,
+        dtype: tac_core::TacDtype::F64,
         payload: LevelPayload::Empty,
     };
     let mask = tac_amr::BitMask::zeros(8);

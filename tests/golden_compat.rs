@@ -18,7 +18,8 @@
 use std::path::PathBuf;
 use tac_amr::{AmrDataset, AmrLevel};
 use tac_core::{
-    compress_dataset, decompress_dataset, CodecId, CompressedDataset, Method, MethodBody, TacConfig,
+    compress_dataset, compress_dataset_f32, decompress_dataset, decompress_dataset_f32, CodecId,
+    CompressedDataset, Method, MethodBody, TacConfig, TacDtype,
 };
 use tac_sz::ErrorBound;
 
@@ -68,6 +69,33 @@ fn fixture_dataset() -> AmrDataset {
     ds
 }
 
+/// The fixture dataset narrowed to `f32` — same geometry, each present
+/// value rounded to single precision. Pins the v4 (dtype-tagged) wire.
+fn fixture_dataset_f32() -> AmrDataset<f32> {
+    let ds = fixture_dataset();
+    let levels = ds
+        .levels()
+        .iter()
+        .map(|l| {
+            let dim = l.dim();
+            let mut out = AmrLevel::<f32>::empty(dim);
+            for z in 0..dim {
+                for y in 0..dim {
+                    for x in 0..dim {
+                        if l.present(x, y, z) {
+                            out.set_value(x, y, z, l.value(x, y, z) as f32);
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect();
+    let ds = AmrDataset::new("golden-f32", levels);
+    ds.validate().unwrap();
+    ds
+}
+
 /// The fixture configuration. Absolute bound so the fixture does not
 /// depend on range-resolution behaviour; a tile so the v2 container has
 /// several chunks per level.
@@ -92,6 +120,39 @@ fn encode_expected(ds: &AmrDataset) -> Vec<u8> {
         }
     }
     out
+}
+
+/// f32 flavour of [`encode_expected`]: u32 level count, then per level a
+/// u64 dim followed by dim^3 f32 bit patterns, all little-endian.
+fn encode_expected_f32(ds: &AmrDataset<f32>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((ds.num_levels() as u32).to_le_bytes());
+    for level in ds.levels() {
+        out.extend((level.dim() as u64).to_le_bytes());
+        for &v in level.data() {
+            out.extend(v.to_bits().to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_expected_f32(bytes: &[u8]) -> Vec<(usize, Vec<f32>)> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| {
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        s
+    };
+    let levels = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap()) as usize;
+    (0..levels)
+        .map(|_| {
+            let dim = u64::from_le_bytes(take(&mut pos, 8).try_into().unwrap()) as usize;
+            let data = (0..dim * dim * dim)
+                .map(|_| f32::from_bits(u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap())))
+                .collect();
+            (dim, data)
+        })
+        .collect()
 }
 
 fn decode_expected(bytes: &[u8]) -> Vec<(usize, Vec<f64>)> {
@@ -206,6 +267,58 @@ fn golden_mix_v1_decodes_bit_exactly() {
     check_golden_stem("golden_mix", Method::Tac, "v1");
 }
 
+fn check_golden_f32(stem: &str, version: &str) {
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join(format!("{stem}_{version}.tacd")))
+        .unwrap_or_else(|e| panic!("missing fixture {stem}_{version}.tacd: {e}"));
+    let expected_bytes = std::fs::read(dir.join(format!("{stem}_expected.bin"))).unwrap();
+    let expected = decode_expected_f32(&expected_bytes);
+
+    let cd = CompressedDataset::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("{stem}_{version} no longer parses: {e}"));
+    assert_eq!(cd.dtype, TacDtype::F32);
+    let out = decompress_dataset_f32(&cd).unwrap();
+    assert_eq!(out.num_levels(), expected.len());
+    for (l, ((dim, want), level)) in expected.iter().zip(out.levels()).enumerate() {
+        assert_eq!(level.dim(), *dim, "level {l} dim");
+        assert_eq!(level.data().len(), want.len());
+        for (i, (a, b)) in want.iter().zip(level.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{stem}_{version} level {l} cell {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_f32_v4_decodes_bit_exactly() {
+    check_golden_f32("golden_f32", "v4");
+}
+
+#[test]
+fn golden_f32_v1_decodes_bit_exactly() {
+    // The f32 container also has a v1 (monolithic) encoding: the level
+    // payload tags are self-describing, so even the headerless format
+    // recovers the element type.
+    check_golden_f32("golden_f32", "v1");
+}
+
+/// The v4 fixture really is a v4, f32-tagged container: version byte 4
+/// and the f32 dtype tag on the wire, writer pinned via re-serialization,
+/// and the f64 decode path must refuse it rather than misread it.
+#[test]
+fn golden_f32_v4_fixture_is_dtype_tagged() {
+    let bytes = std::fs::read(data_dir().join("golden_f32_v4.tacd")).unwrap();
+    assert_eq!(&bytes[..4], b"TACD");
+    assert_eq!(bytes[4], 4, "fixture is not a v4 container");
+    assert_eq!(bytes[6], TacDtype::F32.tag(), "fixture is not tagged f32");
+    let cd = CompressedDataset::from_bytes(&bytes).unwrap();
+    assert_eq!(cd.to_bytes(), bytes);
+    assert!(decompress_dataset(&cd).is_err(), "f64 decode must refuse");
+}
+
 /// The v3 fixture really is a v3, mixed-codec container: version byte 3
 /// on the wire, and both codecs present across the parsed levels.
 #[test]
@@ -267,4 +380,27 @@ fn regenerate_golden_v3_fixtures() {
     let recon = decompress_dataset(&mixed).unwrap();
     std::fs::write(dir.join("golden_mix_expected.bin"), encode_expected(&recon)).unwrap();
     println!("wrote golden_mix fixtures to {}", dir.display());
+}
+
+/// Writes only the f32/v4 fixtures. Separate for the same reason as the
+/// v3 regenerator: re-baselining the dtype-tagged format must never
+/// silently rewrite the older fixtures.
+#[test]
+#[ignore = "regenerates the v4 golden fixtures; run only to intentionally re-baseline"]
+fn regenerate_golden_v4_fixtures() {
+    let ds = fixture_dataset_f32();
+    let cd = compress_dataset_f32(&ds, &fixture_config(), Method::Tac).unwrap();
+    let bytes = cd.to_bytes();
+    assert_eq!(bytes[4], 4, "f32 container did not promote to v4");
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("golden_f32_v4.tacd"), &bytes).unwrap();
+    std::fs::write(dir.join("golden_f32_v1.tacd"), cd.to_bytes_v1()).unwrap();
+    let recon = decompress_dataset_f32(&cd).unwrap();
+    std::fs::write(
+        dir.join("golden_f32_expected.bin"),
+        encode_expected_f32(&recon),
+    )
+    .unwrap();
+    println!("wrote golden_f32 fixtures to {}", dir.display());
 }
