@@ -9,12 +9,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tac_bench::experiments::codec_comparison::{bench_config, measure_matrix, measure_matrix_f32};
-use tac_bench::support::narrow_dataset_f32;
+use tac_bench::obs_support;
+use tac_bench::support::{measure, measure_f32, narrow_dataset_f32};
 use tac_bench::{default_scale, load_dataset};
 use tac_core::{
     codec_for, compress_dataset, compress_dataset_f32, decompress_dataset_f32,
     decompress_dataset_par, CodecConfig, CodecId, Method, Parallelism,
 };
+use tac_obs::export::StageReport;
+use tac_obs::Snapshot;
 
 fn setup() -> (tac_amr::AmrDataset, usize) {
     let scale = default_scale();
@@ -104,8 +107,47 @@ fn bench_raw_streams(c: &mut Criterion) {
     group.finish();
 }
 
+/// One instrumented compress+decompress rep per matrix cell, in the
+/// exact row order `measure_matrix` + `measure_matrix_f32` emit: one
+/// `stages` JSON object per row, plus the merged snapshot for the
+/// whole-run `TRACE_codec.json`. `None` unless `--obs` is live.
+fn obs_stage_objects(ds: &tac_amr::AmrDataset, unit: usize) -> Option<(Vec<String>, Snapshot)> {
+    if !obs_support::obs_active() {
+        return None;
+    }
+    // Drain whatever the criterion warm-up recorded: each cell's report
+    // must cover exactly its own rep.
+    let _ = obs_support::obs_take();
+    let ds32 = narrow_dataset_f32(ds);
+    let mut objs = Vec::new();
+    let mut merged = Snapshot::new();
+    for dtype in ["f64", "f32"] {
+        for method in [
+            Method::Tac,
+            Method::Baseline1D,
+            Method::ZMesh,
+            Method::Baseline3D,
+        ] {
+            for codec in CodecId::all() {
+                let cfg = bench_config(unit, codec);
+                match dtype {
+                    "f64" => drop(measure(ds, &cfg, method, 1e-3)),
+                    _ => drop(measure_f32(&ds32, &cfg, method, 1e-3)),
+                }
+                let snap = obs_support::obs_take().unwrap_or_default();
+                objs.push(StageReport::from_snapshot(&snap).stages_json());
+                merged.merge(snap);
+            }
+        }
+    }
+    Some((objs, merged))
+}
+
 /// Quick mode drops `BENCH_codec.json` next to `BENCH_par.json`: the
-/// method x codec matrix with ratio and throughput per cell.
+/// method x codec matrix with ratio and throughput per cell, under a
+/// run-metadata header. With `--obs` each row also carries a `stages`
+/// object (per-stage wall fractions) and the run's chrome trace lands
+/// in `TRACE_codec.json`.
 fn emit_quick_json() {
     if std::env::var("TAC_BENCH_QUICK").is_err() {
         return;
@@ -113,29 +155,43 @@ fn emit_quick_json() {
     let (ds, unit) = setup();
     let mut rows = measure_matrix(&ds, unit, 2);
     rows.extend(measure_matrix_f32(&ds, unit, 2));
+    let stages = obs_stage_objects(&ds, unit);
     let cells: Vec<String> = rows
         .iter()
-        .map(|r| {
+        .enumerate()
+        .map(|(i, r)| {
+            let stage_field = match &stages {
+                Some((objs, _)) => objs
+                    .get(i)
+                    .map(|o| format!(", \"stages\": {o}"))
+                    .unwrap_or_default(),
+                None => String::new(),
+            };
             format!(
-                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"dtype\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}}}",
-                r.method, r.codec, r.dtype, r.ratio, r.throughput_mb_s, r.psnr
+                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"dtype\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}{}}}",
+                r.method, r.codec, r.dtype, r.ratio, r.throughput_mb_s, r.psnr, stage_field
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"rel_eb\": 1e-3,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"meta\": {},\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"rel_eb\": 1e-3,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        obs_support::meta_json(14, 1),
         ds.finest_dim(),
         cells.join(",\n")
     );
     // Anchor at the workspace root regardless of the bench's cwd.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_codec.json");
+    let path = obs_support::workspace_path("BENCH_codec.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    if let Some((_, merged)) = stages {
+        eprintln!("{}", obs_support::write_trace_and_report("codec", &merged));
+    }
 }
 
 fn bench_all(c: &mut Criterion) {
+    obs_support::obs_install();
     bench_dataset_by_codec(c);
     bench_dataset_by_codec_f32(c);
     bench_raw_streams(c);

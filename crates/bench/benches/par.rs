@@ -10,6 +10,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use tac_amr::Aabb;
 use tac_bench::experiments::par_speedup::{bench_config, measure_sweep, THREAD_SWEEP};
+use tac_bench::obs_support;
 use tac_bench::{default_scale, load_dataset};
 use tac_core::{
     compress_dataset, decompress_dataset_par, decompress_region, CompressedDataset, Method,
@@ -87,22 +88,39 @@ fn emit_quick_json() {
         .iter()
         .map(|r| format!("{:.3}", r.throughput_mb_s))
         .collect();
+    let max_threads = THREAD_SWEEP.iter().copied().max().unwrap_or(1);
     let json = format!(
-        "{{\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"threads\": [{}],\n  \"throughput_mb_s\": [{}],\n  \"bit_identical\": {}\n}}\n",
+        "{{\n  \"meta\": {},\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"threads\": [{}],\n  \"throughput_mb_s\": [{}],\n  \"bit_identical\": {}\n}}\n",
+        obs_support::meta_json(14, max_threads),
         ds.finest_dim(),
         threads.join(", "),
         tp.join(", "),
         identical
     );
     // Anchor at the workspace root regardless of the bench's cwd.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_par.json");
+    let path = obs_support::workspace_path("BENCH_par.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+    // With --obs, profile one compress+decompress at the sweep's widest
+    // thread count: per-worker task timelines land in TRACE_par.json.
+    if obs_support::obs_active() {
+        let _ = obs_support::obs_take();
+        let cfg_wide = tac_core::TacConfig {
+            parallelism: tac_core::Parallelism::Threads(max_threads),
+            ..cfg
+        };
+        let cd = compress_dataset(&ds, &cfg_wide, Method::Tac).unwrap();
+        decompress_dataset_par(&cd, cfg_wide.parallelism).unwrap();
+        if let Some(snap) = obs_support::obs_take() {
+            eprintln!("{}", obs_support::write_trace_and_report("par", &snap));
+        }
+    }
 }
 
 fn bench_all(c: &mut Criterion) {
+    obs_support::obs_install();
     bench_parallel_compress(c);
     bench_roi_decode(c);
     emit_quick_json();

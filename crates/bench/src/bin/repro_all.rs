@@ -7,8 +7,13 @@
 //!   --only <substr>   run only sections whose name contains <substr>
 //!                     (case-insensitive; e.g. `--only par`, `--only table`)
 //!   --list            print section names and exit
+//!   --obs             record spans/counters across every section and
+//!                     finish with a per-stage breakdown plus a
+//!                     chrome://tracing `TRACE_repro.json` (requires the
+//!                     `obs` cargo feature; ignored otherwise)
 
 use tac_bench::experiments as ex;
+use tac_bench::obs_support;
 
 type Section = (&'static str, fn() -> String);
 
@@ -47,6 +52,7 @@ fn main() {
         None => None,
     };
 
+    obs_support::obs_install();
     let mut ran = 0;
     for (name, f) in sections {
         if let Some(pat) = &only {
@@ -63,5 +69,9 @@ fn main() {
     if ran == 0 {
         eprintln!("no section matched the --only filter (try --list)");
         std::process::exit(2);
+    }
+    if let Some(snap) = obs_support::obs_take() {
+        println!("==================== Profile (--obs) ====================");
+        println!("{}", obs_support::write_trace_and_report("repro", &snap));
     }
 }

@@ -15,6 +15,7 @@
 //! notes per experiment.
 
 pub mod experiments;
+pub mod obs_support;
 pub mod support;
 
 pub use support::{calibrate_to_cr, default_scale, load_dataset, spectrum_error, Measured};

@@ -216,6 +216,9 @@ fn encode_page(z: &[u64], out: &mut Vec<u8>) {
         counts[bit_len(v)] += 1;
     }
     let (width, n_outliers) = choose_width(&counts, z.len());
+    tac_obs::hist(tac_obs::HistKind::PcoPageBits, width);
+    tac_obs::add(tac_obs::Counter::PcoPages, 1);
+    tac_obs::add_bytes(tac_obs::Counter::PcoOutliers, n_outliers);
     out.push(width as u8);
     out.extend((n_outliers as u16).to_le_bytes());
     for (pos, &v) in z.iter().enumerate() {
@@ -255,20 +258,24 @@ fn compress_impl<T: Element>(
     let mut z = Vec::with_capacity(n);
     let mut exceptions: Vec<(u64, T)> = Vec::new();
     let mut prev = 0i64;
-    for (i, &v) in data.iter().enumerate() {
-        match quantize(v, two_eb, abs_eb) {
-            Some((q, r)) => {
-                recon.push(r);
-                z.push(zigzag(q.wrapping_sub(prev)));
-                prev = q;
-            }
-            None => {
-                recon.push(v);
-                z.push(zigzag(0));
-                exceptions.push((i as u64, v));
+    {
+        let _quantize = tac_obs::span(tac_obs::Stage::Quantize);
+        for (i, &v) in data.iter().enumerate() {
+            match quantize(v, two_eb, abs_eb) {
+                Some((q, r)) => {
+                    recon.push(r);
+                    z.push(zigzag(q.wrapping_sub(prev)));
+                    prev = q;
+                }
+                None => {
+                    recon.push(v);
+                    z.push(zigzag(0));
+                    exceptions.push((i as u64, v));
+                }
             }
         }
     }
+    tac_obs::add_bytes(tac_obs::Counter::PcoExceptions, exceptions.len());
 
     // Body: exception table, then the pages back to back.
     // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths; a wrong guess only costs a reallocation.
@@ -279,8 +286,11 @@ fn compress_impl<T: Element>(
         body.extend(idx.to_le_bytes());
         v.append_le(&mut body);
     }
-    for page in z.chunks(PAGE) {
-        encode_page(page, &mut body);
+    {
+        let _pack = tac_obs::span(tac_obs::Stage::Pack);
+        for page in z.chunks(PAGE) {
+            encode_page(page, &mut body);
+        }
     }
 
     let mut flags = 0u8;
@@ -288,7 +298,10 @@ fn compress_impl<T: Element>(
         flags |= FLAG_F32;
     }
     let body = if cfg.lossless {
-        let packed = lossless::compress(&body);
+        let packed = {
+            let _lossless = tac_obs::span(tac_obs::Stage::Lossless);
+            lossless::compress(&body)
+        };
         if packed.len() < body.len() {
             flags |= FLAG_LOSSLESS;
             packed
@@ -392,7 +405,10 @@ fn decompress_impl<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), CodecErro
     let raw_body = r.rest();
     let body_owned;
     let body: &[u8] = if flags & FLAG_LOSSLESS != 0 {
-        body_owned = lossless::decompress(raw_body)?;
+        body_owned = {
+            let _lossless = tac_obs::span(tac_obs::Stage::Lossless);
+            lossless::decompress(raw_body)?
+        };
         &body_owned
     } else {
         raw_body
@@ -432,6 +448,7 @@ fn decompress_impl<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), CodecErro
     }
 
     // Pages.
+    let pack_span = tac_obs::span(tac_obs::Stage::Pack);
     let mut recon = Vec::with_capacity(n);
     let mut prev = 0i64;
     let mut done = 0usize;
@@ -476,6 +493,7 @@ fn decompress_impl<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), CodecErro
         }
         done += page_len;
     }
+    drop(pack_span);
     if b.remaining() != 0 {
         return Err(corrupt(format!("{} trailing bytes", b.remaining())));
     }

@@ -190,12 +190,16 @@ pub(crate) fn compress_plans<T: CodecElement>(
         }
     }
 
+    let exec_span = tac_obs::span(tac_obs::Stage::Execute).arg("tasks", tasks.len());
     let results = tac_par::execute(
         workers,
         &tasks,
         CompressTask::cost,
         |t| -> Result<TaskOut, TacError> {
-            match &t.kind {
+            let _encode = tac_obs::span(tac_obs::Stage::Encode)
+                .arg("dim", t.dim)
+                .arg("codec", t.codec.tag());
+            let out = match &t.kind {
                 CompressKind::Whole(data) => {
                     let stream = T::codec_compress(
                         codec_for(t.codec),
@@ -203,20 +207,27 @@ pub(crate) fn compress_plans<T: CodecElement>(
                         Dims::D3(t.dim, t.dim, t.dim),
                         &t.codec_cfg,
                     )?;
-                    Ok(TaskOut::Stream(stream))
+                    TaskOut::Stream(stream)
                 }
-                CompressKind::Group(plan, data) => Ok(TaskOut::Group(compress_group(
-                    data,
-                    t.dim,
-                    plan,
-                    t.codec,
-                    &t.codec_cfg,
-                )?)),
+                CompressKind::Group(plan, data) => {
+                    TaskOut::Group(compress_group(data, t.dim, plan, t.codec, &t.codec_cfg)?)
+                }
+            };
+            if tac_obs::enabled() {
+                let bytes = match &out {
+                    TaskOut::Stream(stream) => stream.len(),
+                    TaskOut::Group(group) => group.stream.len(),
+                };
+                tac_obs::add(tac_obs::Counter::ChunksEncoded, 1);
+                tac_obs::add_bytes(tac_obs::Counter::PayloadBytesOut, bytes);
             }
+            Ok(out)
         },
     );
+    drop(exec_span);
 
     // Assemble in plan order, consuming results sequentially.
+    let _assemble = tac_obs::span(tac_obs::Stage::Assemble);
     let mut out = Vec::with_capacity(plans.len());
     let mut next = results.into_iter();
     for plan in plans {
@@ -335,11 +346,23 @@ pub(crate) fn decompress_tac_levels<T: CodecElement>(
         }
     }
 
+    let exec_span = tac_obs::span(tac_obs::Stage::Execute).arg("tasks", tasks.len());
     let results = tac_par::execute(
         workers,
         &tasks,
         DecompressTask::cost,
         |t| -> Result<Vec<T>, TacError> {
+            let _decode = tac_obs::span(tac_obs::Stage::Decode)
+                .arg("dim", t.dim)
+                .arg("codec", t.codec.tag());
+            if tac_obs::enabled() {
+                let bytes = match &t.kind {
+                    DecompressKind::Whole(stream) => stream.len(),
+                    DecompressKind::Group(g) => g.stream.len(),
+                };
+                tac_obs::add(tac_obs::Counter::ChunksDecoded, 1);
+                tac_obs::add_bytes(tac_obs::Counter::PayloadBytesIn, bytes);
+            }
             match &t.kind {
                 DecompressKind::Whole(stream) => {
                     let (values, dims) = T::codec_decompress(codec_for(t.codec), stream)?;
@@ -355,8 +378,10 @@ pub(crate) fn decompress_tac_levels<T: CodecElement>(
             }
         },
     );
+    drop(exec_span);
 
     // Assemble: paste decoded buffers level by level, then mask.
+    let _assemble = tac_obs::span(tac_obs::Stage::Assemble);
     let mut grids: Vec<Vec<T>> = compressed
         .iter()
         .map(|cl| vec![T::ZERO; cl.dim * cl.dim * cl.dim])

@@ -215,6 +215,7 @@ pub fn compress_dataset_t<T: CodecElement>(
     method: Method,
 ) -> Result<CompressedDataset, TacError> {
     cfg.validate()?;
+    let _compress = tac_obs::span(tac_obs::Stage::Compress).arg("levels", ds.num_levels());
     let masks: Vec<BitMask> = ds.levels().iter().map(|l| l.mask().clone()).collect();
     let workers = cfg.parallelism.workers();
     let body = match method {
@@ -223,21 +224,25 @@ pub fn compress_dataset_t<T: CodecElement>(
             // run all per-level / per-region compression tasks on the
             // work-stealing scheduler in one flattened batch.
             let mut plans = Vec::with_capacity(ds.num_levels());
-            for (l, level) in ds.levels().iter().enumerate() {
-                let strategy = choose_strategy(level, cfg);
-                // An empty level compresses nothing, so no bound needs to
-                // resolve (a relative bound could not: there is no range).
-                let abs_eb = if strategy == Strategy::Empty {
-                    EMPTY_LEVEL_EB
-                } else {
-                    resolve_level_eb_for(
-                        T::DTYPE,
-                        cfg.error_bound,
-                        cfg.level_scale(l),
-                        level.value_range(),
-                    )?
-                };
-                plans.push(engine::plan_level(level, strategy, abs_eb, cfg)?);
+            {
+                let _plan = tac_obs::span(tac_obs::Stage::Plan);
+                for (l, level) in ds.levels().iter().enumerate() {
+                    let strategy = choose_strategy(level, cfg);
+                    // An empty level compresses nothing, so no bound needs
+                    // to resolve (a relative bound could not: there is no
+                    // range).
+                    let abs_eb = if strategy == Strategy::Empty {
+                        EMPTY_LEVEL_EB
+                    } else {
+                        resolve_level_eb_for(
+                            T::DTYPE,
+                            cfg.error_bound,
+                            cfg.level_scale(l),
+                            level.value_range(),
+                        )?
+                    };
+                    plans.push(engine::plan_level(level, strategy, abs_eb, cfg)?);
+                }
             }
             let level_data: Vec<&[T]> = ds.levels().iter().map(|l| l.data()).collect();
             MethodBody::Tac(engine::compress_plans(&plans, &level_data, cfg, workers)?)
@@ -268,6 +273,8 @@ pub fn compress_dataset_t<T: CodecElement>(
                     match j {
                         None => Ok(None),
                         Some((abs_eb, level)) => {
+                            let _encode =
+                                tac_obs::span(tac_obs::Stage::Encode).arg("codec", cfg.codec.tag());
                             let values = level.present_values();
                             let stream = T::codec_compress(
                                 codec_for(cfg.codec),
@@ -275,6 +282,8 @@ pub fn compress_dataset_t<T: CodecElement>(
                                 Dims::D1(values.len()),
                                 &cfg.codec_config(*abs_eb),
                             )?;
+                            tac_obs::add(tac_obs::Counter::ChunksEncoded, 1);
+                            tac_obs::add_bytes(tac_obs::Counter::PayloadBytesOut, stream.len());
                             Ok(Some((*abs_eb, cfg.codec, stream)))
                         }
                     }
@@ -300,12 +309,17 @@ pub fn compress_dataset_t<T: CodecElement>(
                     (lo.min(v.to_f64()), hi.max(v.to_f64()))
                 });
             let abs_eb = resolve_level_eb_for(T::DTYPE, cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = T::codec_compress(
-                codec_for(cfg.codec),
-                &values,
-                Dims::D1(values.len()),
-                &cfg.codec_config(abs_eb),
-            )?;
+            let stream = {
+                let _encode = tac_obs::span(tac_obs::Stage::Encode).arg("codec", cfg.codec.tag());
+                T::codec_compress(
+                    codec_for(cfg.codec),
+                    &values,
+                    Dims::D1(values.len()),
+                    &cfg.codec_config(abs_eb),
+                )?
+            };
+            tac_obs::add(tac_obs::Counter::ChunksEncoded, 1);
+            tac_obs::add_bytes(tac_obs::Counter::PayloadBytesOut, stream.len());
             MethodBody::ZMesh {
                 abs_eb,
                 codec: cfg.codec,
@@ -321,12 +335,17 @@ pub fn compress_dataset_t<T: CodecElement>(
                     (lo.min(v.to_f64()), hi.max(v.to_f64()))
                 });
             let abs_eb = resolve_level_eb_for(T::DTYPE, cfg.error_bound, 1.0, Some((min, max)))?;
-            let stream = T::codec_compress(
-                codec_for(cfg.codec),
-                &uniform,
-                Dims::D3(n, n, n),
-                &cfg.codec_config(abs_eb),
-            )?;
+            let stream = {
+                let _encode = tac_obs::span(tac_obs::Stage::Encode).arg("codec", cfg.codec.tag());
+                T::codec_compress(
+                    codec_for(cfg.codec),
+                    &uniform,
+                    Dims::D3(n, n, n),
+                    &cfg.codec_config(abs_eb),
+                )?
+            };
+            tac_obs::add(tac_obs::Counter::ChunksEncoded, 1);
+            tac_obs::add_bytes(tac_obs::Counter::PayloadBytesOut, stream.len());
             MethodBody::Baseline3D {
                 abs_eb,
                 codec: cfg.codec,
@@ -421,6 +440,7 @@ pub fn decompress_dataset_par_t<T: CodecElement>(
             requested: T::DTYPE.label(),
         }));
     }
+    let _decompress = tac_obs::span(tac_obs::Stage::Decompress).arg("levels", cd.masks.len());
     let workers = parallelism.workers();
     let finest_dim = cd.finest_dim;
     let levels: Vec<AmrLevel<T>> = match &cd.body {
@@ -456,6 +476,10 @@ pub fn decompress_dataset_par_t<T: CodecElement>(
                     let dim = finest_dim >> l;
                     let mut data = vec![T::ZERO; dim * dim * dim];
                     if let Some((_, codec, stream)) = entry {
+                        let _decode =
+                            tac_obs::span(tac_obs::Stage::Decode).arg("codec", codec.tag());
+                        tac_obs::add(tac_obs::Counter::ChunksDecoded, 1);
+                        tac_obs::add_bytes(tac_obs::Counter::PayloadBytesIn, stream.len());
                         let (values, dims) = T::codec_decompress(codec_for(*codec), stream)?;
                         if dims != Dims::D1(mask.count_ones()) {
                             return Err(TacError::Corrupt(format!(
@@ -481,7 +505,12 @@ pub fn decompress_dataset_par_t<T: CodecElement>(
         MethodBody::ZMesh { stream, codec, .. } => {
             let mask_refs: Vec<&BitMask> = cd.masks.iter().collect();
             let order = zmesh_order(&mask_refs, finest_dim);
-            let (values, dims) = T::codec_decompress(codec_for(*codec), stream)?;
+            tac_obs::add(tac_obs::Counter::ChunksDecoded, 1);
+            tac_obs::add_bytes(tac_obs::Counter::PayloadBytesIn, stream.len());
+            let (values, dims) = {
+                let _decode = tac_obs::span(tac_obs::Stage::Decode).arg("codec", codec.tag());
+                T::codec_decompress(codec_for(*codec), stream)?
+            };
             if dims != Dims::D1(order.len()) {
                 return Err(TacError::Corrupt(format!(
                     "zMesh stream holds {dims:?}, traversal has {} cells",
@@ -506,7 +535,12 @@ pub fn decompress_dataset_par_t<T: CodecElement>(
         }
         MethodBody::Baseline3D { stream, codec, .. } => {
             let n = finest_dim;
-            let (uniform, dims) = T::codec_decompress(codec_for(*codec), stream)?;
+            tac_obs::add(tac_obs::Counter::ChunksDecoded, 1);
+            tac_obs::add_bytes(tac_obs::Counter::PayloadBytesIn, stream.len());
+            let (uniform, dims) = {
+                let _decode = tac_obs::span(tac_obs::Stage::Decode).arg("codec", codec.tag());
+                T::codec_decompress(codec_for(*codec), stream)?
+            };
             if dims != Dims::D3(n, n, n) {
                 return Err(TacError::Corrupt(format!(
                     "3D baseline stream dims {dims:?} for finest dim {n}"

@@ -68,6 +68,23 @@ pub fn decompress_region_f32(
     decompress_region_t::<f32>(bytes, roi)
 }
 
+/// Mirrors a finished [`RoiStats`] into the observability counters, so
+/// profiled runs report chunk selectivity without touching the API.
+fn record_roi_stats(stats: &RoiStats) {
+    if !tac_obs::enabled() {
+        return;
+    }
+    tac_obs::add_bytes(tac_obs::Counter::RoiChunksTotal, stats.chunks_total);
+    tac_obs::add_bytes(tac_obs::Counter::RoiChunksRead, stats.chunks_read);
+    tac_obs::add_bytes(tac_obs::Counter::RoiBytesRead, stats.payload_bytes_read);
+    tac_obs::add_bytes(
+        tac_obs::Counter::RoiBytesSkipped,
+        stats
+            .payload_bytes_total
+            .saturating_sub(stats.payload_bytes_read),
+    );
+}
+
 /// Element-generic ROI decoder behind [`decompress_region`]. A container
 /// whose element type disagrees with `T` is rejected up front, before
 /// any chunk is sliced or decoded.
@@ -75,6 +92,7 @@ pub fn decompress_region_t<T: CodecElement>(
     bytes: &[u8],
     roi: Aabb,
 ) -> Result<(AmrDataset<T>, RoiStats), TacError> {
+    let _roi_span = tac_obs::span(tac_obs::Stage::RoiDecode);
     let layout = parse_v2(bytes)?;
     if layout.dtype != T::DTYPE {
         return Err(TacError::Codec(CodecError::WrongDtype {
@@ -144,6 +162,7 @@ pub fn decompress_region_t<T: CodecElement>(
         _ => {
             stats.chunks_read = stats.chunks_total;
             stats.payload_bytes_read = stats.payload_bytes_total;
+            record_roi_stats(&stats);
             return layout
                 .assemble()
                 .and_then(|cd| decompress_dataset_t::<T>(&cd))
@@ -167,6 +186,7 @@ pub fn decompress_region_t<T: CodecElement>(
         masks,
         body,
     };
+    record_roi_stats(&stats);
     Ok((decompress_dataset_t::<T>(&cd)?, stats))
 }
 

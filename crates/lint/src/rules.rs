@@ -11,7 +11,10 @@
 //! * `unsafe` (R4) — `unsafe` appears only in per-file allowlisted
 //!   locations (the allowlist ships empty);
 //! * `suppress` (R5) — suppression comments must be well-formed and
-//!   carry a justification.
+//!   carry a justification;
+//! * `span` (R6) — `let _ = span(..)` drops the RAII span guard on the
+//!   same statement, timing an empty scope; bind it to a named
+//!   underscore-prefixed variable (`let _guard = span(..)`) instead.
 //!
 //! Suppression syntax: `// tac-lint: allow(<rule>[, <rule>]) -- <why>`.
 //! A suppression on the same line as code covers that line; on its own
@@ -38,6 +41,8 @@ pub const DECODE_PATH_MODULES: &[&str] = &[
     "crates/sz/src/lossless.rs",
     "crates/codec/src/pco.rs",
     "crates/codec/src/sz.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/export.rs",
 ];
 
 /// R2: lengths and offsets in these modules come off the wire; bare
@@ -51,6 +56,8 @@ pub const WIRE_ARITH_MODULES: &[&str] = &[
     "crates/sz/src/huffman.rs",
     "crates/sz/src/lossless.rs",
     "crates/codec/src/pco.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/export.rs",
 ];
 
 /// R4 per-file allowlist: `(path suffix, justification)`. Ships empty —
@@ -58,7 +65,7 @@ pub const WIRE_ARITH_MODULES: &[&str] = &[
 pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[];
 
 /// All rule names, for validating `allow(...)` arguments.
-pub const ALL_RULES: &[&str] = &["panic", "arith", "wire", "unsafe", "suppress"];
+pub const ALL_RULES: &[&str] = &["panic", "arith", "wire", "unsafe", "suppress", "span"];
 
 /// One finding.
 #[derive(Debug, Clone)]
@@ -192,6 +199,7 @@ pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
         rule_arith(path, &tokens, &sig, &in_test, &mut violations);
     }
     rule_unsafe(path, &tokens, &sig, &mut violations);
+    rule_span(path, &tokens, &sig, &in_test, &mut violations);
 
     let (consts, row_const_lines) = collect_consts(path, &tokens, &sig, &in_test);
     let mut byte_strings = Vec::new();
@@ -627,6 +635,60 @@ fn rule_arith(
                      `checked_{}`",
                     if t.text == "+" { "add" } else { "mul" }
                 ),
+            });
+        }
+    }
+}
+
+/// R6: `let _ = …span(…)` drops the RAII guard at the end of the
+/// statement, so the span measures an empty scope. The guard must be
+/// bound to a live name (`let _guard = span(..)`), which keeps it open
+/// for the enclosing block. Fires in every non-test file: misuse in an
+/// instrumented crate silently produces zero-width spans.
+fn rule_span(
+    path: &str,
+    tokens: &[Token],
+    sig: &[usize],
+    in_test: &dyn Fn(u32) -> bool,
+    violations: &mut Vec<Violation>,
+) {
+    let tok = |k: usize| sig.get(k).map(|&i| &tokens[i]);
+    for k in 0..sig.len() {
+        let t = &tokens[sig[k]];
+        if !(t.kind == TokenKind::Ident && t.text == "let") || in_test(t.line) {
+            continue;
+        }
+        if !tok(k + 1).is_some_and(|n| n.text == "_") || !tok(k + 2).is_some_and(|n| n.text == "=")
+        {
+            continue;
+        }
+        // The assigned expression must *start* with a call whose callee
+        // path ends in `span` — `let _ = tac_obs::span(..)` or
+        // `let _ = span(..).arg(..)`. A `span(..)` buried deeper in the
+        // expression is handed to something that may keep it alive.
+        let mut j = k + 3;
+        let mut last_ident: Option<&Token> = None;
+        while let Some(n) = tok(j) {
+            match n.kind {
+                TokenKind::Ident if !is_keyword(&n.text) => last_ident = Some(n),
+                TokenKind::Punct if n.text == ":" => {}
+                TokenKind::Punct if n.text == "(" => break,
+                _ => {
+                    last_ident = None;
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(callee) = last_ident.filter(|n| n.text == "span") {
+            violations.push(Violation {
+                rule: "span",
+                file: path.to_string(),
+                line: callee.line,
+                col: callee.col,
+                message: "`let _ = span(..)` drops the guard immediately and times nothing; \
+                          bind it (`let _span = span(..)`) so it lives to the end of the scope"
+                    .into(),
             });
         }
     }

@@ -218,6 +218,66 @@ fn f(p: *const u8) -> u8 {
 }
 
 #[test]
+fn discarded_span_guards_are_flagged_everywhere() {
+    // `let _ =` drops the RAII guard at the end of the statement: the
+    // span times an empty scope. Fires even outside the guarded module
+    // lists — instrumentation lives in every crate.
+    let src = r#"
+fn f() {
+    let _ = span(Stage::Encode);
+    let _ = tac_obs::span(Stage::Plan).arg("k", 1usize);
+}
+"#;
+    let fired = rules_fired(PLAIN, src);
+    let spans: Vec<u32> = fired
+        .iter()
+        .filter(|(r, _)| *r == "span")
+        .map(|&(_, l)| l)
+        .collect();
+    assert_eq!(spans, vec![3, 4], "{fired:?}");
+}
+
+#[test]
+fn live_span_bindings_and_unrelated_discards_are_clean() {
+    let src = r#"
+fn f() {
+    let _guard = span(Stage::Encode);
+    let _plan = tac_obs::span(Stage::Plan);
+    let _ = now_ns();
+    let _ = RECORDER.set(s);
+    let _ = write!(out, "x");
+    let _ = keeps_alive(span(Stage::Pack));
+    drop(_plan);
+}
+"#;
+    let fired = rules_fired(PLAIN, src);
+    assert!(
+        fired.iter().all(|(r, _)| *r != "span"),
+        "false positives: {fired:?}"
+    );
+}
+
+#[test]
+fn span_misuse_in_test_code_is_exempt_and_suppressible_elsewhere() {
+    let in_test = r#"
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = span(Stage::Encode); }
+}
+"#;
+    assert!(rules_fired(PLAIN, in_test).is_empty());
+
+    let suppressed = r#"
+fn f() {
+    let _ = span(Stage::Encode); // tac-lint: allow(span) -- intentionally zero-width marker
+}
+"#;
+    let fa = analyze_file(PLAIN, suppressed);
+    assert!(fa.violations.is_empty(), "{:?}", fa.violations);
+    assert!(fa.suppressions.iter().all(|s| s.used));
+}
+
+#[test]
 fn consts_are_collected_with_literal_values() {
     let src = r#"
 pub const MAGIC: [u8; 4] = *b"ABCD";

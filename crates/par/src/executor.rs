@@ -77,15 +77,33 @@ where
             let slots = &slots;
             let steals = &steals;
             let f = &f;
-            scope.spawn(move || loop {
-                let next = pop_or_steal(deques, me, steals);
-                match next {
-                    Some(i) => {
-                        let r = f(&tasks[i]);
-                        slots.lock().expect("result mutex poisoned")[i] = Some(r);
-                        done.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(move || {
+                let _worker = tac_obs::span(tac_obs::Stage::Worker).arg("worker", me);
+                loop {
+                    // The own-deque pop is effectively instant, so the
+                    // time spent in `pop_or_steal` is scan/steal/idle
+                    // overhead. Timed only in obs builds (the branch
+                    // folds away on `enabled()`, a const).
+                    let next = if tac_obs::enabled() {
+                        let waiting = std::time::Instant::now();
+                        let next = pop_or_steal(deques, me, steals);
+                        tac_obs::add(
+                            tac_obs::Counter::ExecIdleNs,
+                            waiting.elapsed().as_nanos() as u64,
+                        );
+                        next
+                    } else {
+                        pop_or_steal(deques, me, steals)
+                    };
+                    match next {
+                        Some(i) => {
+                            tac_obs::add(tac_obs::Counter::ExecTasks, 1);
+                            let r = f(&tasks[i]);
+                            slots.lock().expect("result mutex poisoned")[i] = Some(r);
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -137,6 +155,7 @@ fn pop_or_steal(
                 mine.extend(stolen);
             }
             steals.fetch_add(1, Ordering::Relaxed);
+            tac_obs::add(tac_obs::Counter::ExecSteals, 1);
             return Some(first);
         }
     }

@@ -244,6 +244,17 @@ pub fn compress_with_recon_t<T: Element>(
     let abs_eb = cfg.error_bound.resolve_for(min, max, T::DTYPE)?;
     let quantizer = Quantizer::new(abs_eb, cfg.capacity);
     let contexts = build_contexts(data, dims, abs_eb, cfg.regression);
+    if tac_obs::enabled() {
+        // Predictor mix: regression vs. Lorenzo blocks, per slab.
+        for ctx in contexts.iter().flatten() {
+            let regression_blocks = ctx.modes.iter().filter(|&&m| m).count();
+            tac_obs::add_bytes(tac_obs::Counter::SzBlocksRegression, regression_blocks);
+            tac_obs::add_bytes(
+                tac_obs::Counter::SzBlocksLorenzo,
+                ctx.modes.len().saturating_sub(regression_blocks),
+            );
+        }
+    }
 
     let mut recon = vec![T::ZERO; data.len()];
     let mut enc = Encoder {
@@ -252,8 +263,16 @@ pub fn compress_with_recon_t<T: Element>(
         symbols: Vec::with_capacity(data.len()),
         raws: Vec::new(),
     };
-    traverse(dims, &mut recon, &contexts, &mut enc)?;
+    {
+        let _quantize = tac_obs::span(tac_obs::Stage::Quantize);
+        traverse(dims, &mut recon, &contexts, &mut enc)?;
+    }
     let Encoder { symbols, raws, .. } = enc;
+    tac_obs::add_bytes(tac_obs::Counter::SzQuantMisses, raws.len());
+    tac_obs::add_bytes(
+        tac_obs::Counter::SzQuantHits,
+        symbols.len().saturating_sub(raws.len()),
+    );
 
     // Predictor side-section: tag + per-slab serialized contexts.
     let mut pred_section = Vec::new();
@@ -268,10 +287,12 @@ pub fn compress_with_recon_t<T: Element>(
 
     // Payload: raw count + raw values (element-native width) + predictor
     // section + Huffman table + bit length + bits.
+    let entropy_span = tac_obs::span(tac_obs::Stage::Entropy);
     let huffman = HuffmanCode::from_symbols(&symbols);
     let mut writer = BitWriter::with_capacity(symbols.len() / 4);
     huffman.encode(&symbols, &mut writer);
     let (bits, bit_len) = writer.finish();
+    drop(entropy_span);
 
     // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory section lengths; a wrong guess only costs a reallocation.
     let mut payload = Vec::with_capacity(
@@ -297,7 +318,10 @@ pub fn compress_with_recon_t<T: Element>(
         flags |= FLAG_F32;
     }
     let body = if cfg.lossless {
-        let packed = lossless::compress(&payload);
+        let packed = {
+            let _lossless = tac_obs::span(tac_obs::Stage::Lossless);
+            lossless::compress(&payload)
+        };
         if packed.len() < payload.len() {
             flags |= FLAG_LOSSLESS;
             packed
@@ -346,7 +370,10 @@ pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError>
         .ok_or_else(|| SzError::Corrupt("stream truncated after header".into()))?;
     let payload_owned;
     let payload: &[u8] = if header.flags & FLAG_LOSSLESS != 0 {
-        payload_owned = lossless::decompress(body)?;
+        payload_owned = {
+            let _lossless = tac_obs::span(tac_obs::Stage::Lossless);
+            lossless::decompress(body)?
+        };
         &payload_owned
     } else {
         body
@@ -422,6 +449,7 @@ pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError>
         }
     };
 
+    let entropy_span = tac_obs::span(tac_obs::Stage::Entropy);
     let (huffman, table_len) = HuffmanCode::deserialize_table(r.rest())?;
     r.skip(table_len)?;
     let bit_len = r.get_u64()?;
@@ -436,6 +464,7 @@ pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError>
     }
     let mut reader = BitReader::new(r.rest(), bit_len)?;
     let symbols = huffman.decode(&mut reader, n)?;
+    drop(entropy_span);
 
     let quantizer = Quantizer::new(header.abs_eb, header.capacity as usize);
     let mut recon = vec![T::ZERO; n];
@@ -445,7 +474,10 @@ pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError>
         raws: &raws,
         next_raw: 0,
     };
-    traverse(header.dims, &mut recon, &contexts, &mut dec)?;
+    {
+        let _quantize = tac_obs::span(tac_obs::Stage::Quantize);
+        traverse(header.dims, &mut recon, &contexts, &mut dec)?;
+    }
     if dec.next_raw != raws.len() {
         return Err(SzError::Corrupt(format!(
             "{} raw values unused",

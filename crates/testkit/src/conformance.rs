@@ -26,6 +26,7 @@ use tac_core::{
     CodecElement, CodecId, CompressedDataset, Element, Method, MethodBody, Parallelism, TacConfig,
     TacDtype,
 };
+use tac_obs::meta::RunMeta;
 
 /// Worker counts every cell is swept over.
 pub const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -93,6 +94,9 @@ pub struct ConformanceCell {
     pub roi_agrees: Option<bool>,
     /// First failure description, if any step errored outright.
     pub error: Option<String>,
+    /// Wall time the cell cost (its format-specific work plus a third of
+    /// the compress/decode phase the three format legs share).
+    pub wall_ms: f64,
 }
 
 impl ConformanceCell {
@@ -112,6 +116,9 @@ impl ConformanceCell {
 pub struct ConformanceReport {
     /// Seed every scenario was generated with.
     pub seed: u64,
+    /// Run metadata (commit, seed, workers, cores, timestamp) embedded
+    /// as the `meta` header of `CONFORMANCE.json`.
+    pub meta: RunMeta,
     /// Cells in sweep order.
     pub cells: Vec<ConformanceCell>,
 }
@@ -125,6 +132,18 @@ impl ConformanceReport {
     /// The failing cells.
     pub fn failures(&self) -> Vec<&ConformanceCell> {
         self.cells.iter().filter(|c| !c.pass()).collect()
+    }
+
+    /// The `n` most expensive cells by wall time, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<&ConformanceCell> {
+        let mut by_time: Vec<&ConformanceCell> = self.cells.iter().collect();
+        by_time.sort_by(|a, b| {
+            b.wall_ms
+                .partial_cmp(&a.wall_ms)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        by_time.truncate(n);
+        by_time
     }
 
     /// Serializes the report as JSON (hand-rolled: the workspace has no
@@ -151,7 +170,8 @@ impl ConformanceReport {
                 "    {{\"scenario\": \"{}\", \"method\": \"{}\", \"codec\": \"{}\", \
                  \"format\": \"{}\", \"container_bytes\": {}, \"workers_identical\": {}, \
                  \"decode_par_identical\": {}, \"max_err_ratio\": {}, \
-                 \"nonfinite_exact\": {}, \"roi_agrees\": {}, \"pass\": {}, \"error\": {}}}",
+                 \"nonfinite_exact\": {}, \"roi_agrees\": {}, \"pass\": {}, \"error\": {}, \
+                 \"wall_ms\": {:.3}}}",
                 c.scenario,
                 c.method,
                 c.codec,
@@ -164,16 +184,30 @@ impl ConformanceReport {
                 roi,
                 c.pass(),
                 error,
+                c.wall_ms,
             ));
         }
+        let slowest: Vec<String> = self
+            .slowest(10)
+            .into_iter()
+            .map(|c| {
+                format!(
+                    "    {{\"cell\": \"{}/{}/{}/{}\", \"wall_ms\": {:.3}}}",
+                    c.scenario, c.method, c.codec, c.format, c.wall_ms
+                )
+            })
+            .collect();
         format!(
-            "{{\n  \"seed\": {},\n  \"workers\": {:?},\n  \"total\": {},\n  \"passed\": {},\n  \
-             \"failed\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"meta\": {},\n  \"seed\": {},\n  \"workers\": {:?},\n  \"total\": {},\n  \
+             \"passed\": {},\n  \"failed\": {},\n  \"slowest\": [\n{}\n  ],\n  \
+             \"cells\": [\n{}\n  ]\n}}\n",
+            self.meta.to_json(),
             self.seed,
             WORKER_COUNTS,
             self.cells.len(),
             self.cells.iter().filter(|c| c.pass()).count(),
             self.failures().len(),
+            slowest.join(",\n"),
             rows.join(",\n")
         )
     }
@@ -202,6 +236,13 @@ impl ConformanceReport {
                 c.nonfinite_exact,
                 c.roi_agrees,
                 c.error,
+            ));
+        }
+        out.push_str("  slowest cells:\n");
+        for c in self.slowest(10) {
+            out.push_str(&format!(
+                "    {:>10.3} ms  {}/{}/{}/{}\n",
+                c.wall_ms, c.scenario, c.method, c.codec, c.format
             ));
         }
         out
@@ -237,7 +278,12 @@ pub fn run_scenarios(specs: &[ScenarioSpec], seed: u64) -> ConformanceReport {
             }
         }
     }
-    ConformanceReport { seed, cells }
+    let workers = WORKER_COUNTS.into_iter().max().unwrap_or(1);
+    ConformanceReport {
+        seed,
+        meta: RunMeta::capture(seed, workers),
+        cells,
+    }
 }
 
 /// Narrows an `f64` scenario dataset to `f32` storage. `F32` scenarios
@@ -371,11 +417,27 @@ fn run_cell<T: CodecElement>(
         nonfinite_exact: false,
         roi_agrees: None,
         error: None,
+        wall_ms: 0.0,
     };
     let fail = |format: ContainerFormat, msg: String| {
         let mut c = cell(format);
         c.error = Some(msg);
         c
+    };
+    // The compress/decode phase below is shared by all three format
+    // legs; its cost is split evenly across them so cell times still sum
+    // to the matrix wall time.
+    let t_shared = std::time::Instant::now();
+    let fail_all = |msg: String, t0: std::time::Instant| -> Vec<ConformanceCell> {
+        let per_cell = t0.elapsed().as_secs_f64() * 1e3 / 3.0;
+        ContainerFormat::all()
+            .into_iter()
+            .map(|f| {
+                let mut c = fail(f, msg.clone());
+                c.wall_ms = per_cell;
+                c
+            })
+            .collect()
     };
     let cfg_for = |workers: usize| -> TacConfig {
         TacConfig {
@@ -389,12 +451,7 @@ fn run_cell<T: CodecElement>(
     // byte-identical across all of them.
     let reference = match compress_dataset_t(ds, &cfg_for(WORKER_COUNTS[0]), method) {
         Ok(cd) => cd,
-        Err(e) => {
-            return ContainerFormat::all()
-                .into_iter()
-                .map(|f| fail(f, format!("compress failed: {e}")))
-                .collect()
-        }
+        Err(e) => return fail_all(format!("compress failed: {e}"), t_shared),
     };
     let ref_chunked = reference.to_bytes();
     let ref_v1 = reference.to_bytes_v1();
@@ -404,24 +461,14 @@ fn run_cell<T: CodecElement>(
             Ok(cd) => {
                 workers_identical &= cd.to_bytes() == ref_chunked && cd.to_bytes_v1() == ref_v1;
             }
-            Err(e) => {
-                return ContainerFormat::all()
-                    .into_iter()
-                    .map(|f| fail(f, format!("compress at {w} workers failed: {e}")))
-                    .collect()
-            }
+            Err(e) => return fail_all(format!("compress at {w} workers failed: {e}"), t_shared),
         }
     }
 
     // Serial full decode, then parallel decode identity.
     let full = match decompress_dataset_t::<T>(&reference) {
         Ok(out) => out,
-        Err(e) => {
-            return ContainerFormat::all()
-                .into_iter()
-                .map(|f| fail(f, format!("decompress failed: {e}")))
-                .collect()
-        }
+        Err(e) => return fail_all(format!("decompress failed: {e}"), t_shared),
     };
     let mut decode_par_identical = true;
     let mut par_error = None;
@@ -438,8 +485,10 @@ fn run_cell<T: CodecElement>(
     }
 
     let bounds = resolved_level_bounds(&reference);
+    let shared_ms = t_shared.elapsed().as_secs_f64() * 1e3 / 3.0;
     let mut cells = Vec::with_capacity(3);
     for format in ContainerFormat::all() {
+        let t_format = std::time::Instant::now();
         let mut c = cell(format);
         c.workers_identical = workers_identical;
         c.decode_par_identical = decode_par_identical;
@@ -471,6 +520,7 @@ fn run_cell<T: CodecElement>(
         if format == ContainerFormat::Chunked && c.error.is_none() {
             c.roi_agrees = Some(roi_agrees(&ref_chunked, &full, spec.finest_dim));
         }
+        c.wall_ms = shared_ms + t_format.elapsed().as_secs_f64() * 1e3;
         cells.push(c);
     }
     cells
@@ -599,6 +649,7 @@ mod tests {
         // must serialize it as null, never as the bare token `inf`.
         let report = ConformanceReport {
             seed: 1,
+            meta: RunMeta::capture(1, 8),
             cells: vec![ConformanceCell {
                 scenario: "synthetic".into(),
                 method: "TAC".into(),
@@ -611,11 +662,29 @@ mod tests {
                 nonfinite_exact: false,
                 roi_agrees: None,
                 error: Some("compress failed: synthetic".into()),
+                wall_ms: 0.0,
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"max_err_ratio\": null"), "{json}");
         assert!(!json.contains("inf"), "{json}");
         assert!(json.contains("\"failed\": 1"), "{json}");
+    }
+
+    #[test]
+    fn report_carries_timing_and_metadata() {
+        let spec = scenario("tiny-extremes").unwrap();
+        let report = run_scenarios(&[spec], 3);
+        // Every cell measured a positive wall time, and the slowest list
+        // is sorted descending.
+        assert!(report.cells.iter().all(|c| c.wall_ms > 0.0));
+        let slowest = report.slowest(10);
+        assert_eq!(slowest.len(), 10);
+        assert!(slowest.windows(2).all(|w| w[0].wall_ms >= w[1].wall_ms));
+        let json = report.to_json();
+        assert!(json.contains("\"meta\": {\"git_commit\""), "{json}");
+        assert!(json.contains("\"slowest\": ["), "{json}");
+        assert!(json.contains("\"wall_ms\""), "{json}");
+        assert!(report.summary().contains("slowest cells:"));
     }
 }

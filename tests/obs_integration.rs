@@ -1,0 +1,145 @@
+//! Metrics-registry-under-parallelism integration test (requires the
+//! `obs` feature; see the `[[test]]` entry in `crates/bench/Cargo.toml`).
+//!
+//! The sharded registry's contract is that merged counters are a pure
+//! function of the work done, not of how it was scheduled: every method
+//! compressed at 1/2/4/8 workers must produce identical merged counter
+//! totals, and the byte counters must match the container's actual codec
+//! payloads exactly. Everything runs inside one `#[test]` because the
+//! recorder session is process-global — concurrent test threads would
+//! bleed counts into each other's snapshots.
+
+use tac_bench::load_dataset;
+use tac_core::{
+    compress_dataset, decompress_dataset_par, CompressedDataset, LevelPayload, Method, MethodBody,
+    Parallelism, TacConfig,
+};
+use tac_obs::{Counter, Snapshot};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const METHODS: [Method; 4] = [
+    Method::Tac,
+    Method::Baseline1D,
+    Method::ZMesh,
+    Method::Baseline3D,
+];
+
+/// Sum of codec stream bytes actually held in the container — the
+/// ground truth `payload_bytes_out`/`payload_bytes_in` must equal.
+/// Deliberately counts only `stream` buffers, not group/level metadata.
+fn container_stream_bytes(cd: &CompressedDataset) -> u64 {
+    let total: usize = match &cd.body {
+        MethodBody::Tac(levels) => levels
+            .iter()
+            .map(|l| match &l.payload {
+                LevelPayload::Empty => 0,
+                LevelPayload::Whole(stream) => stream.len(),
+                LevelPayload::Groups(groups) => groups.iter().map(|g| g.stream.len()).sum(),
+            })
+            .sum(),
+        MethodBody::Baseline1D(levels) => levels
+            .iter()
+            .flatten()
+            .map(|(_, _, stream)| stream.len())
+            .sum(),
+        MethodBody::ZMesh { stream, .. } | MethodBody::Baseline3D { stream, .. } => stream.len(),
+    };
+    total as u64
+}
+
+/// Number of encoded chunks the container holds (one per codec stream).
+fn container_chunks(cd: &CompressedDataset) -> u64 {
+    let total: usize = match &cd.body {
+        MethodBody::Tac(levels) => levels
+            .iter()
+            .map(|l| match &l.payload {
+                LevelPayload::Empty => 0,
+                LevelPayload::Whole(_) => 1,
+                LevelPayload::Groups(groups) => groups.len(),
+            })
+            .sum(),
+        MethodBody::Baseline1D(levels) => levels.iter().flatten().count(),
+        MethodBody::ZMesh { .. } | MethodBody::Baseline3D { .. } => 1,
+    };
+    total as u64
+}
+
+fn counters_of_interest(snap: &Snapshot) -> Vec<(Counter, u64)> {
+    [
+        Counter::ChunksEncoded,
+        Counter::ChunksDecoded,
+        Counter::PayloadBytesOut,
+        Counter::PayloadBytesIn,
+        Counter::SzQuantHits,
+        Counter::SzQuantMisses,
+        Counter::PcoPages,
+    ]
+    .into_iter()
+    .map(|c| (c, snap.counter(c)))
+    .collect()
+}
+
+#[test]
+fn merged_counters_are_invariant_across_worker_counts() {
+    let session = tac_obs::install();
+    let ds = load_dataset("Run1_Z10", 16, 14);
+    let base_cfg = TacConfig::default();
+
+    for method in METHODS {
+        let mut reference: Option<(Vec<(Counter, u64)>, CompressedDataset)> = None;
+        for workers in WORKER_COUNTS {
+            let cfg = TacConfig {
+                parallelism: Parallelism::Threads(workers),
+                ..base_cfg.clone()
+            };
+            let _ = session.take();
+            let cd = compress_dataset(&ds, &cfg, method).unwrap();
+            decompress_dataset_par(&cd, cfg.parallelism).unwrap();
+            let snap = session.take();
+            let counters = counters_of_interest(&snap);
+
+            // Byte counters match the container's codec payloads exactly,
+            // at every worker count.
+            assert_eq!(
+                snap.counter(Counter::PayloadBytesOut),
+                container_stream_bytes(&cd),
+                "{method:?} at {workers} workers: payload_bytes_out vs container"
+            );
+            assert_eq!(
+                snap.counter(Counter::PayloadBytesIn),
+                container_stream_bytes(&cd),
+                "{method:?} at {workers} workers: payload_bytes_in vs container"
+            );
+            assert_eq!(
+                snap.counter(Counter::ChunksEncoded),
+                container_chunks(&cd),
+                "{method:?} at {workers} workers: chunks_encoded vs container"
+            );
+
+            // Scheduling must not change what was counted.
+            match &reference {
+                None => reference = Some((counters, cd)),
+                Some((expected, ref_cd)) => {
+                    assert_eq!(
+                        &counters, expected,
+                        "{method:?}: counters diverged at {workers} workers"
+                    );
+                    assert_eq!(
+                        ref_cd.to_bytes(),
+                        cd.to_bytes(),
+                        "{method:?}: container bytes diverged at {workers} workers"
+                    );
+                }
+            }
+        }
+        let (reference, _) = reference.expect("at least one worker count ran");
+        assert!(
+            reference.iter().any(|&(_, v)| v > 0),
+            "{method:?}: instrumentation recorded nothing"
+        );
+    }
+
+    // Leave the session clean for any later obs-enabled test binaries
+    // sharing the process (none today, but take() is cheap insurance).
+    let _ = session.take();
+}
