@@ -143,11 +143,54 @@ fn obs_stage_objects(ds: &tac_amr::AmrDataset, unit: usize) -> Option<(Vec<Strin
     Some((objs, merged))
 }
 
+/// Per-codec raw-stream rows for the quick JSON: one dense coarse
+/// level as a rank-3 array straight through each backend, no container
+/// machinery — the regime where the entropy stages differ most (the
+/// CI perf smoke checks the same comparison independently).
+fn raw_stream_json_rows(ds: &tac_amr::AmrDataset) -> Vec<String> {
+    let coarse = ds.levels().last().expect("at least one level");
+    let n = coarse.dim();
+    let data = coarse.data().to_vec();
+    let shape = tac_sz::Dims::D3(n, n, n);
+    let cfg = CodecConfig::abs(1e-3);
+    let bytes = (data.len() * 8) as f64;
+    let best = |reps: usize, f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    CodecId::all()
+        .iter()
+        .map(|&codec| {
+            let backend = codec_for(codec);
+            let stream = backend.compress(&data, shape, &cfg).unwrap();
+            let c = best(3, &mut || {
+                black_box(backend.compress(black_box(&data), shape, &cfg).unwrap());
+            });
+            let d = best(3, &mut || {
+                black_box(backend.decompress(black_box(&stream)).unwrap());
+            });
+            format!(
+                "    {{\"codec\": \"{}\", \"dim\": {n}, \"ratio\": {:.3}, \"compress_mb_s\": {:.3}, \"decompress_mb_s\": {:.3}}}",
+                codec.label(),
+                bytes / stream.len().max(1) as f64,
+                bytes / 1e6 / c,
+                bytes / 1e6 / d,
+            )
+        })
+        .collect()
+}
+
 /// Quick mode drops `BENCH_codec.json` next to `BENCH_par.json`: the
 /// method x codec matrix with ratio and throughput per cell, under a
-/// run-metadata header. With `--obs` each row also carries a `stages`
-/// object (per-stage wall fractions) and the run's chrome trace lands
-/// in `TRACE_codec.json`.
+/// run-metadata header, plus a `raw_stream` section (per-codec dense
+/// single-stream throughput). With `--obs` each row also carries a
+/// `stages` object (per-stage wall fractions) and the run's chrome
+/// trace lands in `TRACE_codec.json`.
 fn emit_quick_json() {
     if std::env::var("TAC_BENCH_QUICK").is_err() {
         return;
@@ -168,16 +211,17 @@ fn emit_quick_json() {
                 None => String::new(),
             };
             format!(
-                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"dtype\": \"{}\", \"ratio\": {:.3}, \"throughput_mb_s\": {:.3}, \"psnr_db\": {:.2}{}}}",
-                r.method, r.codec, r.dtype, r.ratio, r.throughput_mb_s, r.psnr, stage_field
+                "    {{\"method\": \"{}\", \"codec\": \"{}\", \"dtype\": \"{}\", \"ratio\": {:.3}, \"compress_mb_s\": {:.3}, \"decompress_mb_s\": {:.3}, \"psnr_db\": {:.2}{}}}",
+                r.method, r.codec, r.dtype, r.ratio, r.compress_mb_s, r.decompress_mb_s, r.psnr, stage_field
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"meta\": {},\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"rel_eb\": 1e-3,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"meta\": {},\n  \"dataset\": \"Run1_Z10\",\n  \"finest_dim\": {},\n  \"rel_eb\": 1e-3,\n  \"rows\": [\n{}\n  ],\n  \"raw_stream\": [\n{}\n  ]\n}}\n",
         obs_support::meta_json(14, 1),
         ds.finest_dim(),
-        cells.join(",\n")
+        cells.join(",\n"),
+        raw_stream_json_rows(&ds).join(",\n")
     );
     // Anchor at the workspace root regardless of the bench's cwd.
     let path = obs_support::workspace_path("BENCH_codec.json");

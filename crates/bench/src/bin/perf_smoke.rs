@@ -1,0 +1,125 @@
+//! CI perf smoke for the codec layer: measures pco-ans against
+//! pco-lite decode throughput and fails the build when the ANS path
+//! regresses.
+//!
+//! Two regimes, two gates:
+//!
+//! 1. **Raw dense stream** — one whole coarse level as a rank-3 array
+//!    straight through each backend. This is the regime the PcoAns
+//!    batch kernels target and where the win is decisive (LZSS decode
+//!    is per-symbol-branchy on dense data); pco-ans decode must be at
+//!    least as fast as pco-lite, full stop.
+//! 2. **1D/f64 container row** — the `BENCH_codec.json` row the issue
+//!    tracks, measured the same way (serial end-to-end container
+//!    decode). On ultra-smooth 1D-gathered data LZSS approaches memcpy
+//!    speed (long overlapping matches), so the gate here is a noise-
+//!    tolerant floor: pco-ans must hold at least [`ROW_FLOOR`] of
+//!    pco-lite's decode throughput, and must keep its compression-ratio
+//!    advantage (within 10% of pco-lite or better).
+//!
+//! Exits non-zero with a one-line verdict per gate. Scale follows
+//! `TAC_BENCH_SCALE` (default 8, the quick-mode bench scale).
+
+use std::time::Instant;
+use tac_bench::default_scale;
+use tac_bench::experiments::codec_comparison::bench_config;
+use tac_bench::support::{default_unit, load_dataset, measure};
+use tac_core::{codec_for, CodecConfig, CodecId, Method};
+
+/// Minimum pco-ans / pco-lite decode-throughput ratio on the 1D/f64
+/// container row. Measured headroom at scale 8 is ~0.85; the floor
+/// leaves margin for shared-runner noise while still catching a real
+/// regression of the batch kernels (a fallback to the pre-ANS numbers
+/// sits near 0.45).
+const ROW_FLOOR: f64 = 0.70;
+
+/// Minimum pco-ans / pco-lite compression-ratio quotient on the same
+/// row ("within 10%"). Measured headroom is ~1.24.
+const RATIO_FLOOR: f64 = 0.90;
+
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Raw-stream decode throughput (MB/s) of `codec` on the dense coarse
+/// level, plus the stream's compression ratio.
+fn raw_stream_decode(ds: &tac_amr::AmrDataset, codec: CodecId) -> f64 {
+    let coarse = ds.levels().last().expect("at least one level");
+    let n = coarse.dim();
+    let data = coarse.data().to_vec();
+    let backend = codec_for(codec);
+    let stream = backend
+        .compress(&data, tac_sz::Dims::D3(n, n, n), &CodecConfig::abs(1e-3))
+        .expect("compress");
+    let secs = best_secs(5, || {
+        backend.decompress(&stream).expect("decompress");
+    });
+    (data.len() * 8) as f64 / 1e6 / secs
+}
+
+/// 1D/f64 container-row measurement: (decode MB/s, compression ratio).
+fn container_row(ds: &tac_amr::AmrDataset, unit: usize, codec: CodecId) -> (f64, f64) {
+    let cfg = bench_config(unit, codec);
+    let bytes = ds.total_present() * 8;
+    let mut best_decode = 0.0f64;
+    let mut ratio = 0.0f64;
+    for _ in 0..3 {
+        let m = measure(ds, &cfg, Method::Baseline1D, 1e-3);
+        best_decode = best_decode.max(m.decompress_mb_s(bytes));
+        ratio = m.ratio;
+    }
+    (best_decode, ratio)
+}
+
+fn main() {
+    let scale = default_scale();
+    let unit = default_unit(scale);
+    let ds = load_dataset("Run1_Z10", scale, 14);
+    let mut failed = false;
+    let mut gate = |name: &str, value: f64, floor: f64| {
+        let ok = value >= floor;
+        println!(
+            "{} {name}: {value:.3} (floor {floor:.3})",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        failed |= !ok;
+    };
+
+    let raw_ans = raw_stream_decode(&ds, CodecId::PcoAns);
+    let raw_lite = raw_stream_decode(&ds, CodecId::PcoLite);
+    println!("raw dense stream decode: pco-ans {raw_ans:.1} MB/s, pco-lite {raw_lite:.1} MB/s");
+    gate(
+        "raw-stream pco-ans/pco-lite decode",
+        raw_ans / raw_lite,
+        1.0,
+    );
+
+    let (row_ans, ratio_ans) = container_row(&ds, unit, CodecId::PcoAns);
+    let (row_lite, ratio_lite) = container_row(&ds, unit, CodecId::PcoLite);
+    println!(
+        "1D/f64 container decode: pco-ans {row_ans:.1} MB/s (ratio {ratio_ans:.2}), \
+         pco-lite {row_lite:.1} MB/s (ratio {ratio_lite:.2})"
+    );
+    gate(
+        "1D/f64 pco-ans/pco-lite decode",
+        row_ans / row_lite,
+        ROW_FLOOR,
+    );
+    gate(
+        "1D/f64 pco-ans/pco-lite ratio",
+        ratio_ans / ratio_lite,
+        RATIO_FLOOR,
+    );
+
+    if failed {
+        eprintln!("perf smoke failed: pco-ans decode regressed against pco-lite");
+        std::process::exit(1);
+    }
+    println!("perf smoke clean at scale {scale}");
+}

@@ -36,8 +36,10 @@ pub struct CodecRow {
     pub dtype: &'static str,
     /// Compression ratio over present cells.
     pub ratio: f64,
-    /// End-to-end throughput (MB/s over present-cell bytes).
-    pub throughput_mb_s: f64,
+    /// Compression-only throughput (MB/s over present-cell bytes).
+    pub compress_mb_s: f64,
+    /// Decompression-only throughput (MB/s over present-cell bytes).
+    pub decompress_mb_s: f64,
     /// PSNR (dB) over present cells.
     pub psnr: f64,
     /// Compression wall time (seconds).
@@ -105,7 +107,8 @@ fn matrix_rows(
                 codec: codec.label(),
                 dtype,
                 ratio: m.ratio,
-                throughput_mb_s: m.throughput_mb_s(original_bytes),
+                compress_mb_s: m.compress_mb_s(original_bytes),
+                decompress_mb_s: m.decompress_mb_s(original_bytes),
                 psnr: m.psnr,
                 compress_s: m.compress_s,
                 decompress_s: m.decompress_s,
@@ -130,13 +133,20 @@ pub fn report() -> String {
         ds.total_present(),
     ));
     out.push_str(&format!(
-        "  {:<8} {:<10} {:>8} {:>9} {:>10} {:>10} {:>10}\n",
-        "method", "codec", "ratio", "PSNR dB", "comp s", "decomp s", "MB/s"
+        "  {:<8} {:<10} {:>8} {:>9} {:>10} {:>10} {:>11} {:>11}\n",
+        "method", "codec", "ratio", "PSNR dB", "comp s", "decomp s", "comp MB/s", "decomp MB/s"
     ));
     for r in measure_matrix(&ds, unit, reps) {
         out.push_str(&format!(
-            "  {:<8} {:<10} {:>8.2} {:>9.1} {:>10.4} {:>10.4} {:>10.2}\n",
-            r.method, r.codec, r.ratio, r.psnr, r.compress_s, r.decompress_s, r.throughput_mb_s
+            "  {:<8} {:<10} {:>8.2} {:>9.1} {:>10.4} {:>10.4} {:>11.2} {:>11.2}\n",
+            r.method,
+            r.codec,
+            r.ratio,
+            r.psnr,
+            r.compress_s,
+            r.decompress_s,
+            r.compress_mb_s,
+            r.decompress_mb_s
         ));
     }
 
@@ -184,7 +194,7 @@ mod tests {
         for r in &rows {
             assert_eq!(r.dtype, "f64");
             assert!(r.ratio > 1.0, "{}/{} ratio {}", r.method, r.codec, r.ratio);
-            assert!(r.throughput_mb_s > 0.0);
+            assert!(r.compress_mb_s > 0.0 && r.decompress_mb_s > 0.0);
             assert!(r.psnr > 20.0, "{}/{} psnr {}", r.method, r.codec, r.psnr);
         }
     }
@@ -198,7 +208,7 @@ mod tests {
         for r in &rows {
             assert_eq!(r.dtype, "f32");
             assert!(r.ratio > 1.0, "{}/{} ratio {}", r.method, r.codec, r.ratio);
-            assert!(r.throughput_mb_s > 0.0);
+            assert!(r.compress_mb_s > 0.0 && r.decompress_mb_s > 0.0);
             assert!(r.psnr > 20.0, "{}/{} psnr {}", r.method, r.codec, r.psnr);
         }
     }

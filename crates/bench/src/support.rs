@@ -86,6 +86,17 @@ impl Measured {
     pub fn throughput_mb_s(&self, original_bytes: usize) -> f64 {
         original_bytes as f64 / 1e6 / (self.compress_s + self.decompress_s)
     }
+
+    /// Compression-only throughput in MB/s over the original bytes.
+    pub fn compress_mb_s(&self, original_bytes: usize) -> f64 {
+        original_bytes as f64 / 1e6 / self.compress_s
+    }
+
+    /// Decompression-only throughput in MB/s over the original bytes —
+    /// the number a read-heavy analysis pipeline actually feels.
+    pub fn decompress_mb_s(&self, original_bytes: usize) -> f64 {
+        original_bytes as f64 / 1e6 / self.decompress_s
+    }
 }
 
 /// Compresses + decompresses once and measures everything.

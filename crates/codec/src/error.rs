@@ -14,6 +14,12 @@ pub enum CodecError {
     InvalidConfig(String),
     /// A wire tag does not name any registered codec.
     UnknownCodec(u8),
+    /// A byte stream matches no registered codec's magic number, so it
+    /// cannot be sniffed.
+    UnknownStream {
+        /// Up to the first four bytes of the unrecognized stream.
+        prefix: Vec<u8>,
+    },
     /// The stream was produced by a different codec than the one asked
     /// to decode it (wire tag / magic number disagreement).
     WrongCodec {
@@ -39,6 +45,9 @@ impl fmt::Display for CodecError {
             CodecError::Corrupt(msg) => write!(f, "corrupt codec stream: {msg}"),
             CodecError::InvalidConfig(msg) => write!(f, "invalid codec configuration: {msg}"),
             CodecError::UnknownCodec(tag) => write!(f, "unknown codec wire tag {tag}"),
+            CodecError::UnknownStream { prefix } => {
+                write!(f, "stream prefix {prefix:02x?} matches no registered codec")
+            }
             CodecError::WrongCodec { expected, found } => {
                 write!(f, "stream is not a {expected} stream (found {found})")
             }
@@ -82,5 +91,9 @@ mod tests {
         };
         assert!(w.to_string().contains("pco-lite"));
         assert!(std::error::Error::source(&w).is_none());
+        let u = CodecError::UnknownStream {
+            prefix: b"XXXX".to_vec(),
+        };
+        assert!(u.to_string().contains("no registered codec"));
     }
 }

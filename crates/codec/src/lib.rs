@@ -17,9 +17,11 @@
 //! * [`CodecId`] — a **stable one-byte wire tag** per backend, stored in
 //!   `tac-core`'s level payloads and chunk tables so containers are
 //!   self-describing;
-//! * two registered backends: [`SzCodec`] (the SZ-style
-//!   predict-quantize-encode compressor from `tac-sz`) and [`PcoLite`]
-//!   (a pcodec-inspired delta + per-page adaptive bit-packing codec);
+//! * three registered backends: [`SzCodec`] (the SZ-style
+//!   predict-quantize-encode compressor from `tac-sz`), [`PcoLite`]
+//!   (a pcodec-inspired delta + per-page adaptive bit-packing codec),
+//!   and [`PcoAns`] (PcoLite's front end with a tabled-ANS entropy
+//!   stage and branch-free batch decode kernels);
 //! * a registry — [`codec_for`], [`registered`], [`sniff_codec`],
 //!   [`looks_like_stream`] — that `tac-core` dispatches through.
 //!
@@ -47,9 +49,11 @@
 //!    containers; never reuse or renumber them). Extend
 //!    [`CodecId::from_tag`], [`CodecId::label`], and [`CodecId::all`].
 //! 2. Implement [`ScalarCodec`] for a unit struct. The stream your
-//!    `compress` emits must start with a magic number unique among
-//!    backends so [`sniff_codec`] and the container's codec-tag
-//!    validation can tell streams apart, and `decompress` must reject
+//!    `compress` emits must start with the magic number returned by
+//!    [`magic`](ScalarCodec::magic), unique among backends and no
+//!    prefix of another backend's magic, so [`sniff_codec`] (which
+//!    probes longest magic first) and the container's codec-tag
+//!    validation can tell streams apart; `decompress` must reject
 //!    foreign or corrupt bytes with an error (never panic, never
 //!    mis-decode).
 //! 3. Return the new backend from [`codec_for`] ([`registered`] and
@@ -66,12 +70,16 @@
 
 #![warn(missing_docs)]
 
+mod ans;
+mod bins;
 mod error;
 mod pco;
+mod pco_ans;
 mod sz;
 
 pub use error::CodecError;
 pub use pco::PcoLite;
+pub use pco_ans::PcoAns;
 pub use sz::SzCodec;
 // The array-shape and bound vocabulary is shared with the SZ substrate;
 // the element-type vocabulary with the dtype substrate.
@@ -91,6 +99,10 @@ pub enum CodecId {
     /// The pcodec-inspired delta + per-page adaptive bit-packing codec.
     /// Wire tag 1.
     PcoLite,
+    /// The tabled-ANS codec: PcoLite's quantize–delta–zigzag front end
+    /// with per-page greedy binning, a tabled rANS entropy stage over
+    /// bin tokens, and branch-free batch decode. Wire tag 2.
+    PcoAns,
 }
 
 impl CodecId {
@@ -99,6 +111,7 @@ impl CodecId {
         match self {
             CodecId::Sz => 0,
             CodecId::PcoLite => 1,
+            CodecId::PcoAns => 2,
         }
     }
 
@@ -107,6 +120,7 @@ impl CodecId {
         Ok(match tag {
             0 => CodecId::Sz,
             1 => CodecId::PcoLite,
+            2 => CodecId::PcoAns,
             _ => return Err(CodecError::UnknownCodec(tag)),
         })
     }
@@ -116,12 +130,13 @@ impl CodecId {
         match self {
             CodecId::Sz => "sz",
             CodecId::PcoLite => "pco-lite",
+            CodecId::PcoAns => "pco-ans",
         }
     }
 
     /// Every registered codec id, in wire-tag order.
-    pub fn all() -> [CodecId; 2] {
-        [CodecId::Sz, CodecId::PcoLite]
+    pub fn all() -> [CodecId; 3] {
+        [CodecId::Sz, CodecId::PcoLite, CodecId::PcoAns]
     }
 }
 
@@ -232,6 +247,13 @@ pub trait ScalarCodec: Send + Sync {
     /// streams with [`CodecError::WrongDtype`].
     fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError>;
 
+    /// The backend's stream magic number — the byte prefix every stream
+    /// it emits starts with. Must be unique among registered backends
+    /// and not a prefix of another backend's magic; [`sniff_codec`]
+    /// probes backends longest-magic-first so a longer magic can never
+    /// be shadowed by a shorter one.
+    fn magic(&self) -> &'static [u8];
+
     /// Cheap magic-number sniff: does `bytes` start like one of this
     /// backend's streams?
     fn looks_like(&self, bytes: &[u8]) -> bool;
@@ -328,37 +350,53 @@ pub fn codec_for(id: CodecId) -> &'static dyn ScalarCodec {
     match id {
         CodecId::Sz => &SzCodec,
         CodecId::PcoLite => &PcoLite,
+        CodecId::PcoAns => &PcoAns,
     }
 }
 
 /// Every registered backend, in wire-tag order (derived from
 /// [`CodecId::all`], so a new backend only has to be added there and in
 /// [`codec_for`]).
-pub fn registered() -> [&'static dyn ScalarCodec; 2] {
+pub fn registered() -> [&'static dyn ScalarCodec; 3] {
     CodecId::all().map(codec_for)
 }
 
 /// Identifies which registered codec produced `bytes`, by magic number.
-/// `None` means no backend recognizes the stream.
-pub fn sniff_codec(bytes: &[u8]) -> Option<CodecId> {
-    registered()
+///
+/// Backends are probed **longest magic first** (ties broken by wire
+/// tag), so a backend whose magic happens to extend another's can never
+/// be mis-sniffed as the shorter match. An unrecognized stream is a
+/// typed [`CodecError::UnknownStream`] carrying the offending prefix —
+/// not a silent first-match fallback.
+pub fn sniff_codec(bytes: &[u8]) -> Result<CodecId, CodecError> {
+    let mut backends = registered();
+    backends.sort_by(|a, b| {
+        b.magic()
+            .len()
+            .cmp(&a.magic().len())
+            .then(a.id().tag().cmp(&b.id().tag()))
+    });
+    backends
         .into_iter()
         .find(|c| c.looks_like(bytes))
         .map(|c| c.id())
+        .ok_or_else(|| CodecError::UnknownStream {
+            prefix: bytes.iter().copied().take(4).collect(),
+        })
 }
 
 /// Codec-agnostic extension of `tac_sz::looks_like_stream`: true when
 /// **any** registered backend recognizes the bytes as one of its
 /// streams.
 pub fn looks_like_stream(bytes: &[u8]) -> bool {
-    sniff_codec(bytes).is_some()
+    sniff_codec(bytes).is_ok()
 }
 
 /// Sniffs the element type of a recognized stream without decoding it.
 /// Every registered backend keeps its flag byte at offset 5 with bit 1
 /// meaning `f32`; `None` when no backend recognizes the bytes.
 pub fn stream_dtype(bytes: &[u8]) -> Option<TacDtype> {
-    sniff_codec(bytes)?;
+    sniff_codec(bytes).ok()?;
     let flags = *bytes.get(5)?;
     Some(if flags & 0b0000_0010 != 0 {
         TacDtype::F32
@@ -381,6 +419,7 @@ mod tests {
     fn codec_ids_roundtrip_and_stay_stable() {
         assert_eq!(CodecId::Sz.tag(), 0, "Sz wire tag is frozen at 0");
         assert_eq!(CodecId::PcoLite.tag(), 1, "PcoLite wire tag is frozen at 1");
+        assert_eq!(CodecId::PcoAns.tag(), 2, "PcoAns wire tag is frozen at 2");
         for id in CodecId::all() {
             assert_eq!(CodecId::from_tag(id.tag()).unwrap(), id);
             assert_eq!(codec_for(id).id(), id);
@@ -416,8 +455,9 @@ mod tests {
         let cfg = CodecConfig::abs(1e-4);
         for id in CodecId::all() {
             let bytes = codec_for(id).compress(&data, Dims::D1(256), &cfg).unwrap();
-            assert_eq!(sniff_codec(&bytes), Some(id));
+            assert_eq!(sniff_codec(&bytes), Ok(id));
             assert!(looks_like_stream(&bytes));
+            assert!(bytes.starts_with(codec_for(id).magic()), "{id}");
             // Every *other* backend must refuse the stream outright.
             for other in CodecId::all() {
                 if other != id {
@@ -429,8 +469,35 @@ mod tests {
                 }
             }
         }
-        assert_eq!(sniff_codec(b"not a stream at all"), None);
+        assert!(matches!(
+            sniff_codec(b"not a stream at all"),
+            Err(CodecError::UnknownStream { ref prefix }) if prefix == b"not "
+        ));
+        assert!(matches!(
+            sniff_codec(&[]),
+            Err(CodecError::UnknownStream { ref prefix }) if prefix.is_empty()
+        ));
         assert!(!looks_like_stream(&[]));
+    }
+
+    #[test]
+    fn magics_are_unique_and_prefix_free() {
+        // The longest-first probe order in sniff_codec is only sound if
+        // no registered magic is a prefix of another's.
+        let backends = registered();
+        for a in &backends {
+            assert!(!a.magic().is_empty(), "{} has an empty magic", a.id());
+            for b in &backends {
+                if a.id() != b.id() {
+                    assert!(
+                        !a.magic().starts_with(b.magic()),
+                        "{} magic is prefixed by {}",
+                        a.id(),
+                        b.id()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

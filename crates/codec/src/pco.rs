@@ -43,8 +43,9 @@ const FLAG_F32: u8 = 0b0000_0010;
 const PAGE: usize = 1024;
 /// Serialized size of one exception entry for element type `T`
 /// (index u64 + the element's native-width bits: 16 bytes at f64, 12 at
-/// f32 — pages and exceptions both carry the element width).
-fn exception_bytes<T: Element>() -> usize {
+/// f32 — pages and exceptions both carry the element width). Shared
+/// with `PcoAns`, whose exception table uses the identical layout.
+pub(crate) fn exception_bytes<T: Element>() -> usize {
     8 + T::WIRE_BYTES
 }
 /// Serialized size of one page outlier (position u16 + zigzag u64).
@@ -56,17 +57,17 @@ pub struct PcoLite;
 
 /// Bits needed to represent `v` (0 for 0).
 #[inline]
-fn bit_len(v: u64) -> usize {
+pub(crate) fn bit_len(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 
 #[inline]
-fn zigzag(d: i64) -> u64 {
+pub(crate) fn zigzag(d: i64) -> u64 {
     ((d as u64) << 1) ^ ((d >> 63) as u64)
 }
 
 #[inline]
-fn unzigzag(z: u64) -> i64 {
+pub(crate) fn unzigzag(z: u64) -> i64 {
     ((z >> 1) as i64) ^ -((z & 1) as i64)
 }
 
@@ -75,7 +76,7 @@ fn unzigzag(z: u64) -> i64 {
 /// materialize; the bound check runs on that narrowed value, so `T`'s
 /// rounding can never silently break the bound.
 #[inline]
-fn quantize<T: Element>(value: T, two_eb: f64, abs_eb: f64) -> Option<(i64, T)> {
+pub(crate) fn quantize<T: Element>(value: T, two_eb: f64, abs_eb: f64) -> Option<(i64, T)> {
     let v = value.to_f64();
     if !v.is_finite() {
         return None;
@@ -96,15 +97,16 @@ fn quantize<T: Element>(value: T, two_eb: f64, abs_eb: f64) -> Option<(i64, T)> 
     }
 }
 
-/// LSB-first bit packer.
-struct BitPacker {
+/// LSB-first bit packer. Shared with `PcoAns`, whose offset streams use
+/// the identical LSB-first layout.
+pub(crate) struct BitPacker {
     buf: Vec<u8>,
     acc: u128,
     nbits: u32,
 }
 
 impl BitPacker {
-    fn with_capacity(bytes: usize) -> Self {
+    pub(crate) fn with_capacity(bytes: usize) -> Self {
         BitPacker {
             buf: Vec::with_capacity(bytes),
             acc: 0,
@@ -114,7 +116,7 @@ impl BitPacker {
 
     #[inline]
     // tac-lint: allow(arith) -- encoder-side bit packing: width <= 64 fits u32, and the `as u8` casts truncate the accumulator intentionally.
-    fn push(&mut self, v: u64, width: usize) {
+    pub(crate) fn push(&mut self, v: u64, width: usize) {
         if width == 0 {
             return;
         }
@@ -128,7 +130,7 @@ impl BitPacker {
     }
 
     // tac-lint: allow(arith) -- the `as u8` cast truncates the accumulator intentionally.
-    fn finish(mut self) -> Vec<u8> {
+    pub(crate) fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
             self.buf.push(self.acc as u8);
         }
@@ -548,6 +550,10 @@ impl ScalarCodec for PcoLite {
 
     fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
         decompress_impl(bytes)
+    }
+
+    fn magic(&self) -> &'static [u8] {
+        &MAGIC
     }
 
     fn looks_like(&self, bytes: &[u8]) -> bool {

@@ -1,0 +1,836 @@
+//! `PcoAns`: a tabled-ANS, batch-decoding error-bounded codec — the
+//! throughput-oriented successor to [`crate::PcoLite`].
+//!
+//! The front end is PcoLite's, unchanged: uniform quantization to
+//! `q = round(v / 2eb)`, delta encoding, zigzag folding, raw
+//! exceptions for values that cannot quantize. The tail is pcodec's
+//! recipe instead of LZSS + bit packing:
+//!
+//! 1. **Greedy bin optimization** ([`crate::bins`]) — each fixed-size
+//!    page's latents split into a bin *token* and an *offset* within
+//!    the bin, with the bins chosen per page from the latent histogram.
+//! 2. **Tabled rANS** ([`crate::ans`]) — the token stream is entropy
+//!    coded against the page's normalized bin weights; the table
+//!    travels as (class run, weight) pairs and the geometry is
+//!    recomputed on decode.
+//! 3. **Branch-free batch decode** — pages decode in batches of
+//!    [`BATCH`] values through SoA scratch buffers: one pass decodes
+//!    tokens (four interleaved rANS lanes, packed single-load table
+//!    slots, branch-free word refill), then one pass per batch gathers
+//!    offsets with unaligned 64-bit reads and reconstructs values in
+//!    place. No per-value branching; exceptions are patched after all
+//!    pages.
+//!
+//! There is deliberately **no trailing LZSS stage** — on PcoLite the
+//! `pack` + `lossless` stages dominate decode wall time, and the
+//! entropy coding the LZSS pass recovered now happens in the rANS
+//! stage at a fraction of the cost.
+
+use crate::ans::{self, AnsDecoder, AnsTable, DecodeTable, LANES, RANS_L};
+use crate::bins::{self, CLASSES};
+use crate::pco::{bit_len, exception_bytes, quantize, unzigzag, zigzag, BitPacker};
+use crate::{CodecConfig, CodecError, CodecId, ScalarCodec};
+use tac_dtype::{Element, TacDtype};
+use tac_sz::wire::{ByteReader, ByteWriter};
+use tac_sz::Dims;
+
+/// Stream magic number ("TAC Pco-ANS v1").
+pub(crate) const MAGIC: [u8; 4] = *b"TPA1";
+/// Current format version.
+pub(crate) const VERSION: u8 = 1;
+/// Flag bit: elements are `f32` (unset: `f64`). Same bit position as
+/// every other backend so registry-level dtype sniffing reads one byte.
+const FLAG_F32: u8 = 0b0000_0010;
+/// Values per page. Each page carries its own bin table, ANS payload
+/// and offset stream; larger than PcoLite's page because the header is
+/// bigger and the bins adapt within the page anyway.
+const PAGE: usize = 4096;
+/// Values per decode batch: tokens move through an SoA scratch buffer
+/// of this size, which fits L1 alongside the decode table.
+const BATCH: usize = 256;
+/// Serialized bytes per bin-table entry (lo `u8` + hi `u8` + weight
+/// `u16`).
+const BIN_BYTES: usize = 4;
+/// Fixed per-page bytes besides the bin table: bin count `u8`, the
+/// four `u32` lane seed states, word byte count `u32`, offset byte
+/// count `u32`.
+const PAGE_FIXED_BYTES: usize = 25;
+
+/// The tabled-ANS pcodec-style backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PcoAns;
+
+fn corrupt(msg: impl Into<String>) -> CodecError {
+    CodecError::Corrupt(msg.into())
+}
+
+/// Encodes one page of zigzag latents into `out`.
+// tac-lint: allow(panic, arith) -- encoder-only: bins and tokens index fixed 65-entry in-memory tables, counts are bounded by PAGE = 4096, and every size fits its wire type by construction.
+fn encode_page(z: &[u64], out: &mut Vec<u8>) {
+    let table_span = tac_obs::span(tac_obs::Stage::AnsTable);
+    let mut hist = [0u32; CLASSES];
+    for &v in z {
+        hist[bit_len(v)] += 1;
+    }
+    let plan = bins::plan_bins(&hist, z.len() as u32);
+    let counts: Vec<u32> = plan.iter().map(|b| b.count).collect();
+    let weights = ans::normalize_weights(&counts);
+    let table =
+        AnsTable::from_weights(&weights).expect("normalized weights always form a valid table");
+    let map = bins::class_to_bin(&plan);
+    drop(table_span);
+    tac_obs::hist(tac_obs::HistKind::AnsPageBins, plan.len());
+    tac_obs::add(tac_obs::Counter::AnsPages, 1);
+
+    let lowers: Vec<u64> = plan.iter().map(|b| bins::class_lower(b.lo)).collect();
+    let widths: Vec<u32> = plan
+        .iter()
+        .map(|b| bins::run_offset_bits(b.lo, b.hi))
+        .collect();
+    let mut tokens = Vec::with_capacity(z.len());
+    let mut total_bits = 0usize;
+    for &v in z {
+        let t = map[bit_len(v)];
+        tokens.push(t);
+        total_bits += widths[t as usize] as usize;
+    }
+    let (words, seeds) = ans::encode(&table, &tokens);
+    let mut packer = BitPacker::with_capacity(total_bits.div_ceil(8));
+    for (&v, &t) in z.iter().zip(&tokens) {
+        packer.push(v - lowers[t as usize], widths[t as usize] as usize);
+    }
+    let offsets = packer.finish();
+
+    out.push(plan.len() as u8);
+    for (b, &w) in plan.iter().zip(&weights) {
+        out.push(b.lo);
+        out.push(b.hi);
+        out.extend(w.to_le_bytes());
+    }
+    for x in seeds {
+        out.extend(x.to_le_bytes());
+    }
+    out.extend((words.len() as u32).to_le_bytes());
+    out.extend_from_slice(&words);
+    out.extend((offsets.len() as u32).to_le_bytes());
+    out.extend_from_slice(&offsets);
+}
+
+/// Element-generic encoder body shared by the `f64` and `f32` trait
+/// entry points (the quantize → delta → zigzag front end is shared
+/// with PcoLite verbatim).
+fn compress_impl<T: Element>(
+    data: &[T],
+    dims: Dims,
+    cfg: &CodecConfig,
+) -> Result<(Vec<u8>, Vec<T>), CodecError> {
+    dims.validate(data.len())?;
+    cfg.validate()?;
+    let abs_eb = cfg.abs_eb;
+    let two_eb = 2.0 * abs_eb;
+
+    let n = data.len();
+    let mut recon = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    let mut exceptions: Vec<(u64, T)> = Vec::new();
+    let mut prev = 0i64;
+    {
+        let _quantize = tac_obs::span(tac_obs::Stage::Quantize);
+        for (i, &v) in data.iter().enumerate() {
+            match quantize(v, two_eb, abs_eb) {
+                Some((q, r)) => {
+                    recon.push(r);
+                    z.push(zigzag(q.wrapping_sub(prev)));
+                    prev = q;
+                }
+                None => {
+                    recon.push(v);
+                    z.push(zigzag(0));
+                    exceptions.push((i as u64, v));
+                }
+            }
+        }
+    }
+    tac_obs::add_bytes(tac_obs::Counter::PcoExceptions, exceptions.len());
+
+    // tac-lint: allow(arith) -- writer-side capacity estimate over in-memory lengths; a wrong guess only costs a reallocation.
+    let mut body = Vec::with_capacity(8 + exceptions.len() * exception_bytes::<T>() + n);
+    body.extend((exceptions.len() as u64).to_le_bytes());
+    for &(idx, v) in &exceptions {
+        body.extend(idx.to_le_bytes());
+        v.append_le(&mut body);
+    }
+    {
+        let _pack = tac_obs::span(tac_obs::Stage::Pack);
+        for page in z.chunks(PAGE) {
+            encode_page(page, &mut body);
+        }
+    }
+
+    let mut flags = 0u8;
+    if T::DTYPE == TacDtype::F32 {
+        flags |= FLAG_F32;
+    }
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(flags);
+    w.put_u8(dims.rank());
+    match dims {
+        Dims::D1(a) => w.put_u64(a as u64),
+        Dims::D2(a, b) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+        }
+        Dims::D3(a, b, c) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+            w.put_u64(c as u64);
+        }
+        Dims::D4(a, b, c, d) => {
+            w.put_u64(a as u64);
+            w.put_u64(b as u64);
+            w.put_u64(c as u64);
+            w.put_u64(d as u64);
+        }
+    }
+    w.put_f64(abs_eb);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&body);
+    Ok((out, recon))
+}
+
+/// The value mask for a `width`-bit offset read (all-ones below
+/// `width`, zero for an empty read), precomputed per bin so the batch
+/// loop applies it with one AND.
+fn offset_mask(width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else {
+        u64::MAX >> 64u32.saturating_sub(width).min(63)
+    }
+}
+
+/// Reads `width` bits at absolute bit position `bitpos` from an
+/// LSB-first stream: one unaligned 64-bit gather, with a spill byte
+/// only on the rare reads that straddle past 64 loaded bits, so the
+/// batch loop carries no per-bit refill state. Past-the-end reads see
+/// zero bits; the page-level offset-byte check rejects streams that
+/// actually ran short. `mask` must be `offset_mask(width)`.
+#[inline(always)]
+fn read_bits(bytes: &[u8], bitpos: usize, width: u32, mask: u64) -> u64 {
+    let at = bitpos >> 3;
+    let shift = bitpos & 7;
+    let lo = match bytes.get(at..at.wrapping_add(8)) {
+        Some(s) => u64::from_le_bytes(s.try_into().unwrap_or([0u8; 8])),
+        None => {
+            // Stream tail: gather what remains, zero-padded.
+            let mut acc = 0u64;
+            let mut sh = 0u32;
+            for &b in bytes.iter().skip(at).take(8) {
+                acc |= u64::from(b) << sh;
+                sh = sh.wrapping_add(8);
+            }
+            acc
+        }
+    };
+    let v = if shift.wrapping_add(width as usize) <= 64 {
+        lo >> shift
+    } else {
+        let hi = u64::from(bytes.get(at.wrapping_add(8)).copied().unwrap_or(0));
+        (lo >> shift) | ((hi << (63 - shift)) << 1)
+    };
+    v & mask
+}
+
+/// Reusable per-stream decode state: the slot-indexed rANS table, the
+/// token batch, and the bin-geometry lookups. The lookup arrays are
+/// sized for the full `u8` token range so the batch loop's indexed
+/// loads compile without bounds checks, and everything is rebuilt in
+/// place per page — the page loop allocates nothing.
+struct DecodeScratch {
+    table: DecodeTable,
+    tokens: [u8; BATCH],
+    lowers: [u64; 256],
+    widths: [u32; 256],
+    masks: [u64; 256],
+}
+
+impl DecodeScratch {
+    fn new() -> DecodeScratch {
+        DecodeScratch {
+            table: DecodeTable::new(),
+            tokens: [0; BATCH],
+            lowers: [0; 256],
+            widths: [0; 256],
+            masks: [0; 256],
+        }
+    }
+}
+
+/// Parses and validates one page's bin table into `scratch` (lower
+/// bound and offset width per bin, plus the rANS decode table built
+/// from the serialized weights), returning the bin count.
+fn read_bin_table(b: &mut ByteReader, scratch: &mut DecodeScratch) -> Result<usize, CodecError> {
+    let n_bins = usize::from(b.get_u8().map_err(|_| corrupt("page header truncated"))?);
+    if n_bins == 0 || n_bins > CLASSES {
+        return Err(corrupt(format!("page with {n_bins} bins")));
+    }
+    scratch.lowers = [0; 256];
+    scratch.widths = [0; 256];
+    scratch.masks = [0; 256];
+    let mut weights = [0u16; CLASSES];
+    let mut prev_hi: Option<u8> = None;
+    for (((lw, wd), mk), wt) in scratch
+        .lowers
+        .iter_mut()
+        .zip(scratch.widths.iter_mut())
+        .zip(scratch.masks.iter_mut())
+        .zip(weights.iter_mut())
+        .take(n_bins)
+    {
+        let truncated = |_| corrupt("page bin table truncated");
+        let lo = b.get_u8().map_err(truncated)?;
+        let hi = b.get_u8().map_err(truncated)?;
+        let weight = b.get_u16().map_err(truncated)?;
+        if lo > hi || usize::from(hi) >= CLASSES || prev_hi.is_some_and(|p| lo <= p) {
+            return Err(corrupt(format!("bin classes {lo}..={hi} out of order")));
+        }
+        prev_hi = Some(hi);
+        *lw = bins::class_lower(lo);
+        *wd = bins::run_offset_bits(lo, hi);
+        *mk = offset_mask(*wd);
+        *wt = weight;
+    }
+    scratch
+        .table
+        .fill(weights.get(..n_bins).unwrap_or_default())?;
+    Ok(n_bins)
+}
+
+/// Decodes one page into `out` (exactly the page's values): batched
+/// ANS token decode into SoA scratch, offset gathers, then value
+/// reconstruction. Exceptions are patched by the caller after all
+/// pages.
+fn decode_page<T: Element>(
+    b: &mut ByteReader,
+    scratch: &mut DecodeScratch,
+    prev: &mut i64,
+    two_eb: f64,
+    out: &mut [T],
+) -> Result<(), CodecError> {
+    let table_span = tac_obs::span(tac_obs::Stage::AnsTable);
+    let n_bins = read_bin_table(b, scratch)?;
+    drop(table_span);
+    let truncated = |_| corrupt("page header truncated");
+    let mut seeds = [0u32; LANES];
+    for x in seeds.iter_mut() {
+        *x = b.get_u32().map_err(truncated)?;
+        if *x < RANS_L {
+            return Err(corrupt("ANS seed state below the normalized interval"));
+        }
+    }
+    let word_bytes = b.get_u32().map_err(truncated)? as usize;
+    if word_bytes % 2 != 0 {
+        return Err(corrupt(format!("odd ANS word byte count {word_bytes}")));
+    }
+    let words = b
+        .get_bytes(word_bytes)
+        .map_err(|_| corrupt("ANS words truncated"))?;
+    let offset_bytes = b.get_u32().map_err(truncated)? as usize;
+    let offsets = b
+        .get_bytes(offset_bytes)
+        .map_err(|_| corrupt("offset stream truncated"))?;
+
+    let DecodeScratch {
+        table,
+        tokens,
+        lowers,
+        widths,
+        masks,
+    } = scratch;
+    let mut dec = AnsDecoder::new(words, seeds);
+    let mut bitpos = 0usize;
+    let mut q = *prev;
+    // All chunks but the last are the full (even) BATCH, which keeps
+    // the decoder's lane parity aligned across calls.
+    for chunk in out.chunks_mut(BATCH) {
+        let Some(batch) = tokens.get_mut(..chunk.len()) else {
+            return Err(corrupt("batch bound outran its scratch buffer"));
+        };
+        dec.decode_into(table, batch);
+        for (slot, &t) in chunk.iter_mut().zip(batch.iter()) {
+            let ti = usize::from(t);
+            let w = widths.get(ti).copied().unwrap_or(0);
+            let lower = lowers.get(ti).copied().unwrap_or(0);
+            let mask = masks.get(ti).copied().unwrap_or(0);
+            let zv = lower.wrapping_add(read_bits(offsets, bitpos, w, mask));
+            bitpos = bitpos.wrapping_add(w as usize);
+            q = q.wrapping_add(unzigzag(zv));
+            *slot = T::from_f64(q as f64 * two_eb);
+        }
+    }
+    if !dec.finished() {
+        return Err(corrupt("ANS stream does not drain to its seed states"));
+    }
+    if bitpos.div_ceil(8) != offset_bytes {
+        return Err(corrupt(format!(
+            "offset stream holds {offset_bytes} bytes but decode consumed {bitpos} bits"
+        )));
+    }
+    tac_obs::add(tac_obs::Counter::AnsPages, 1);
+    tac_obs::add(tac_obs::Counter::AnsRenorms, dec.renorms());
+    tac_obs::hist(tac_obs::HistKind::AnsPageBins, n_bins);
+    *prev = q;
+    Ok(())
+}
+
+/// Element-generic decoder body: the stream's dtype flag must match
+/// `T`.
+fn decompress_impl<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r
+        .get_bytes(4)
+        .map_err(|_| corrupt("stream shorter than header"))?;
+    if magic != MAGIC {
+        return Err(CodecError::WrongCodec {
+            expected: "pco-ans",
+            found: format!("magic {magic:02x?}"),
+        });
+    }
+    let version = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    if version != VERSION {
+        return Err(corrupt(format!(
+            "pco-ans version {version} (expected {VERSION})"
+        )));
+    }
+    let flags = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    if flags & !FLAG_F32 != 0 {
+        return Err(corrupt(format!("unknown flag bits {flags:#04x}")));
+    }
+    let stream_dtype = if flags & FLAG_F32 != 0 {
+        TacDtype::F32
+    } else {
+        TacDtype::F64
+    };
+    if stream_dtype != T::DTYPE {
+        return Err(CodecError::WrongDtype {
+            stream: stream_dtype.label(),
+            requested: T::DTYPE.label(),
+        });
+    }
+    let rank = r.get_u8().map_err(|_| corrupt("header truncated"))?;
+    if !(1..=4).contains(&rank) {
+        return Err(corrupt(format!("invalid rank {rank}")));
+    }
+    let mut dim = || -> Result<usize, CodecError> {
+        r.get_u64()
+            .map(|v| v as usize)
+            .map_err(|_| corrupt("header truncated"))
+    };
+    let dims = match rank {
+        1 => Dims::D1(dim()?),
+        2 => Dims::D2(dim()?, dim()?),
+        3 => Dims::D3(dim()?, dim()?, dim()?),
+        _ => Dims::D4(dim()?, dim()?, dim()?, dim()?),
+    };
+    if dims.is_empty() {
+        return Err(corrupt("zero-sized dimensions"));
+    }
+    if dims.len() > (1usize << 40) {
+        return Err(corrupt(format!(
+            "declared element count {} is implausible",
+            dims.len()
+        )));
+    }
+    let abs_eb = r.get_f64().map_err(|_| corrupt("header truncated"))?;
+    if abs_eb <= 0.0 || !abs_eb.is_finite() {
+        return Err(corrupt(format!("invalid stored eb {abs_eb}")));
+    }
+    let two_eb = 2.0 * abs_eb;
+    let n = dims.len();
+    let body = r.rest();
+    let mut b = ByteReader::new(body);
+
+    // Bound the up-front `recon` allocation by what the body can hold:
+    // every page needs its fixed header plus at least one bin entry, so
+    // a crafted header cannot demand terabytes from a tiny body.
+    let min_body = 8usize.saturating_add(
+        n.div_ceil(PAGE)
+            .saturating_mul(PAGE_FIXED_BYTES.saturating_add(BIN_BYTES)),
+    );
+    if min_body > body.len() {
+        return Err(corrupt(format!(
+            "{n} declared points need at least {min_body} body bytes, found {}",
+            body.len()
+        )));
+    }
+
+    // Exception table (identical layout to PcoLite).
+    let n_exc = b.get_u64().map_err(|_| corrupt("body truncated"))? as usize;
+    if n_exc > n || n_exc.saturating_mul(exception_bytes::<T>()) > b.remaining() {
+        return Err(corrupt(format!("{n_exc} exceptions for {n} points")));
+    }
+    let mut exceptions = Vec::with_capacity(n_exc);
+    let mut last_idx: Option<usize> = None;
+    for _ in 0..n_exc {
+        let idx = b.get_u64().map_err(|_| corrupt("exception truncated"))? as usize;
+        let chunk = b
+            .get_bytes(T::WIRE_BYTES)
+            .map_err(|_| corrupt("exception truncated"))?;
+        let v = T::read_le(chunk).ok_or_else(|| corrupt("exception truncated"))?;
+        if idx >= n || last_idx.is_some_and(|p| idx <= p) {
+            return Err(corrupt(format!("exception index {idx} out of order")));
+        }
+        last_idx = Some(idx);
+        exceptions.push((idx, v));
+    }
+
+    // Pages, through the batch kernel: values land directly in their
+    // final slots, so the hot loop carries no capacity bookkeeping.
+    let pack_span = tac_obs::span(tac_obs::Stage::Pack);
+    let mut recon = vec![T::ZERO; n];
+    let mut prev = 0i64;
+    let mut scratch = DecodeScratch::new();
+    for chunk in recon.chunks_mut(PAGE) {
+        decode_page(&mut b, &mut scratch, &mut prev, two_eb, chunk)?;
+    }
+    drop(pack_span);
+    if b.remaining() != 0 {
+        return Err(corrupt(format!("{} trailing bytes", b.remaining())));
+    }
+    for (idx, v) in exceptions {
+        let slot = recon
+            .get_mut(idx)
+            .ok_or_else(|| corrupt(format!("exception index {idx} out of range")))?;
+        *slot = v;
+    }
+    Ok((recon, dims))
+}
+
+impl ScalarCodec for PcoAns {
+    fn id(&self) -> CodecId {
+        CodecId::PcoAns
+    }
+
+    fn compress(&self, data: &[f64], dims: Dims, cfg: &CodecConfig) -> Result<Vec<u8>, CodecError> {
+        compress_impl(data, dims, cfg).map(|(bytes, _)| bytes)
+    }
+
+    fn compress_with_recon(
+        &self,
+        data: &[f64],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f64>), CodecError> {
+        compress_impl(data, dims, cfg)
+    }
+
+    fn decompress(&self, bytes: &[u8]) -> Result<(Vec<f64>, Dims), CodecError> {
+        decompress_impl(bytes)
+    }
+
+    fn compress_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<Vec<u8>, CodecError> {
+        compress_impl(data, dims, cfg).map(|(bytes, _)| bytes)
+    }
+
+    fn compress_with_recon_f32(
+        &self,
+        data: &[f32],
+        dims: Dims,
+        cfg: &CodecConfig,
+    ) -> Result<(Vec<u8>, Vec<f32>), CodecError> {
+        compress_impl(data, dims, cfg)
+    }
+
+    fn decompress_f32(&self, bytes: &[u8]) -> Result<(Vec<f32>, Dims), CodecError> {
+        decompress_impl(bytes)
+    }
+
+    fn magic(&self) -> &'static [u8] {
+        &MAGIC
+    }
+
+    fn looks_like(&self, bytes: &[u8]) -> bool {
+        bytes.len() > 5
+            && bytes.get(..4) == Some(MAGIC.as_slice())
+            && bytes.get(4) == Some(&VERSION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[f64], dims: Dims, eb: f64) -> Vec<f64> {
+        let cfg = CodecConfig::abs(eb);
+        let (bytes, recon) = PcoAns.compress_with_recon(data, dims, &cfg).unwrap();
+        let (out, out_dims) = PcoAns.decompress(&bytes).unwrap();
+        assert_eq!(out_dims, dims);
+        for (a, b) in recon.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits(), "recon promise broken");
+        }
+        out
+    }
+
+    fn check_bound(orig: &[f64], recon: &[f64], eb: f64) {
+        for (i, (&a, &b)) in orig.iter().zip(recon).enumerate() {
+            if a.is_finite() {
+                assert!((a - b).abs() <= eb * (1.0 + 1e-12), "point {i}: {a} vs {b}");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "non-finite point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_3d_roundtrips_and_compresses() {
+        let n = 16;
+        let data: Vec<f64> = (0..n * n * n)
+            .map(|i| (i as f64 * 0.003).sin() * 10.0 + (i as f64 * 0.0007).cos())
+            .collect();
+        let cfg = CodecConfig::abs(1e-3);
+        let bytes = PcoAns.compress(&data, Dims::D3(n, n, n), &cfg).unwrap();
+        let (out, _) = PcoAns.decompress(&bytes).unwrap();
+        check_bound(&data, &out, 1e-3);
+        assert!(
+            bytes.len() < data.len() * 8 / 4,
+            "smooth data should compress 4x+, took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn constant_field_is_tiny() {
+        let data = vec![42.5f64; 8192];
+        let cfg = CodecConfig::abs(1e-6);
+        let bytes = PcoAns.compress(&data, Dims::D1(8192), &cfg).unwrap();
+        let (out, _) = PcoAns.decompress(&bytes).unwrap();
+        check_bound(&data, &out, 1e-6);
+        assert!(
+            bytes.len() < 200,
+            "constant field took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn multi_page_streams_roundtrip() {
+        // Crosses several page boundaries, including a partial tail
+        // page and an odd final batch.
+        let data: Vec<f64> = (0..3 * 4096 + 777)
+            .map(|i| (i as f64 * 0.001).sin() * 50.0 + i as f64 * 0.01)
+            .collect();
+        let out = roundtrip(&data, Dims::D1(data.len()), 1e-4);
+        check_bound(&data, &out, 1e-4);
+    }
+
+    #[test]
+    fn non_finite_values_roundtrip_bit_exactly() {
+        let mut data: Vec<f64> = (0..512).map(|i| i as f64 * 0.1).collect();
+        data[3] = f64::NAN;
+        data[100] = f64::INFINITY;
+        data[200] = f64::NEG_INFINITY;
+        let out = roundtrip(&data, Dims::D1(512), 1e-2);
+        check_bound(&data, &out, 1e-2);
+        assert!(out[3].is_nan());
+        assert_eq!(out[100], f64::INFINITY);
+        assert_eq!(out[200], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn extreme_magnitudes_fall_back_to_raw() {
+        let data = vec![1e300, -1e300, 5.0, 1e-300, 0.0, f64::MAX];
+        let out = roundtrip(&data, Dims::D1(6), 1e-12);
+        for (a, b) in data.iter().zip(&out) {
+            if a.abs() > 1e15 {
+                assert_eq!(a.to_bits(), b.to_bits());
+            } else {
+                assert!((a - b).abs() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn white_noise_respects_bound() {
+        let data: Vec<f64> = (0..4096u64)
+            .map(|i| {
+                let h = i.wrapping_mul(0x9E3779B97F4A7C15);
+                (h >> 11) as f64 / (1u64 << 53) as f64 * 200.0 - 100.0
+            })
+            .collect();
+        let out = roundtrip(&data, Dims::D3(16, 16, 16), 0.5);
+        check_bound(&data, &out, 0.5);
+    }
+
+    #[test]
+    fn spiky_but_flat_data_stays_small() {
+        // Mostly-flat signal with rare huge jumps: the spikes should
+        // land in their own rare bin, not widen everything.
+        let mut data = vec![1.0f64; 6000];
+        for i in (0..6000).step_by(500) {
+            data[i] = 1e6;
+        }
+        let cfg = CodecConfig::abs(1e-3);
+        let bytes = PcoAns.compress(&data, Dims::D1(6000), &cfg).unwrap();
+        let (out, _) = PcoAns.decompress(&bytes).unwrap();
+        check_bound(&data, &out, 1e-3);
+        assert!(
+            bytes.len() < 6000,
+            "spiky-but-flat data took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_streams_error_never_panic() {
+        let data: Vec<f64> = (0..5000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let cfg = CodecConfig::abs(1e-4);
+        let bytes = PcoAns.compress(&data, Dims::D1(5000), &cfg).unwrap();
+        let mut mutated = bytes.clone();
+        for i in 0..mutated.len() {
+            mutated[i] ^= 0xFF;
+            let _ = PcoAns.decompress(&mutated);
+            mutated[i] ^= 0xFF;
+        }
+        for cut in 0..bytes.len().min(64) {
+            assert!(PcoAns.decompress(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        assert!(PcoAns.decompress(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(PcoAns.decompress(&extra).is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_decode_to_the_wrong_length() {
+        // Whatever a flipped stream decodes to (if anything), the shape
+        // contract must hold: `dims.len()` values, exactly.
+        let data: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.02).cos() * 3.0).collect();
+        let bytes = PcoAns
+            .compress(&data, Dims::D1(2000), &CodecConfig::abs(1e-3))
+            .unwrap();
+        let mut mutated = bytes.clone();
+        for i in (0..mutated.len()).step_by(7) {
+            mutated[i] ^= 0x10;
+            if let Ok((out, dims)) = PcoAns.decompress(&mutated) {
+                assert_eq!(out.len(), dims.len());
+            }
+            mutated[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn huge_declared_dims_error_instead_of_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0); // flags
+        bytes.push(1); // rank
+        bytes.extend((1u64 << 40).to_le_bytes()); // dim
+        bytes.extend(1e-3f64.to_le_bytes()); // abs_eb
+        bytes.extend(0u64.to_le_bytes()); // body: zero exceptions
+        let err = PcoAns.decompress(&bytes).unwrap_err();
+        assert!(matches!(err, CodecError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let data = vec![1.0f64; 64];
+        let mut bytes = PcoAns
+            .compress(&data, Dims::D1(64), &CodecConfig::abs(1e-3))
+            .unwrap();
+        bytes[5] |= 0b0000_0100;
+        assert!(matches!(
+            PcoAns.decompress(&bytes),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_magic_is_wrong_codec() {
+        let sz = tac_sz::compress(&[1.0; 8], Dims::D1(8), &tac_sz::SzConfig::abs(1.0)).unwrap();
+        assert!(matches!(
+            PcoAns.decompress(&sz),
+            Err(CodecError::WrongCodec { .. })
+        ));
+        assert!(!PcoAns.looks_like(&sz));
+    }
+
+    #[test]
+    fn f32_streams_roundtrip_and_stay_native_width() {
+        let data: Vec<f32> = (0..5000)
+            .map(|i| (i as f32 * 0.01).sin() * 4.0 + (i as f32 * 0.002).cos())
+            .collect();
+        let cfg = CodecConfig::abs(1e-3);
+        let (bytes, recon) = PcoAns
+            .compress_with_recon_f32(&data, Dims::D1(5000), &cfg)
+            .unwrap();
+        let (out, dims) = PcoAns.decompress_f32(&bytes).unwrap();
+        assert_eq!(dims, Dims::D1(5000));
+        for (i, (&a, &b)) in data.iter().zip(&out).enumerate() {
+            assert!(
+                (a as f64 - b as f64).abs() <= 1e-3 * (1.0 + 1e-6),
+                "point {i}"
+            );
+        }
+        for (a, b) in recon.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Wrong-width entry points reject.
+        assert!(matches!(
+            PcoAns.decompress(&bytes),
+            Err(CodecError::WrongDtype { .. })
+        ));
+    }
+
+    #[test]
+    fn f32_corrupt_streams_error_never_panic() {
+        let data: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.01).sin()).collect();
+        let cfg = CodecConfig::abs(1e-4);
+        let bytes = PcoAns.compress_f32(&data, Dims::D1(1000), &cfg).unwrap();
+        let mut mutated = bytes.clone();
+        for i in (0..mutated.len()).step_by(3) {
+            mutated[i] ^= 0xFF;
+            let _ = PcoAns.decompress_f32(&mutated);
+            let _ = PcoAns.decompress(&mutated);
+            mutated[i] ^= 0xFF;
+        }
+        for cut in 0..bytes.len().min(64) {
+            assert!(PcoAns.decompress_f32(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn read_bits_matches_a_reference_reader() {
+        // Pack a known pattern and gather it back at every width.
+        let mut packer = BitPacker::with_capacity(64);
+        let widths = [3usize, 0, 64, 7, 13, 1, 57, 64, 5];
+        let values = [
+            0b101u64,
+            0,
+            0xDEAD_BEEF_CAFE_F00D,
+            0x55,
+            0x1ABC,
+            1,
+            0x00FF_EE11_2233_4455,
+            u64::MAX,
+            0x1F,
+        ];
+        for (&v, &w) in values.iter().zip(&widths) {
+            packer.push(v, w);
+        }
+        let bytes = packer.finish();
+        let mut bitpos = 0usize;
+        for (&v, &w) in values.iter().zip(&widths) {
+            let got = read_bits(&bytes, bitpos, w as u32, offset_mask(w as u32));
+            assert_eq!(got, v, "width {w} at bit {bitpos}");
+            bitpos += w;
+        }
+    }
+}

@@ -88,6 +88,10 @@ impl ScalarCodec for SzCodec {
         Ok(tac_sz::decompress_t(bytes)?)
     }
 
+    fn magic(&self) -> &'static [u8] {
+        tac_sz::stream_magic()
+    }
+
     fn looks_like(&self, bytes: &[u8]) -> bool {
         tac_sz::looks_like_stream(bytes)
     }

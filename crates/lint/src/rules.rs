@@ -40,6 +40,9 @@ pub const DECODE_PATH_MODULES: &[&str] = &[
     "crates/sz/src/bitstream.rs",
     "crates/sz/src/lossless.rs",
     "crates/codec/src/pco.rs",
+    "crates/codec/src/pco_ans.rs",
+    "crates/codec/src/ans.rs",
+    "crates/codec/src/bins.rs",
     "crates/codec/src/sz.rs",
     "crates/obs/src/registry.rs",
     "crates/obs/src/export.rs",
@@ -56,6 +59,9 @@ pub const WIRE_ARITH_MODULES: &[&str] = &[
     "crates/sz/src/huffman.rs",
     "crates/sz/src/lossless.rs",
     "crates/codec/src/pco.rs",
+    "crates/codec/src/pco_ans.rs",
+    "crates/codec/src/ans.rs",
+    "crates/codec/src/bins.rs",
     "crates/obs/src/registry.rs",
     "crates/obs/src/export.rs",
 ];

@@ -30,6 +30,9 @@ const CORE_CONTAINER: &str = "crates/core/src/container.rs";
 const CORE_STREAM: &str = "crates/core/src/stream.rs";
 const SZ_CONTAINER: &str = "crates/sz/src/container.rs";
 const PCO: &str = "crates/codec/src/pco.rs";
+const PCO_ANS: &str = "crates/codec/src/pco_ans.rs";
+const ANS: &str = "crates/codec/src/ans.rs";
+const BINS: &str = "crates/codec/src/bins.rs";
 
 /// Size of the chunk table's `u32` row-count prefix.
 const COUNT_PREFIX: u64 = 4;
@@ -95,6 +98,7 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
     let core_magic = require_magic(&mut v, CORE_CONTAINER);
     require_magic(&mut v, SZ_CONTAINER);
     require_magic(&mut v, PCO);
+    require_magic(&mut v, PCO_ANS);
     for i in 0..magics.len() {
         for j in i + 1..magics.len() {
             if magics[i].1 == magics[j].1 {
@@ -132,7 +136,7 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
             }
         }
     }
-    for file in [SZ_CONTAINER, PCO] {
+    for file in [SZ_CONTAINER, PCO, PCO_ANS] {
         if let Some(fa) = find(analyses, file) {
             if get_const(fa, "VERSION").and_then(|c| c.int).is_none() {
                 v.push(violation(
@@ -143,6 +147,49 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
             }
         }
     }
+
+    // The ANS table geometry: TABLE_SIZE must be the named power of two
+    // of TABLE_BITS, declared once in the ANS module.
+    let mut ans_table_size = None;
+    if let Some(fa) = find(analyses, ANS) {
+        let bits = get_const(fa, "TABLE_BITS").and_then(|c| c.int);
+        let size = get_const(fa, "TABLE_SIZE").and_then(|c| c.int);
+        match (bits, size) {
+            (Some(b), Some(s)) => {
+                if b >= 32 || s != 1u64 << b {
+                    v.push(violation(
+                        &fa.file,
+                        1,
+                        format!("TABLE_SIZE ({s}) must equal 1 << TABLE_BITS ({b})"),
+                    ));
+                } else {
+                    ans_table_size = Some(s);
+                }
+            }
+            _ => v.push(violation(
+                &fa.file,
+                1,
+                "ANS module must declare integer constants `TABLE_BITS` and `TABLE_SIZE`".into(),
+            )),
+        }
+    } else {
+        v.push(violation(
+            ANS,
+            1,
+            "wire module missing from the scan".into(),
+        ));
+    }
+    let pco_ans_page = find(analyses, PCO_ANS).and_then(|fa| {
+        let page = get_const(fa, "PAGE").and_then(|c| c.int);
+        if page.is_none() {
+            v.push(violation(
+                &fa.file,
+                1,
+                "no integer constant `PAGE` declared".into(),
+            ));
+        }
+        page
+    });
 
     // Chunk-table row sizes.
     let mut row_v2 = None;
@@ -271,6 +318,40 @@ pub fn wire_checks(root: &Path, analyses: &[FileAnalysis]) -> Vec<Violation> {
                             message: format!(
                                 "bare chunk-row size {value}; use CHUNK_ROW_BYTES_V{n}"
                             ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // The PcoAns page size and the ANS table size never recur as bare
+    // integers in the codec's wire modules — every use must go through
+    // the named constant (same failure mode as the chunk-row sizes).
+    let ans_wire_sizes: Vec<(u64, &str)> = [(pco_ans_page, "PAGE"), (ans_table_size, "TABLE_SIZE")]
+        .into_iter()
+        .filter_map(|(val, name)| val.map(|v| (v, name)))
+        .collect();
+    if !ans_wire_sizes.is_empty() {
+        for file in [PCO_ANS, ANS, BINS] {
+            if let Some(fa) = find(analyses, file) {
+                let decl_lines: Vec<u32> = fa
+                    .consts
+                    .iter()
+                    .filter(|c| ans_wire_sizes.iter().any(|&(_, n)| c.name == n))
+                    .map(|c| c.line)
+                    .collect();
+                for &(value, line, col) in &fa.bare_ints {
+                    if decl_lines.contains(&line) {
+                        continue;
+                    }
+                    if let Some(&(_, name)) = ans_wire_sizes.iter().find(|&&(s, _)| s == value) {
+                        v.push(Violation {
+                            rule: "wire",
+                            file: fa.file.clone(),
+                            line,
+                            col,
+                            message: format!("bare ANS wire size {value}; use {name}"),
                         });
                     }
                 }

@@ -335,6 +335,16 @@ pub const CHUNK_ROW_BYTES_V4: usize = 43;
             "crates/codec/src/pco.rs",
             "pub const MAGIC: [u8; 4] = *b\"WPC1\";\npub const VERSION: u8 = 1;\n".to_string(),
         ),
+        (
+            "crates/codec/src/pco_ans.rs",
+            "pub const MAGIC: [u8; 4] = *b\"WPA1\";\npub const VERSION: u8 = 1;\n\
+             const PAGE: usize = 4096;\n"
+                .to_string(),
+        ),
+        (
+            "crates/codec/src/ans.rs",
+            "const TABLE_BITS: u32 = 11;\nconst TABLE_SIZE: usize = 2048;\n".to_string(),
+        ),
     ]
 }
 
@@ -491,6 +501,42 @@ fn bare_row_size_literal_is_reported() {
     let v = wire_checks(&root, &analyses_of(&sources));
     assert!(
         v.iter().any(|x| x.message.contains("bare chunk-row size")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn ans_table_geometry_mismatch_is_reported() {
+    let mut sources = good_sources();
+    let ans = sources
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("crates/codec/src/ans.rs"))
+        .unwrap();
+    ans.1 = "const TABLE_BITS: u32 = 11;\nconst TABLE_SIZE: usize = 4096;\n".to_string();
+    let root = temp_root("wc_anstable", &[("a.tacd", fixture_bytes(2, 1, 41))]);
+    let v = wire_checks(&root, &analyses_of(&sources));
+    assert!(
+        v.iter()
+            .any(|x| x.message.contains("must equal 1 << TABLE_BITS")),
+        "{v:?}"
+    );
+}
+
+#[test]
+fn bare_ans_wire_size_literal_is_reported() {
+    let mut sources = good_sources();
+    let pco_ans = sources
+        .iter_mut()
+        .find(|(p, _)| p.ends_with("crates/codec/src/pco_ans.rs"))
+        .unwrap();
+    // A second, bare use of the page size (2048 likewise covered).
+    pco_ans
+        .1
+        .push_str("fn f(n: usize) -> usize { n.div_ceil(4096) }\n");
+    let root = temp_root("wc_ansbare", &[("a.tacd", fixture_bytes(2, 1, 41))]);
+    let v = wire_checks(&root, &analyses_of(&sources));
+    assert!(
+        v.iter().any(|x| x.message.contains("bare ANS wire size")),
         "{v:?}"
     );
 }

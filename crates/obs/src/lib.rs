@@ -59,6 +59,8 @@ pub enum Stage {
     Quantize,
     /// PcoLite adaptive bit packing.
     Pack,
+    /// PcoAns per-page bin planning + rANS table build (both sides).
+    AnsTable,
     /// SZ entropy stage (Huffman).
     Entropy,
     /// Final lossless stage (LZSS) of either codec.
@@ -81,6 +83,7 @@ impl Stage {
         Stage::Decode,
         Stage::Quantize,
         Stage::Pack,
+        Stage::AnsTable,
         Stage::Entropy,
         Stage::Lossless,
         Stage::RoiDecode,
@@ -99,6 +102,7 @@ impl Stage {
             Stage::Decode => "decode",
             Stage::Quantize => "quantize",
             Stage::Pack => "pack",
+            Stage::AnsTable => "ans_table",
             Stage::Entropy => "entropy",
             Stage::Lossless => "lossless",
             Stage::RoiDecode => "roi_decode",
@@ -147,6 +151,10 @@ pub enum Counter {
     PcoOutliers,
     /// PcoLite out-of-page exception values.
     PcoExceptions,
+    /// PcoAns pages emitted or decoded.
+    AnsPages,
+    /// PcoAns decoder state renormalizations (16-bit word refills).
+    AnsRenorms,
 }
 
 impl Counter {
@@ -173,6 +181,8 @@ impl Counter {
         Counter::PcoPages,
         Counter::PcoOutliers,
         Counter::PcoExceptions,
+        Counter::AnsPages,
+        Counter::AnsRenorms,
     ];
 
     /// Index into a shard's counter array.
@@ -202,6 +212,8 @@ impl Counter {
             Counter::PcoPages => "pco_pages",
             Counter::PcoOutliers => "pco_outliers",
             Counter::PcoExceptions => "pco_exceptions",
+            Counter::AnsPages => "ans_pages",
+            Counter::AnsRenorms => "ans_renorms",
         }
     }
 }
@@ -212,10 +224,14 @@ impl Counter {
 pub enum HistKind {
     /// Bit width chosen per PcoLite page (0..=64).
     PcoPageBits,
+    /// Bin count chosen per PcoAns page (1..=65, clamped to the bucket
+    /// range).
+    AnsPageBins,
 }
 
-/// Bucket count per histogram: values 0..=64 plus nothing else — bit
-/// widths are the only histogrammed quantity today.
+/// Bucket count per histogram: values 0..=64 — right for bit widths,
+/// and PcoAns bin counts (1..=65) land in it with the top value
+/// clamped.
 pub const HIST_BUCKETS: usize = 65;
 
 impl HistKind {
@@ -223,7 +239,7 @@ impl HistKind {
     pub const COUNT: usize = HistKind::ALL.len();
 
     /// Every histogram kind.
-    pub const ALL: &'static [HistKind] = &[HistKind::PcoPageBits];
+    pub const ALL: &'static [HistKind] = &[HistKind::PcoPageBits, HistKind::AnsPageBins];
 
     /// Index into a shard's histogram array.
     #[inline(always)]
@@ -235,6 +251,7 @@ impl HistKind {
     pub fn name(self) -> &'static str {
         match self {
             HistKind::PcoPageBits => "pco_page_bits",
+            HistKind::AnsPageBins => "ans_page_bins",
         }
     }
 }

@@ -487,6 +487,12 @@ pub fn decompress_t<T: Element>(bytes: &[u8]) -> Result<(Vec<T>, Dims), SzError>
     Ok((recon, header.dims))
 }
 
+/// The stream magic every TSZ1 stream starts with — exposed so the
+/// codec registry can order its sniff probes by magic length.
+pub fn stream_magic() -> &'static [u8] {
+    &MAGIC
+}
+
 /// Sanity check available to callers: magic-number sniffing.
 pub fn looks_like_stream(bytes: &[u8]) -> bool {
     bytes.len() > 5 && bytes.get(..4) == Some(MAGIC.as_slice()) && bytes.get(4) == Some(&VERSION)

@@ -49,7 +49,7 @@ pub mod wire;
 
 pub use compress::{
     compress, compress_t, compress_with_recon, compress_with_recon_t, decompress, decompress_t,
-    looks_like_stream, stream_dtype,
+    looks_like_stream, stream_dtype, stream_magic,
 };
 pub use config::{Dims, ErrorBound, SzConfig};
 pub use container::{Header, FLAG_F32, FLAG_LOSSLESS};

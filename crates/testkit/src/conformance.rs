@@ -572,17 +572,17 @@ mod tests {
     fn single_scenario_matrix_passes_and_reports() {
         let spec = scenario("tiny-extremes").unwrap();
         let report = run_scenarios(&[spec], 3);
-        // 4 methods x 2 codecs x 3 formats.
-        assert_eq!(report.cells.len(), 24);
+        // 4 methods x 3 codecs x 3 formats.
+        assert_eq!(report.cells.len(), 36);
         assert!(report.all_pass(), "{}", report.summary());
         let json = report.to_json();
         assert!(json.contains("\"failed\": 0"), "{json}");
         assert!(json.contains("tiny-extremes"));
-        assert!(report.summary().contains("24/24"));
+        assert!(report.summary().contains("36/36"));
     }
 
     #[test]
-    fn adversarial_scenario_holds_bounds_under_both_codecs() {
+    fn adversarial_scenario_holds_bounds_under_every_codec() {
         let spec = scenario("checkerboard").unwrap();
         let report = run_scenarios(&[spec], 11);
         assert!(report.all_pass(), "{}", report.summary());
@@ -598,9 +598,9 @@ mod tests {
         let spec = scenario("checkerboard-f32").unwrap();
         assert_eq!(spec.dtype, TacDtype::F32);
         let report = run_scenarios(&[spec], 5);
-        // Same sweep breadth as an f64 scenario: 4 methods x 2 codecs x
+        // Same sweep breadth as an f64 scenario: 4 methods x 3 codecs x
         // 3 formats, every leg through the monomorphized f32 stack.
-        assert_eq!(report.cells.len(), 24);
+        assert_eq!(report.cells.len(), 36);
         assert!(report.all_pass(), "{}", report.summary());
     }
 

@@ -105,8 +105,8 @@ impl FuzzOutcome {
 }
 
 /// Builds the corpus of valid containers the mutations start from:
-/// three small scenarios, all four methods, both codecs where it adds a
-/// wire difference, and both container versions.
+/// three small scenarios, all four methods, every registered codec
+/// where it adds a wire difference, and both container versions.
 pub fn corpus() -> Vec<Vec<u8>> {
     let mut out = Vec::new();
     for name in ["tiny-extremes", "degenerate-corner", "spike-field"] {
@@ -237,7 +237,7 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
         return "seed byte into empty input".into();
     }
     let len = bytes.len();
-    match rng.below(11) {
+    match rng.below(12) {
         0 => {
             let i = rng.below(len);
             let bit = rng.below(8);
@@ -320,6 +320,21 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
                 format!("flip low bit of byte {i}")
             }
         }
+        10 => {
+            // Targeted ANS corruption: hunt an embedded pco-ans stream
+            // and corrupt the region just past its header — exception
+            // count, first page's bin table, rANS seed states, renorm
+            // word bytes — the decoder's drain/geometry checks must
+            // catch all of it.
+            if let Some(pos) = pco_ans_region_pos(bytes, rng) {
+                bytes[pos] ^= 1 + rng.below(255) as u8;
+                format!("corrupt pco-ans table/state byte at {pos}")
+            } else {
+                let i = rng.below(len);
+                bytes[i] ^= 2;
+                format!("flip bit 1 of byte {i}")
+            }
+        }
         _ => {
             // Targeted head corruption: version/method/dims/level count.
             let window = len.min(32);
@@ -328,6 +343,29 @@ fn mutate(bytes: &mut Vec<u8>, donor: &[u8], rng: &mut TestRng) -> String {
             format!("head corrupt byte {i}")
         }
     }
+}
+
+/// Picks a byte position inside an embedded pco-ans stream's ANS-table
+/// / seed-state region, provided the container holds one. The stream is
+/// located by its registered magic, so this needs no private constants.
+fn pco_ans_region_pos(bytes: &[u8], rng: &mut TestRng) -> Option<usize> {
+    let magic = tac_core::codec_for(CodecId::PcoAns).magic();
+    let starts: Vec<usize> = bytes
+        .windows(magic.len())
+        .enumerate()
+        .filter(|(_, w)| *w == magic)
+        .map(|(i, _)| i)
+        .collect();
+    if starts.is_empty() {
+        return None;
+    }
+    let start = starts[rng.below(starts.len())];
+    // Skip the fixed stream header (magic, version, flags, rank) and
+    // land within the next 96 bytes: dims/eb tail, exception count, the
+    // first page's bin table, seed states, and leading renorm words.
+    let lo = start.checked_add(7)?;
+    let hi = start.checked_add(96)?.min(bytes.len());
+    (lo < hi).then(|| lo + rng.below(hi - lo))
 }
 
 /// Locates the dtype byte of a random chunk row, provided the bytes
@@ -421,6 +459,21 @@ mod tests {
         let b = fuzz_containers(&cfg);
         assert_eq!(a.rejected, b.rejected);
         assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn ans_mutation_arm_finds_embedded_pco_ans_streams() {
+        // At least one corpus item embeds a pco-ans stream, and the
+        // targeted arm must be able to land inside it.
+        let mut rng = TestRng::new(7);
+        let hits = corpus()
+            .iter()
+            .filter(|bytes| pco_ans_region_pos(bytes, &mut rng).is_some())
+            .count();
+        assert!(hits > 0, "no corpus item embeds a pco-ans stream");
+        // And a container with no such stream yields None.
+        let mut rng = TestRng::new(7);
+        assert_eq!(pco_ans_region_pos(b"no magic here at all", &mut rng), None);
     }
 
     #[test]

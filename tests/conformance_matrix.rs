@@ -1,6 +1,6 @@
 //! The full error-bound conformance matrix as a test: every registered
-//! scenario x {TAC, 1D, zMesh, 3D} x {sz, pco-lite} x {memory, v1,
-//! v2/v3} x {1, 2, 4, 8} workers.
+//! scenario x {TAC, 1D, zMesh, 3D} x {sz, pco-lite, pco-ans} x {memory,
+//! v1, v2/v3} x {1, 2, 4, 8} workers.
 //!
 //! This is the acceptance bar of the testkit: max pointwise error within
 //! the resolved bound (non-finite bit-exact), serialized bytes identical
@@ -13,8 +13,8 @@ use tac_testkit::{run_conformance, scenarios, WORKER_COUNTS};
 #[test]
 fn full_matrix_passes_for_every_scenario() {
     let report = run_conformance(7);
-    // scenarios x 4 methods x 2 codecs x 3 formats.
-    let expected = scenarios().len() * 4 * 2 * 3;
+    // scenarios x 4 methods x 3 codecs x 3 formats.
+    let expected = scenarios().len() * 4 * 3 * 3;
     assert_eq!(report.cells.len(), expected);
     assert!(report.all_pass(), "{}", report.summary());
 
@@ -23,7 +23,7 @@ fn full_matrix_passes_for_every_scenario() {
     for method in ["TAC", "1D", "zMesh", "3D"] {
         assert!(report.cells.iter().any(|c| c.method == method), "{method}");
     }
-    for codec in ["sz", "pco-lite"] {
+    for codec in ["sz", "pco-lite", "pco-ans"] {
         assert!(report.cells.iter().any(|c| c.codec == codec), "{codec}");
     }
     // Every chunked cell ran the ROI-agreement leg.

