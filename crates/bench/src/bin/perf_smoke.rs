@@ -17,6 +17,14 @@
 //!    pco-lite's decode throughput, and must keep its compression-ratio
 //!    advantage (within 10% of pco-lite or better).
 //!
+//! A third family of gates covers the adaptive selection
+//! (`Method::Auto`, the TAC+ pass): on every registered testkit
+//! scenario, Auto's serialized container must reach at least
+//! [`AUTO_FLOOR`] of the best fixed `(method, codec)` pair's bytes at
+//! the same error bound. The per-scenario winners and margins are
+//! written to `SELECTION_auto.json`, archived by CI next to
+//! `BENCH_codec.json`.
+//!
 //! Exits non-zero with a one-line verdict per gate. Scale follows
 //! `TAC_BENCH_SCALE` (default 8, the quick-mode bench scale).
 
@@ -24,7 +32,7 @@ use std::time::Instant;
 use tac_bench::default_scale;
 use tac_bench::experiments::codec_comparison::bench_config;
 use tac_bench::support::{default_unit, load_dataset, measure};
-use tac_core::{codec_for, CodecConfig, CodecId, Method};
+use tac_core::{codec_for, select_auto, CodecConfig, CodecId, Method, TacConfig};
 
 /// Minimum pco-ans / pco-lite decode-throughput ratio on the 1D/f64
 /// container row. Measured headroom at scale 8 is ~0.85; the floor
@@ -36,6 +44,13 @@ const ROW_FLOOR: f64 = 0.70;
 /// Minimum pco-ans / pco-lite compression-ratio quotient on the same
 /// row ("within 10%"). Measured headroom is ~1.24.
 const RATIO_FLOOR: f64 = 0.90;
+
+/// Minimum best-fixed / Auto serialized-bytes quotient per scenario
+/// (equal error bound, so byte dominance is ratio dominance). The
+/// selection's tie-break discounts are bounded at ~3%, well inside
+/// this floor; the testkit scenarios sit in the exhaustive regime, so
+/// the margin is structural, not statistical.
+const AUTO_FLOOR: f64 = 0.95;
 
 fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -117,8 +132,68 @@ fn main() {
         RATIO_FLOOR,
     );
 
+    // Adaptive-selection gates (`auto_vs_fixed` rows), one per testkit
+    // scenario, plus the archived selection report.
+    let mut rows = String::new();
+    for spec in tac_testkit::scenarios() {
+        let sds = spec.build(7);
+        let cfg = spec.config();
+        let sel = select_auto(&sds, &cfg).expect("selection");
+        let auto_bytes = tac_core::compress_dataset(&sds, &cfg, Method::Auto)
+            .expect("auto compress")
+            .to_bytes()
+            .len();
+        let mut best: Option<(usize, Method, CodecId)> = None;
+        for method in Method::fixed() {
+            for codec in CodecId::all() {
+                let fixed_cfg = TacConfig {
+                    codec,
+                    ..cfg.clone()
+                };
+                let Ok(cd) = tac_core::compress_dataset(&sds, &fixed_cfg, method) else {
+                    continue; // pairs the fixed pipeline rejects cannot be "best"
+                };
+                let bytes = cd.to_bytes().len();
+                if best.map_or(true, |(b, ..)| bytes < b) {
+                    best = Some((bytes, method, codec));
+                }
+            }
+        }
+        let (best_bytes, best_method, best_codec) = best.expect("no fixed pair compresses");
+        let quotient = best_bytes as f64 / auto_bytes as f64;
+        gate(
+            &format!("auto_vs_fixed {}", spec.name),
+            quotient,
+            AUTO_FLOOR,
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"winner_method\": \"{}\", \"winner_codec\": \"{}\", \
+             \"exhaustive\": {}, \"candidates\": {}, \"auto_bytes\": {}, \
+             \"best_fixed_method\": \"{}\", \"best_fixed_codec\": \"{}\", \
+             \"best_fixed_bytes\": {}, \"quotient\": {:.4}}}",
+            spec.name,
+            sel.method.label(),
+            sel.codec.label(),
+            sel.exhaustive,
+            sel.candidates.len(),
+            auto_bytes,
+            best_method.label(),
+            best_codec.label(),
+            best_bytes,
+            quotient,
+        ));
+    }
+    let report = format!(
+        "{{\n  \"report\": \"auto_vs_fixed\",\n  \"floor\": {AUTO_FLOOR},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write("SELECTION_auto.json", report).expect("write SELECTION_auto.json");
+    println!("wrote SELECTION_auto.json");
+
     if failed {
-        eprintln!("perf smoke failed: pco-ans decode regressed against pco-lite");
+        eprintln!("perf smoke failed: a codec or selection gate broke its floor");
         std::process::exit(1);
     }
     println!("perf smoke clean at scale {scale}");

@@ -138,6 +138,21 @@ impl CodecId {
     pub fn all() -> [CodecId; 3] {
         [CodecId::Sz, CodecId::PcoLite, CodecId::PcoAns]
     }
+
+    /// Relative decode-throughput class of the backend, normalized to
+    /// the SZ substrate (1.0). The values come from the repeatable
+    /// raw-dense-stream measurements behind `BENCH_codec.json` (PcoLite
+    /// ~2.4x, PcoAns ~5.4x SZ decode speed) and are deliberately coarse:
+    /// the adaptive selector (`Method::Auto` in `tac-core`) uses them
+    /// only as a small tie-break weight between candidates whose
+    /// estimated sizes are close, never as a substitute for measuring.
+    pub fn throughput_class(self) -> f64 {
+        match self {
+            CodecId::Sz => 1.0,
+            CodecId::PcoLite => 2.4,
+            CodecId::PcoAns => 5.4,
+        }
+    }
 }
 
 impl Default for CodecId {
@@ -426,6 +441,19 @@ mod tests {
         }
         assert!(CodecId::from_tag(99).is_err());
         assert_eq!(CodecId::default(), CodecId::Sz);
+    }
+
+    #[test]
+    fn throughput_classes_are_normalized_to_sz() {
+        assert_eq!(CodecId::Sz.throughput_class(), 1.0);
+        for id in CodecId::all() {
+            let class = id.throughput_class();
+            assert!(class >= 1.0 && class.is_finite(), "{id}: {class}");
+        }
+        // The batch-decode backends really are faster than the SZ
+        // substrate, and the tabled-ANS kernels are the fastest.
+        assert!(CodecId::PcoLite.throughput_class() > CodecId::Sz.throughput_class());
+        assert!(CodecId::PcoAns.throughput_class() > CodecId::PcoLite.throughput_class());
     }
 
     #[test]

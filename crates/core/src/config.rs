@@ -55,6 +55,36 @@ impl Strategy {
     }
 }
 
+/// Tuning knobs of the adaptive `Method::Auto` selection pass (the
+/// TAC+-style per-level method+codec chooser in [`crate::select`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutoParams {
+    /// Datasets with at most this many present values are selected by
+    /// **exhaustive trial compression**: every `(method, codec)`
+    /// candidate runs in full and the smallest payload wins, so the
+    /// choice is exact. Larger datasets fall back to subsampled
+    /// trial-encode estimates.
+    pub exhaustive_limit: usize,
+    /// Per-candidate value budget of the subsampled estimate regime:
+    /// each trial encode sees at most this many values (contiguous
+    /// windows of the candidate's own traversal order), which bounds
+    /// selection cost independently of dataset size.
+    pub sample_budget: usize,
+}
+
+impl Default for AutoParams {
+    fn default() -> Self {
+        AutoParams {
+            // Covers every testkit scenario (finest grids up to 32^3),
+            // so the dominance sweeps run on exact choices.
+            exhaustive_limit: 65_536,
+            // Small enough that the whole sampled selection pass stays
+            // well under 15% of the winner's own compression wall.
+            sample_budget: 2_048,
+        }
+    }
+}
+
 /// Full TAC configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TacConfig {
@@ -103,6 +133,9 @@ pub struct TacConfig {
     /// the v2 container's region-of-interest decode can skip more of
     /// the payload.
     pub roi_tile: Option<usize>,
+    /// Tuning of the `Method::Auto` adaptive selection pass (ignored by
+    /// the fixed methods).
+    pub auto: AutoParams,
 }
 
 impl Default for TacConfig {
@@ -121,6 +154,7 @@ impl Default for TacConfig {
             sz_regression: true,
             parallelism: Parallelism::Auto,
             roi_tile: None,
+            auto: AutoParams::default(),
         }
     }
 }
@@ -177,6 +211,13 @@ impl TacConfig {
         self
     }
 
+    /// Sets the `Method::Auto` selection-pass tuning (exhaustive-trial
+    /// threshold and per-candidate sampling budget).
+    pub fn with_auto(mut self, auto: AutoParams) -> Self {
+        self.auto = auto;
+        self
+    }
+
     /// Error-bound multiplier for level `l` (1.0 when unspecified).
     pub fn level_scale(&self, level: usize) -> f64 {
         self.level_eb_scale.get(level).copied().unwrap_or(1.0)
@@ -213,6 +254,11 @@ impl TacConfig {
         if self.roi_tile == Some(0) {
             return Err(TacError::InvalidConfig(
                 "roi tile must be positive when set".into(),
+            ));
+        }
+        if self.auto.sample_budget == 0 {
+            return Err(TacError::InvalidConfig(
+                "auto sample budget must be positive".into(),
             ));
         }
         Ok(())
@@ -293,6 +339,14 @@ mod tests {
             ..Default::default()
         };
         assert!(c.validate().is_err());
+        let c = TacConfig {
+            auto: AutoParams {
+                sample_budget: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
     }
 
     #[test]
@@ -302,6 +356,19 @@ mod tests {
             .with_roi_tile(8);
         assert_eq!(c.parallelism, Parallelism::Threads(3));
         assert_eq!(c.roi_tile, Some(8));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn auto_params_default_and_build() {
+        let d = AutoParams::default();
+        assert!(d.exhaustive_limit >= 32 * 32 * 32 + 16 * 16 * 16);
+        assert!(d.sample_budget > 0);
+        let c = TacConfig::default().with_auto(AutoParams {
+            exhaustive_limit: 0,
+            sample_budget: 128,
+        });
+        assert_eq!(c.auto.sample_budget, 128);
         assert!(c.validate().is_ok());
     }
 

@@ -90,6 +90,13 @@ pub enum Method {
     /// Coarse levels up-sampled, merged to uniform resolution, compressed
     /// as one 3D array (the paper's "3D baseline").
     Baseline3D,
+    /// Adaptive per-level/per-region selection (TAC+-style): a selection
+    /// pass picks the concrete method and per-level codecs from trial
+    /// encodes or subsampled rate estimates, then compresses with the
+    /// winner. **Encoder-side only**: the container always records the
+    /// concrete winning method (the body is never `Auto`), so every
+    /// existing reader decodes Auto output unchanged.
+    Auto,
 }
 
 impl Method {
@@ -99,6 +106,11 @@ impl Method {
             Method::Baseline1D => 1,
             Method::ZMesh => 2,
             Method::Baseline3D => 3,
+            // Never serialized: the wire tag is derived from the body's
+            // concrete method ([`MethodBody::method`] cannot return
+            // `Auto`), and `from_tag` rejects this value, so a crafted
+            // container cannot claim it either.
+            Method::Auto => 255,
         }
     }
 
@@ -119,7 +131,20 @@ impl Method {
             Method::Baseline1D => "1D",
             Method::ZMesh => "zMesh",
             Method::Baseline3D => "3D",
+            Method::Auto => "Auto",
         }
+    }
+
+    /// The fixed (non-adaptive) methods, in wire-tag order — the
+    /// candidate set `Method::Auto` selects among, and the sweep axis of
+    /// the benchmark and conformance harnesses.
+    pub fn fixed() -> [Method; 4] {
+        [
+            Method::Tac,
+            Method::Baseline1D,
+            Method::ZMesh,
+            Method::Baseline3D,
+        ]
     }
 }
 
@@ -632,6 +657,14 @@ fn parse_v1_body(r: &mut Reader<'_>, prelude: Prelude) -> Result<CompressedDatas
                 stream,
             }
         }
+        // Unreachable by construction: `Method::from_tag` rejects the
+        // Auto sentinel, so a parsed prelude never carries it. Kept as
+        // a corruption error rather than a panic on the decode path.
+        Method::Auto => {
+            return Err(TacError::Corrupt(
+                "Method::Auto is encoder-side only and never serializes".into(),
+            ))
+        }
     };
     if r.remaining() != 0 {
         return Err(TacError::Corrupt(format!(
@@ -888,6 +921,14 @@ fn parse_chunked_tail<'a>(r: &mut Reader<'a>, prelude: Prelude) -> Result<V2Layo
         Method::Baseline3D => {
             let eb = r.get_f64()?;
             V2Meta::Baseline3D(eb, read_codec(r)?)
+        }
+        // Unreachable by construction: `Method::from_tag` rejects the
+        // Auto sentinel, so a parsed prelude never carries it. Kept as
+        // a corruption error rather than a panic on the decode path.
+        Method::Auto => {
+            return Err(TacError::Corrupt(
+                "Method::Auto is encoder-side only and never serializes".into(),
+            ))
         }
     };
 
@@ -1189,6 +1230,19 @@ mod tests {
 
     fn sample_tac() -> CompressedDataset {
         sample_tac_with(CodecId::Sz)
+    }
+
+    #[test]
+    fn auto_method_never_hits_the_wire() {
+        // The sentinel tag is rejected on read, so no container —
+        // written or crafted — can claim `Method::Auto`; only concrete
+        // bodies serialize.
+        assert!(Method::from_tag(Method::Auto.tag()).is_err());
+        assert_eq!(Method::Auto.label(), "Auto");
+        assert!(!Method::fixed().contains(&Method::Auto));
+        for (i, m) in Method::fixed().into_iter().enumerate() {
+            assert_eq!(m.tag() as usize, i, "fixed() must stay in tag order");
+        }
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub(crate) struct LevelPlan<T: Element> {
     pub strategy: Strategy,
     pub dim: usize,
     pub abs_eb: f64,
+    /// Scalar codec every stream of this level compresses through.
+    /// [`plan_level`] seeds it from the config; the `Method::Auto`
+    /// selection pass may overwrite it per level before execution.
+    pub codec: CodecId,
     pub work: LevelWork<T>,
 }
 
@@ -118,6 +122,7 @@ pub(crate) fn plan_level<T: Element>(
         strategy,
         dim,
         abs_eb,
+        codec: cfg.codec,
         work,
     })
 }
@@ -170,7 +175,7 @@ pub(crate) fn compress_plans<T: CodecElement>(
             LevelWork::Empty => {}
             LevelWork::Whole(source) => tasks.push(CompressTask {
                 dim: plan.dim,
-                codec: cfg.codec,
+                codec: plan.codec,
                 codec_cfg,
                 kind: CompressKind::Whole(match source {
                     WholeSource::Level => data,
@@ -181,7 +186,7 @@ pub(crate) fn compress_plans<T: CodecElement>(
                 for g in groups {
                     tasks.push(CompressTask {
                         dim: plan.dim,
-                        codec: cfg.codec,
+                        codec: plan.codec,
                         codec_cfg,
                         kind: CompressKind::Group(g, data),
                     });
@@ -252,7 +257,7 @@ pub(crate) fn compress_plans<T: CodecElement>(
         // the default (the wire format does not tag them).
         let codec = match &payload {
             LevelPayload::Empty => CodecId::default(),
-            _ => cfg.codec,
+            _ => plan.codec,
         };
         out.push(CompressedLevel {
             strategy: plan.strategy,

@@ -29,6 +29,12 @@
 //! ([`CodecId::PcoLite`]). Containers carry the codec tag on the wire,
 //! and pre-codec containers parse unchanged.
 //!
+//! [`Method::Auto`] layers TAC+-style adaptive selection on top: a
+//! deterministic selection pass ([`select_auto`]) scores every fixed
+//! `(method, codec)` candidate — per level, for TAC — and compresses
+//! with the winner, recorded in the method/codec tags the container
+//! already carries. Decode needs no new wire format.
+//!
 //! ```
 //! use tac_amr::{AmrDataset, AmrLevel};
 //! use tac_core::{compress_dataset, decompress_dataset, Method, TacConfig};
@@ -58,11 +64,12 @@ mod nast;
 mod opst;
 mod pipeline;
 mod roi;
+mod select;
 mod stream;
 mod zmesh;
 
 pub use akdtree::{plan_akdtree, AkdPlan};
-pub use config::{Strategy, TacConfig};
+pub use config::{AutoParams, Strategy, TacConfig};
 pub use container::{
     Baseline1DLevel, CompressedDataset, Method, MethodBody, CHUNK_COUNT_PREFIX_BYTES,
     CHUNK_ROW_BYTES_V2, CHUNK_ROW_BYTES_V3, CHUNK_ROW_BYTES_V4, TABLE_FOOTER_BYTES,
@@ -80,6 +87,7 @@ pub use pipeline::{
     resolve_level_eb, resolve_level_eb_for, select_method, AnyDataset,
 };
 pub use roi::{decompress_region, decompress_region_f32, decompress_region_t, RoiStats};
+pub use select::{select_auto, AutoSelection, CandidateEstimate};
 pub use stream::{BlockGroup, CompressedLevel, LevelPayload};
 pub use zmesh::{gather, scatter, zmesh_order, ZmeshEntry};
 

@@ -326,6 +326,51 @@ pub fn compress_dataset_t<T: CodecElement>(
                 stream,
             }
         }
+        Method::Auto => {
+            // TAC+-style adaptive selection: score every fixed
+            // `(method, codec)` candidate (and, for TAC, every per-level
+            // codec) and compress with the winner. The selection pass is
+            // serial and deterministic, so Auto output stays
+            // byte-identical across worker counts like every fixed path.
+            let selection = crate::select::select_auto(ds, cfg)?;
+            if selection.method == Method::Tac {
+                // Re-plan the levels and overwrite each plan's codec
+                // with the selected per-level winner before execution.
+                let mut plans = Vec::with_capacity(ds.num_levels());
+                {
+                    let _plan = tac_obs::span(tac_obs::Stage::Plan);
+                    for (l, level) in ds.levels().iter().enumerate() {
+                        let strategy = choose_strategy(level, cfg);
+                        let abs_eb = if strategy == Strategy::Empty {
+                            EMPTY_LEVEL_EB
+                        } else {
+                            resolve_level_eb_for(
+                                T::DTYPE,
+                                cfg.error_bound,
+                                cfg.level_scale(l),
+                                level.value_range(),
+                            )?
+                        };
+                        let mut plan = engine::plan_level(level, strategy, abs_eb, cfg)?;
+                        if let Some(&codec) = selection.level_codecs.get(l) {
+                            plan.codec = codec;
+                        }
+                        plans.push(plan);
+                    }
+                }
+                let level_data: Vec<&[T]> = ds.levels().iter().map(|l| l.data()).collect();
+                MethodBody::Tac(engine::compress_plans(&plans, &level_data, cfg, workers)?)
+            } else {
+                // A single-codec winner: rerun the fixed pipeline with
+                // the selected codec. The recursion terminates because
+                // the selection never returns `Method::Auto`.
+                let winner_cfg = TacConfig {
+                    codec: selection.codec,
+                    ..cfg.clone()
+                };
+                return compress_dataset_t(ds, &winner_cfg, selection.method);
+            }
+        }
         Method::Baseline3D => {
             let uniform = to_uniform(ds);
             let n = ds.finest_dim();
@@ -938,6 +983,70 @@ mod tests {
             resolve_level_eb_for(TacDtype::F32, ErrorBound::Abs(0.5), 2.0, None).unwrap(),
             1.0
         );
+    }
+
+    #[test]
+    fn auto_roundtrips_and_reports_a_concrete_method() {
+        let ds = blobby_dataset(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            parallelism: Parallelism::Threads(2),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Auto).unwrap();
+        assert_ne!(cd.method(), Method::Auto, "Auto never hits the wire");
+        for bytes in [cd.to_bytes(), cd.to_bytes_v1()] {
+            let parsed = CompressedDataset::from_bytes(&bytes).unwrap();
+            assert_eq!(parsed, cd);
+            let out = decompress_dataset(&parsed).unwrap();
+            for (a, b) in ds.levels().iter().zip(out.levels()) {
+                check_level_bound(a, b, 1e-3);
+            }
+        }
+        // Selection is deterministic and serial: Auto output is
+        // byte-identical for every worker count.
+        let reference = cd.to_bytes();
+        for workers in [1usize, 2, 4, 8] {
+            let cfg_w = TacConfig {
+                parallelism: Parallelism::Threads(workers),
+                ..cfg.clone()
+            };
+            let cd_w = compress_dataset(&ds, &cfg_w, Method::Auto).unwrap();
+            assert_eq!(cd_w.to_bytes(), reference, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn f32_auto_roundtrips_through_the_v4_wire() {
+        let ds = blobby_dataset_f32(16);
+        let cfg = TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            ..Default::default()
+        };
+        let cd = compress_dataset_f32(&ds, &cfg, Method::Auto).unwrap();
+        assert_eq!(cd.dtype, TacDtype::F32);
+        assert_ne!(cd.method(), Method::Auto);
+        let parsed = CompressedDataset::from_bytes(&cd.to_bytes()).unwrap();
+        let out = decompress_dataset_f32(&parsed).unwrap();
+        for (a, b) in ds.levels().iter().zip(out.levels()) {
+            for i in a.mask().iter_ones() {
+                let (x, y) = (a.data()[i], b.data()[i]);
+                assert!((x - y).abs() <= 1e-3 * (1.0 + 1e-5), "cell {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_on_an_empty_dataset_stores_nothing() {
+        // Degenerate input: every level empty. zMesh cannot compress it;
+        // the selection must fall back to a method that can.
+        let ds = AmrDataset::new("void", vec![AmrLevel::empty(8), AmrLevel::empty(4)]);
+        let cfg = TacConfig::default();
+        let cd = compress_dataset(&ds, &cfg, Method::Auto).unwrap();
+        let out = decompress_dataset(&cd).unwrap();
+        assert!(out.levels().iter().all(|l| l.num_present() == 0));
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! Adaptive method+codec selection behind [`Method::Auto`] — the
+//! TAC+-style answer to "no single compressor wins every workload".
+//!
+//! The selection pass scores every fixed `(method, codec)` candidate
+//! and, for the TAC method, every per-level codec independently, then
+//! hands the winning concrete choice back to the pipeline. Two regimes:
+//!
+//! * **Exhaustive** (datasets up to
+//!   [`AutoParams::exhaustive_limit`](crate::AutoParams) present
+//!   values): every candidate is compressed in full and the smallest
+//!   payload wins, so the choice is exact — the per-level TAC mix is by
+//!   construction at least as small as every fixed TAC candidate.
+//! * **Sampled** (larger datasets): each candidate trial-encodes a
+//!   contiguous window of its own traversal order (present values per
+//!   level for TAC/1D, the zMesh gather for zMesh, bytes-per-value
+//!   scaled to the full uniform grid for the 3D baseline), bounded by
+//!   [`AutoParams::sample_budget`](crate::AutoParams) values per
+//!   candidate, and payload sizes are extrapolated from the trials.
+//!
+//! Candidates are scored by estimated payload bytes, nudged by two
+//! small tie-breaks — the codec's measured decode-throughput class
+//! ([`CodecId::throughput_class`]) and the observed error headroom of
+//! the trial reconstruction — each worth at most a few percent, well
+//! inside the dominance tolerance the test suite pins. The pass is
+//! serial and deterministic: identical input and configuration always
+//! select the same candidate, so `Method::Auto` output is byte-identical
+//! for every worker count, like every fixed path.
+//!
+//! The winner is recorded in the per-level method/codec tags the v3/v4
+//! container already carries; **decode needs no new wire format** and
+//! [`Method::Auto`] itself never serializes.
+
+use crate::config::TacConfig;
+use crate::container::{CompressedDataset, Method, MethodBody};
+use crate::error::TacError;
+use crate::pipeline::{compress_dataset_t, resolve_level_eb_for};
+use crate::stream::CompressedLevel;
+use crate::zmesh::{gather, zmesh_order_window};
+use tac_amr::{AmrDataset, BitMask};
+use tac_codec::{codec_for, CodecElement, CodecId, Dims};
+
+/// Weight of the decode-throughput tie-break: the fastest-decoding
+/// codec's score is discounted by at most this fraction, so throughput
+/// only decides between candidates whose sizes are within ~2%.
+const THROUGHPUT_TIEBREAK: f64 = 0.02;
+
+/// Weight of the error-headroom tie-break (sampled regime only, where
+/// trial reconstructions are on hand): a candidate reconstructing well
+/// inside the bound is discounted by at most this fraction.
+const HEADROOM_TIEBREAK: f64 = 0.01;
+
+/// Smallest per-level sample window of the sampled regime: below this,
+/// per-stream header overhead dominates and extrapolation is noise.
+const MIN_WINDOW: usize = 64;
+
+/// One `(method, codec)` candidate the selection pass evaluated.
+#[derive(Debug, Clone)]
+pub struct CandidateEstimate {
+    /// The fixed method of the candidate.
+    pub method: Method,
+    /// The codec of the candidate.
+    pub codec: CodecId,
+    /// Estimated payload bytes (exact in the exhaustive regime).
+    pub estimated_bytes: usize,
+    /// Whether the estimate came from a full trial compression.
+    pub exact: bool,
+    /// The candidate's score (estimated bytes after the throughput and
+    /// headroom tie-break discounts); smaller wins.
+    pub score: f64,
+}
+
+/// The outcome of a [`Method::Auto`] selection pass.
+#[derive(Debug, Clone)]
+pub struct AutoSelection {
+    /// The winning concrete method (never [`Method::Auto`]).
+    pub method: Method,
+    /// The winning codec. For a TAC winner this is the codec of the
+    /// first non-empty level; [`AutoSelection::level_codecs`] carries
+    /// the full per-level assignment.
+    pub codec: CodecId,
+    /// Per-level codec assignment, fine to coarse (TAC winner only;
+    /// empty for the single-stream and 1D winners).
+    pub level_codecs: Vec<CodecId>,
+    /// Whether the exhaustive (exact) regime ran.
+    pub exhaustive: bool,
+    /// Every candidate evaluated, in method/codec sweep order.
+    pub candidates: Vec<CandidateEstimate>,
+}
+
+/// A scored concrete choice under consideration.
+struct Choice {
+    score: f64,
+    method: Method,
+    codec: CodecId,
+    level_codecs: Vec<CodecId>,
+}
+
+/// Scores a candidate: estimated bytes, discounted by the codec's
+/// decode-throughput class and the observed error headroom. Both
+/// discounts are bounded by their tie-break weights, so a candidate can
+/// only out-score another that is genuinely close in size.
+fn score(est: f64, codec: CodecId, headroom: f64) -> f64 {
+    let max_class = CodecId::all()
+        .iter()
+        .map(|c| c.throughput_class())
+        .fold(1.0, f64::max);
+    let span = (max_class - 1.0).max(f64::MIN_POSITIVE);
+    let tp = (codec.throughput_class() - 1.0) / span;
+    est * (1.0 - THROUGHPUT_TIEBREAK * tp) * (1.0 - HEADROOM_TIEBREAK * headroom.clamp(0.0, 1.0))
+}
+
+/// Keeps `candidate` when it strictly out-scores the current winner, so
+/// earlier-considered candidates win ties (the consideration order is
+/// fixed: per-level TAC mix first, then the fixed sweep order).
+fn consider(winner: &mut Option<Choice>, candidate: Choice) {
+    if winner.as_ref().map_or(true, |w| candidate.score < w.score) {
+        *winner = Some(candidate);
+    }
+}
+
+/// Runs the selection pass for `ds` under `cfg` and returns the winning
+/// concrete choice plus every candidate's estimate.
+///
+/// # Errors
+/// Fails only when *every* candidate fails to compress (for example a
+/// relative bound that cannot resolve anywhere); the error of the
+/// TAC-with-configured-codec candidate — the choice the fixed pipeline
+/// would have made — is propagated so `Method::Auto` reports the same
+/// failure the equivalent fixed call would.
+pub fn select_auto<T: CodecElement>(
+    ds: &AmrDataset<T>,
+    cfg: &TacConfig,
+) -> Result<AutoSelection, TacError> {
+    let _select = tac_obs::span(tac_obs::Stage::Select).arg("levels", ds.num_levels());
+    if ds.total_present() <= cfg.auto.exhaustive_limit {
+        select_exhaustive(ds, cfg)
+    } else {
+        select_sampled(ds, cfg)
+    }
+}
+
+/// Exhaustive regime: compress every `(method, codec)` candidate in
+/// full and score serialized container bytes; per level, the TAC
+/// candidate takes the cheapest codec.
+fn select_exhaustive<T: CodecElement>(
+    ds: &AmrDataset<T>,
+    cfg: &TacConfig,
+) -> Result<AutoSelection, TacError> {
+    let mut candidates = Vec::new();
+    // The full container of each successful TAC run, by codec (kept to
+    // assemble the per-level mix exactly).
+    let mut tac_runs: Vec<(CodecId, CompressedDataset)> = Vec::new();
+    let mut winner: Option<Choice> = None;
+    let mut fallback_err: Option<TacError> = None;
+    for method in Method::fixed() {
+        for codec in CodecId::all() {
+            let trial_cfg = TacConfig {
+                codec,
+                ..cfg.clone()
+            };
+            let cd = match compress_dataset_t(ds, &trial_cfg, method) {
+                Ok(cd) => cd,
+                Err(e) => {
+                    // Remember the failure of the choice the fixed
+                    // pipeline would have made, to propagate if nothing
+                    // succeeds at all.
+                    if method == Method::Tac && codec == cfg.codec {
+                        fallback_err = Some(e);
+                    }
+                    continue;
+                }
+            };
+            tac_obs::add(tac_obs::Counter::SelectCandidates, 1);
+            tac_obs::add_bytes(tac_obs::Counter::SelectSampledValues, ds.total_present());
+            // Score what the dominance contract is stated over: the
+            // serialized container, headers and chunk tables included.
+            let est = cd.to_bytes().len();
+            candidates.push(CandidateEstimate {
+                method,
+                codec,
+                estimated_bytes: est,
+                exact: true,
+                score: score(est as f64, codec, 0.0),
+            });
+            if method == Method::Tac {
+                tac_runs.push((codec, cd));
+            }
+        }
+    }
+
+    // The per-level TAC mix: for each level, the codec whose run made
+    // that level smallest (chunk structure is codec-independent, so the
+    // per-level minimum also minimizes the container). The mixed
+    // container is assembled from the trial runs' levels and measured
+    // exactly. It is no larger than any fixed TAC candidate, and it is
+    // considered first, so it wins ties.
+    if let Some((_, first_cd)) = tac_runs.first() {
+        let levels_total = match &first_cd.body {
+            MethodBody::Tac(levels) => levels.len(),
+            _ => 0,
+        };
+        let mut level_codecs = Vec::with_capacity(levels_total);
+        let mut mixed_levels = Vec::with_capacity(levels_total);
+        for l in 0..levels_total {
+            let mut lvl_best: Option<(f64, CodecId, &CompressedLevel)> = None;
+            for (codec, cd) in &tac_runs {
+                let MethodBody::Tac(levels) = &cd.body else {
+                    continue;
+                };
+                let Some(cl) = levels.get(l) else { continue };
+                let s = score(cl.total_bytes() as f64, *codec, 0.0);
+                if lvl_best.map_or(true, |(bs, ..)| s < bs) {
+                    lvl_best = Some((s, *codec, cl));
+                }
+            }
+            let Some((_, codec, cl)) = lvl_best else {
+                continue;
+            };
+            level_codecs.push(codec);
+            mixed_levels.push(cl.clone());
+        }
+        let mixed = CompressedDataset {
+            name: first_cd.name.clone(),
+            finest_dim: first_cd.finest_dim,
+            dtype: first_cd.dtype,
+            masks: first_cd.masks.clone(),
+            body: MethodBody::Tac(mixed_levels),
+        };
+        let est = mixed.to_bytes().len();
+        let codec = representative_codec(ds, &level_codecs, cfg);
+        consider(
+            &mut winner,
+            Choice {
+                score: score(est as f64, codec, 0.0),
+                method: Method::Tac,
+                codec,
+                level_codecs,
+            },
+        );
+    }
+    for c in &candidates {
+        if c.method != Method::Tac {
+            consider(
+                &mut winner,
+                Choice {
+                    score: c.score,
+                    method: c.method,
+                    codec: c.codec,
+                    level_codecs: Vec::new(),
+                },
+            );
+        }
+    }
+    finish(winner, candidates, true, fallback_err)
+}
+
+/// The codec recorded as a TAC winner's headline choice: the assignment
+/// of its first non-empty level (the wire tags every level separately,
+/// so this is presentation only).
+fn representative_codec<T: CodecElement>(
+    ds: &AmrDataset<T>,
+    level_codecs: &[CodecId],
+    cfg: &TacConfig,
+) -> CodecId {
+    ds.levels()
+        .iter()
+        .zip(level_codecs)
+        .find(|(lvl, _)| lvl.num_present() != 0)
+        .map(|(_, &c)| c)
+        .unwrap_or(cfg.codec)
+}
+
+/// One level's contiguous sample window and resolved bound.
+struct LevelSample<T> {
+    level: usize,
+    abs_eb: f64,
+    window: Vec<T>,
+    present: usize,
+}
+
+/// A trial encode of one window: raw stream size and the worst absolute
+/// reconstruction error observed.
+fn trial<T: CodecElement>(
+    codec: CodecId,
+    window: &[T],
+    abs_eb: f64,
+    cfg: &TacConfig,
+) -> Option<(usize, f64)> {
+    let cc = cfg.codec_config(abs_eb);
+    let (stream, recon) =
+        T::codec_compress_with_recon(codec_for(codec), window, Dims::D1(window.len()), &cc).ok()?;
+    tac_obs::add_bytes(tac_obs::Counter::SelectSampledValues, window.len());
+    let worst = window
+        .iter()
+        .zip(&recon)
+        .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+        .fold(0.0, f64::max);
+    Some((stream.len(), worst))
+}
+
+/// Sampled regime: extrapolate every candidate's payload from bounded
+/// trial encodes over contiguous windows of its own traversal order.
+fn select_sampled<T: CodecElement>(
+    ds: &AmrDataset<T>,
+    cfg: &TacConfig,
+) -> Result<AutoSelection, TacError> {
+    let budget = cfg.auto.sample_budget;
+    let present_total = ds.total_present();
+    let mut fallback_err: Option<TacError> = None;
+
+    // One O(present) range scan per level, shared by the per-level
+    // bound resolution and the single-stream candidates' global range.
+    let level_ranges: Vec<Option<(f64, f64)>> =
+        ds.levels().iter().map(|l| l.value_range()).collect();
+
+    // Contiguous prefix windows of present values (literal prefixes of
+    // the 1D streams the per-level methods would encode), budget split
+    // proportionally to level populations.
+    let mut samples: Vec<LevelSample<T>> = Vec::new();
+    for (l, level) in ds.levels().iter().enumerate() {
+        let present = level.num_present();
+        if present == 0 {
+            continue;
+        }
+        let abs_eb = match resolve_level_eb_for(
+            T::DTYPE,
+            cfg.error_bound,
+            cfg.level_scale(l),
+            level_ranges.get(l).copied().flatten(),
+        ) {
+            Ok(eb) => eb,
+            Err(e) => {
+                // The per-level methods would fail on this level; keep
+                // the error for the all-failed case and let the
+                // single-stream candidates still compete.
+                if fallback_err.is_none() {
+                    fallback_err = Some(e);
+                }
+                samples.clear();
+                break;
+            }
+        };
+        let share = ((budget as f64) * (present as f64) / (present_total as f64)).ceil() as usize;
+        let take = share.max(MIN_WINDOW).min(present);
+        let data = level.data();
+        let window: Vec<T> = level
+            .mask()
+            .iter_ones()
+            .take(take)
+            .filter_map(|i| data.get(i).copied())
+            .collect();
+        samples.push(LevelSample {
+            level: l,
+            abs_eb,
+            window,
+            present,
+        });
+    }
+
+    let mut candidates = Vec::new();
+    let mut winner: Option<Choice> = None;
+
+    // TAC and the 1D baseline: per-level extrapolated 1D trials. The
+    // same trials serve both (TAC's 3D regions hold the same values);
+    // TAC is considered first, so it wins the resulting ties, matching
+    // the paper's default preference for level-wise 3D compression.
+    if !samples.is_empty() {
+        // One trial per (level, codec); every estimate below derives
+        // from this single pass.
+        let mut level_trials: Vec<Vec<Option<(f64, f64)>>> = Vec::with_capacity(samples.len());
+        for s in &samples {
+            let mut row = Vec::new();
+            for codec in CodecId::all() {
+                row.push(trial(codec, &s.window, s.abs_eb, cfg).map(|(raw, worst)| {
+                    let scale_factor = (s.present as f64) / (s.window.len() as f64);
+                    (
+                        (raw as f64) * scale_factor,
+                        worst / s.abs_eb.max(f64::MIN_POSITIVE),
+                    )
+                }));
+            }
+            level_trials.push(row);
+        }
+        let mut per_codec_totals: Vec<(CodecId, f64, f64)> = Vec::new(); // (codec, est, worst err ratio)
+        for (ci, codec) in CodecId::all().into_iter().enumerate() {
+            let mut total_est = 0.0;
+            let mut worst_ratio = 0.0f64;
+            let mut ok = true;
+            for row in &level_trials {
+                match row.get(ci).copied().flatten() {
+                    Some((est, ratio)) => {
+                        total_est += est;
+                        worst_ratio = worst_ratio.max(ratio);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                per_codec_totals.push((codec, total_est, worst_ratio));
+            }
+        }
+        let mut level_codecs: Vec<CodecId> = vec![CodecId::default(); ds.num_levels()];
+        let mut mixed_score = 0.0;
+        let mut mixed_est = 0.0;
+        let mut mixed_ok = true;
+        for (s, row) in samples.iter().zip(&level_trials) {
+            let mut lvl_best: Option<(f64, CodecId, f64)> = None;
+            for (ci, codec) in CodecId::all().into_iter().enumerate() {
+                let Some((est, ratio)) = row.get(ci).copied().flatten() else {
+                    continue;
+                };
+                let sc = score(est, codec, 1.0 - ratio);
+                if lvl_best.map_or(true, |(bs, ..)| sc < bs) {
+                    lvl_best = Some((sc, codec, est));
+                }
+            }
+            match lvl_best {
+                Some((sc, codec, est)) => {
+                    if let Some(slot) = level_codecs.get_mut(s.level) {
+                        *slot = codec;
+                    }
+                    mixed_score += sc;
+                    mixed_est += est;
+                }
+                None => mixed_ok = false,
+            }
+        }
+        if mixed_ok {
+            candidates.push(CandidateEstimate {
+                method: Method::Tac,
+                codec: representative_codec(ds, &level_codecs, cfg),
+                estimated_bytes: mixed_est as usize,
+                exact: false,
+                score: mixed_score,
+            });
+            consider(
+                &mut winner,
+                Choice {
+                    score: mixed_score,
+                    method: Method::Tac,
+                    codec: representative_codec(ds, &level_codecs, cfg),
+                    level_codecs,
+                },
+            );
+        }
+        for (codec, est, worst_ratio) in per_codec_totals {
+            let sc = score(est, codec, 1.0 - worst_ratio);
+            candidates.push(CandidateEstimate {
+                method: Method::Baseline1D,
+                codec,
+                estimated_bytes: est as usize,
+                exact: false,
+                score: sc,
+            });
+            consider(
+                &mut winner,
+                Choice {
+                    score: sc,
+                    method: Method::Baseline1D,
+                    codec,
+                    level_codecs: Vec::new(),
+                },
+            );
+        }
+    }
+
+    // Global value range for the single-stream candidates, combined
+    // from the per-level scans above.
+    let global_range =
+        level_ranges
+            .iter()
+            .flatten()
+            .fold(None, |acc: Option<(f64, f64)>, &(lo, hi)| match acc {
+                None => Some((lo, hi)),
+                Some((alo, ahi)) => Some((alo.min(lo), ahi.max(hi))),
+            });
+
+    if let Some(range) = global_range {
+        if let Ok(abs_eb) = resolve_level_eb_for(T::DTYPE, cfg.error_bound, 1.0, Some(range)) {
+            // zMesh: a prefix window of the real geometric traversal,
+            // walked lazily so selection cost stays bounded by the
+            // budget, not the dataset.
+            let mask_refs: Vec<&BitMask> = ds.levels().iter().map(|l| l.mask()).collect();
+            let data_refs: Vec<&[T]> = ds.levels().iter().map(|l| l.data()).collect();
+            let take = budget.max(MIN_WINDOW);
+            let order = zmesh_order_window(&mask_refs, ds.finest_dim(), 0, take);
+            let zwindow: Vec<T> = gather(&order, &data_refs);
+            if !zwindow.is_empty() {
+                // One trial per codec serves both single-stream
+                // candidates: zMesh scales bytes to the present values,
+                // the 3D baseline scales bytes-per-value to the full
+                // uniform grid it would store — which is what correctly
+                // penalizes it on sparse data.
+                let fd = ds.finest_dim();
+                let uniform_cells = (fd * fd) * fd;
+                for codec in CodecId::all() {
+                    let Some((raw, worst)) = trial(codec, &zwindow, abs_eb, cfg) else {
+                        continue;
+                    };
+                    let bpv = (raw as f64) / (zwindow.len() as f64);
+                    let headroom = 1.0 - (worst / abs_eb.max(f64::MIN_POSITIVE));
+                    for (method, est) in [
+                        (Method::ZMesh, bpv * (present_total as f64)),
+                        (Method::Baseline3D, bpv * (uniform_cells as f64)),
+                    ] {
+                        let sc = score(est, codec, headroom);
+                        candidates.push(CandidateEstimate {
+                            method,
+                            codec,
+                            estimated_bytes: est as usize,
+                            exact: false,
+                            score: sc,
+                        });
+                        consider(
+                            &mut winner,
+                            Choice {
+                                score: sc,
+                                method,
+                                codec,
+                                level_codecs: Vec::new(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    tac_obs::add(tac_obs::Counter::SelectCandidates, candidates.len() as u64);
+    finish(winner, candidates, false, fallback_err)
+}
+
+/// Wraps up a pass: the winner (or the propagated fallback error when
+/// nothing succeeded) plus the candidate table.
+fn finish(
+    winner: Option<Choice>,
+    candidates: Vec<CandidateEstimate>,
+    exhaustive: bool,
+    fallback_err: Option<TacError>,
+) -> Result<AutoSelection, TacError> {
+    match winner {
+        Some(w) => {
+            tac_obs::add(tac_obs::Counter::SelectWinnerBytes, w.score as u64);
+            Ok(AutoSelection {
+                method: w.method,
+                codec: w.codec,
+                level_codecs: w.level_codecs,
+                exhaustive,
+                candidates,
+            })
+        }
+        None => Err(fallback_err.unwrap_or_else(|| {
+            TacError::InvalidDataset("auto selection found no viable candidate".into())
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tac_amr::AmrLevel;
+    use tac_sz::ErrorBound;
+
+    /// Two-level dataset with a blobby fine region and smooth values
+    /// (the same shape the pipeline tests use).
+    fn blobby(fine_dim: usize) -> AmrDataset {
+        let coarse_dim = fine_dim / 2;
+        let mut fine = AmrLevel::empty(fine_dim);
+        let mut coarse = AmrLevel::empty(coarse_dim);
+        let c = fine_dim as f64 / 2.0;
+        for z in 0..coarse_dim {
+            for y in 0..coarse_dim {
+                for x in 0..coarse_dim {
+                    let (fx, fy, fz) = (2 * x, 2 * y, 2 * z);
+                    let dist = ((fx as f64 - c).powi(2)
+                        + (fy as f64 - c).powi(2)
+                        + (fz as f64 - c).powi(2))
+                    .sqrt();
+                    if dist < fine_dim as f64 * 0.33 {
+                        for dz in 0..2 {
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let (px, py, pz) = (fx + dx, fy + dy, fz + dz);
+                                    let v = ((px as f64) * 0.3).sin()
+                                        + ((py as f64) * 0.2).cos()
+                                        + pz as f64 * 0.05
+                                        + 5.0;
+                                    fine.set_value(px, py, pz, v);
+                                }
+                            }
+                        }
+                    } else {
+                        let v = ((x as f64) * 0.3).sin() + y as f64 * 0.01 + 3.0;
+                        coarse.set_value(x, y, z, v);
+                    }
+                }
+            }
+        }
+        AmrDataset::new("blobby", vec![fine, coarse])
+    }
+
+    fn cfg() -> TacConfig {
+        TacConfig {
+            unit: 4,
+            error_bound: ErrorBound::Abs(1e-3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exhaustive_winner_is_at_least_as_small_as_every_fixed_pair() {
+        let ds = blobby(16);
+        let sel = select_auto(&ds, &cfg()).unwrap();
+        assert!(sel.exhaustive);
+        assert_ne!(sel.method, Method::Auto);
+        assert_eq!(sel.candidates.len(), 12, "4 methods x 3 codecs");
+        assert!(sel.candidates.iter().all(|c| c.exact));
+        // The winner's score is minimal over every fixed candidate
+        // (modulo the bounded tie-break discounts).
+        let best_fixed = sel
+            .candidates
+            .iter()
+            .map(|c| c.score)
+            .fold(f64::INFINITY, f64::min);
+        if sel.method == Method::Tac {
+            // The per-level mix dominates every fixed TAC candidate.
+            assert_eq!(sel.level_codecs.len(), ds.num_levels());
+        }
+        let winner_score = match sel.method {
+            Method::Tac => best_fixed, // mix score <= fixed TAC scores
+            m => {
+                sel.candidates
+                    .iter()
+                    .find(|c| c.method == m && c.codec == sel.codec)
+                    .unwrap()
+                    .score
+            }
+        };
+        assert!(winner_score <= best_fixed * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let ds = blobby(16);
+        let a = select_auto(&ds, &cfg()).unwrap();
+        let b = select_auto(&ds, &cfg()).unwrap();
+        assert_eq!(a.method, b.method);
+        assert_eq!(a.codec, b.codec);
+        assert_eq!(a.level_codecs, b.level_codecs);
+        assert_eq!(a.candidates.len(), b.candidates.len());
+        for (x, y) in a.candidates.iter().zip(&b.candidates) {
+            assert_eq!(x.estimated_bytes, y.estimated_bytes);
+            assert_eq!(x.score, y.score);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_selects_a_method_that_can_store_it() {
+        // zMesh rejects datasets with no present cells; the selection
+        // must route around it and still pick a working candidate.
+        let ds: AmrDataset = AmrDataset::new("void", vec![AmrLevel::empty(4)]);
+        let sel = select_auto(&ds, &cfg()).unwrap();
+        assert_ne!(sel.method, Method::Auto);
+        assert_ne!(sel.method, Method::ZMesh);
+        assert!(sel.candidates.iter().all(|c| c.method != Method::ZMesh));
+        // The winner genuinely compresses the degenerate input.
+        let trial_cfg = TacConfig {
+            codec: sel.codec,
+            ..cfg()
+        };
+        compress_dataset_t(&ds, &trial_cfg, sel.method).unwrap();
+    }
+
+    #[test]
+    fn sampled_regime_engages_above_the_limit() {
+        let ds = blobby(16);
+        let small = TacConfig {
+            auto: crate::config::AutoParams {
+                exhaustive_limit: 8,
+                sample_budget: 256,
+            },
+            ..cfg()
+        };
+        let sel = select_auto(&ds, &small).unwrap();
+        assert!(!sel.exhaustive);
+        assert_ne!(sel.method, Method::Auto);
+        assert!(sel.candidates.iter().all(|c| !c.exact));
+        // Still deterministic.
+        let again = select_auto(&ds, &small).unwrap();
+        assert_eq!(sel.method, again.method);
+        assert_eq!(sel.level_codecs, again.level_codecs);
+    }
+
+    #[test]
+    fn throughput_tiebreak_is_bounded() {
+        // A candidate may only win on throughput when sizes are within
+        // the tie-break weights (~3% combined) — far inside the 5%
+        // dominance tolerance.
+        for codec in CodecId::all() {
+            let s = score(1000.0, codec, 1.0);
+            assert!(s >= 1000.0 * (1.0 - THROUGHPUT_TIEBREAK - HEADROOM_TIEBREAK));
+            assert!(s <= 1000.0);
+        }
+    }
+}

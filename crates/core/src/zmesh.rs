@@ -41,6 +41,37 @@ pub fn zmesh_order(masks: &[&BitMask], finest_dim: usize) -> Vec<ZmeshEntry> {
     out
 }
 
+/// A bounded window of the zMesh traversal: walks the same order as
+/// [`zmesh_order`], but starts at the coarse-grid cell with flat
+/// row-major index `skip_coarse` and stops once `max_entries` entries
+/// are collected. The `Method::Auto` selection pass uses this to
+/// trial-encode a contiguous slice of the stream without materializing
+/// (or walking) the full traversal.
+pub fn zmesh_order_window(
+    masks: &[&BitMask],
+    finest_dim: usize,
+    skip_coarse: usize,
+    max_entries: usize,
+) -> Vec<ZmeshEntry> {
+    let levels = masks.len();
+    assert!(levels >= 1, "need at least one level");
+    let coarsest = levels - 1;
+    let cdim = finest_dim >> coarsest;
+    let mut out = Vec::new();
+    for c in skip_coarse..cdim * cdim * cdim {
+        if out.len() >= max_entries {
+            break;
+        }
+        let x = c % cdim;
+        let y = (c / cdim) % cdim;
+        let z = c / (cdim * cdim);
+        visit(masks, finest_dim, coarsest, x, y, z, &mut out);
+    }
+    // The last visited subtree may overshoot the cap.
+    out.truncate(max_entries);
+    out
+}
+
 fn visit(
     masks: &[&BitMask],
     finest_dim: usize,

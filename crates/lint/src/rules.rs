@@ -34,6 +34,7 @@ pub const DECODE_PATH_MODULES: &[&str] = &[
     "crates/core/src/stream.rs",
     "crates/core/src/roi.rs",
     "crates/core/src/extract.rs",
+    "crates/core/src/select.rs",
     "crates/sz/src/wire.rs",
     "crates/sz/src/compress.rs",
     "crates/sz/src/huffman.rs",
@@ -53,6 +54,7 @@ pub const DECODE_PATH_MODULES: &[&str] = &[
 pub const WIRE_ARITH_MODULES: &[&str] = &[
     "crates/core/src/container.rs",
     "crates/core/src/stream.rs",
+    "crates/core/src/select.rs",
     "crates/sz/src/wire.rs",
     "crates/sz/src/container.rs",
     "crates/sz/src/compress.rs",

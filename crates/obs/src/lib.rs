@@ -47,6 +47,9 @@ pub enum Stage {
     Decompress,
     /// Engine planning (task construction).
     Plan,
+    /// `Method::Auto` selection pass (candidate trial encodes and
+    /// rate estimates).
+    Select,
     /// Engine task execution (the parallel region).
     Execute,
     /// Engine result assembly into the container.
@@ -77,6 +80,7 @@ impl Stage {
         Stage::Compress,
         Stage::Decompress,
         Stage::Plan,
+        Stage::Select,
         Stage::Execute,
         Stage::Assemble,
         Stage::Encode,
@@ -96,6 +100,7 @@ impl Stage {
             Stage::Compress => "compress",
             Stage::Decompress => "decompress",
             Stage::Plan => "plan",
+            Stage::Select => "select",
             Stage::Execute => "execute",
             Stage::Assemble => "assemble",
             Stage::Encode => "encode",
@@ -155,6 +160,14 @@ pub enum Counter {
     AnsPages,
     /// PcoAns decoder state renormalizations (16-bit word refills).
     AnsRenorms,
+    /// `(method, codec)` candidates evaluated by a `Method::Auto`
+    /// selection pass.
+    SelectCandidates,
+    /// Values trial-encoded by a selection pass (exhaustive trials and
+    /// subsampled estimates alike).
+    SelectSampledValues,
+    /// Estimated payload bytes of the winning selection candidate.
+    SelectWinnerBytes,
 }
 
 impl Counter {
@@ -183,6 +196,9 @@ impl Counter {
         Counter::PcoExceptions,
         Counter::AnsPages,
         Counter::AnsRenorms,
+        Counter::SelectCandidates,
+        Counter::SelectSampledValues,
+        Counter::SelectWinnerBytes,
     ];
 
     /// Index into a shard's counter array.
@@ -214,6 +230,9 @@ impl Counter {
             Counter::PcoExceptions => "pco_exceptions",
             Counter::AnsPages => "ans_pages",
             Counter::AnsRenorms => "ans_renorms",
+            Counter::SelectCandidates => "select_candidates",
+            Counter::SelectSampledValues => "select_sampled_values",
+            Counter::SelectWinnerBytes => "select_winner_bytes",
         }
     }
 }

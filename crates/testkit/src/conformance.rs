@@ -3,7 +3,10 @@
 //! For every scenario in the registry, this harness sweeps the full
 //! combination space the stack promises to be correct on —
 //!
-//! * **method**: TAC, the 1D baseline, zMesh, the 3D baseline;
+//! * **method**: TAC, the 1D baseline, zMesh, the 3D baseline — plus
+//!   one adaptive-selection sweep per scenario ([`Method::Auto`], codec
+//!   label `auto`), which must honor every contract on whatever
+//!   concrete method and per-level codecs it selects;
 //! * **codec**: every registered scalar backend (SZ, pco-lite);
 //! * **container format**: the in-memory container, the legacy v1
 //!   monolith, and the chunked v2/v3 layout (`to_bytes` promotes to v3
@@ -259,24 +262,26 @@ pub fn run_conformance(seed: u64) -> ConformanceReport {
 /// sweep the same method x codec x format x worker space through the
 /// monomorphized `f32` kernel stack and the v4 wire.
 pub fn run_scenarios(specs: &[ScenarioSpec], seed: u64) -> ConformanceReport {
-    let methods = [
-        Method::Tac,
-        Method::Baseline1D,
-        Method::ZMesh,
-        Method::Baseline3D,
-    ];
     let mut cells = Vec::new();
     for spec in specs {
         let ds = spec.build(seed);
         let ds32 = (spec.dtype == TacDtype::F32).then(|| narrow_to_f32(&ds));
-        for method in methods {
+        for method in Method::fixed() {
             for codec in CodecId::all() {
                 cells.extend(match &ds32 {
-                    Some(narrow) => run_cell(spec, narrow, method, codec),
-                    None => run_cell(spec, &ds, method, codec),
+                    Some(narrow) => run_cell(spec, narrow, method, Some(codec)),
+                    None => run_cell(spec, &ds, method, Some(codec)),
                 });
             }
         }
+        // One Auto sweep per scenario: the selection pass picks the
+        // method and codecs itself, so there is no codec axis — every
+        // other contract (bound, worker identity, ROI agreement) is
+        // checked identically on whatever the selection produced.
+        cells.extend(match &ds32 {
+            Some(narrow) => run_cell(spec, narrow, Method::Auto, None),
+            None => run_cell(spec, &ds, Method::Auto, None),
+        });
     }
     let workers = WORKER_COUNTS.into_iter().max().unwrap_or(1);
     ConformanceReport {
@@ -398,17 +403,20 @@ fn datasets_bit_equal<T: Element>(a: &AmrDataset<T>, b: &AmrDataset<T>) -> bool 
 }
 
 /// Runs one scenario x method x codec combination, producing one cell
-/// per container format.
+/// per container format. `codec: None` is the [`Method::Auto`] sweep:
+/// the configured codec stays at the scenario default (selection picks
+/// the real ones) and the cell reports codec `auto`.
 fn run_cell<T: CodecElement>(
     spec: &ScenarioSpec,
     ds: &AmrDataset<T>,
     method: Method,
-    codec: CodecId,
+    codec: Option<CodecId>,
 ) -> Vec<ConformanceCell> {
+    let codec_label = codec.map_or("auto", CodecId::label);
     let cell = |format: ContainerFormat| ConformanceCell {
         scenario: spec.name.to_string(),
         method: method.label().to_string(),
-        codec: codec.label().to_string(),
+        codec: codec_label.to_string(),
         format: format.label().to_string(),
         container_bytes: 0,
         workers_identical: false,
@@ -440,10 +448,11 @@ fn run_cell<T: CodecElement>(
             .collect()
     };
     let cfg_for = |workers: usize| -> TacConfig {
+        let base = spec.config();
         TacConfig {
-            codec,
+            codec: codec.unwrap_or(base.codec),
             parallelism: Parallelism::Threads(workers),
-            ..spec.config()
+            ..base
         }
     };
 
@@ -572,13 +581,15 @@ mod tests {
     fn single_scenario_matrix_passes_and_reports() {
         let spec = scenario("tiny-extremes").unwrap();
         let report = run_scenarios(&[spec], 3);
-        // 4 methods x 3 codecs x 3 formats.
-        assert_eq!(report.cells.len(), 36);
+        // 4 fixed methods x 3 codecs x 3 formats, plus the Auto sweep's
+        // 3 format legs.
+        assert_eq!(report.cells.len(), 39);
         assert!(report.all_pass(), "{}", report.summary());
         let json = report.to_json();
         assert!(json.contains("\"failed\": 0"), "{json}");
         assert!(json.contains("tiny-extremes"));
-        assert!(report.summary().contains("36/36"));
+        assert!(json.contains("\"codec\": \"auto\""), "{json}");
+        assert!(report.summary().contains("39/39"));
     }
 
     #[test]
@@ -598,9 +609,10 @@ mod tests {
         let spec = scenario("checkerboard-f32").unwrap();
         assert_eq!(spec.dtype, TacDtype::F32);
         let report = run_scenarios(&[spec], 5);
-        // Same sweep breadth as an f64 scenario: 4 methods x 3 codecs x
-        // 3 formats, every leg through the monomorphized f32 stack.
-        assert_eq!(report.cells.len(), 36);
+        // Same sweep breadth as an f64 scenario: 4 fixed methods x 3
+        // codecs x 3 formats plus the Auto sweep, every leg through the
+        // monomorphized f32 stack.
+        assert_eq!(report.cells.len(), 39);
         assert!(report.all_pass(), "{}", report.summary());
     }
 

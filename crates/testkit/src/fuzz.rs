@@ -126,6 +126,12 @@ pub fn corpus() -> Vec<Vec<u8>> {
             let cd = compress_dataset(&ds, &cfg, method).expect("corpus compress");
             out.push(cd.to_bytes());
         }
+        // Adaptive selection: the winner is a normal fixed-method
+        // container on the wire, but mixed per-level codec tags only
+        // arise through this path, so mutations should start from one.
+        let cd = compress_dataset(&ds, &cfg, Method::Auto).expect("corpus compress");
+        out.push(cd.to_bytes());
+        out.push(cd.to_bytes_v1());
     }
     // f32 containers: the v4 wire (header dtype tag + per-row tags) and
     // its monolithic v1 sibling join the corpus, so mutations reach the
@@ -142,6 +148,10 @@ pub fn corpus() -> Vec<Vec<u8>> {
             out.push(cd.to_bytes()); // v4
             out.push(cd.to_bytes_v1());
         }
+        // An adaptively-selected f32 container joins the v4 corpus too.
+        let cd = tac_core::compress_dataset_t(&ds, &spec.config(), Method::Auto)
+            .expect("corpus compress");
+        out.push(cd.to_bytes());
     }
     out
 }

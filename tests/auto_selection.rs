@@ -1,0 +1,228 @@
+//! The `Method::Auto` dominance suite.
+//!
+//! Pins the TAC+ selection contract: on every registered scenario, at
+//! the scenario's own error bound, Auto's compression ratio is at least
+//! `DOMINANCE_TOLERANCE` times the best fixed `(method, codec)` pair's
+//! — while never violating the bound (the conformance matrix checks
+//! bound compliance for the same cells). Also pins determinism under
+//! identical seeds, clean fallback on degenerate inputs, and the
+//! selection-overhead budget in the sampled regime.
+
+use tac_core::{
+    compress_dataset, decompress_dataset, select_auto, AutoParams, CodecId, CompressedDataset,
+    Method, Parallelism, TacConfig,
+};
+use tac_testkit::scenarios;
+
+/// Auto must reach at least this fraction of the best fixed pair's
+/// compression ratio on every scenario (the selection's tie-break
+/// discounts are bounded well inside this).
+const DOMINANCE_TOLERANCE: f64 = 0.95;
+
+/// Selection may cost at most this fraction of the total Auto compress
+/// wall in the sampled regime.
+const OVERHEAD_BUDGET: f64 = 0.15;
+
+#[test]
+fn auto_dominates_every_fixed_pair_on_every_scenario() {
+    for spec in scenarios() {
+        let ds = spec.build(7);
+        let cfg = spec.config();
+        let auto_cd = compress_dataset(&ds, &cfg, Method::Auto)
+            .unwrap_or_else(|e| panic!("{}: Auto failed: {e}", spec.name));
+        let auto_bytes = auto_cd.to_bytes().len();
+
+        // The best fixed pair, skipping pairs the fixed pipeline itself
+        // rejects (those cannot be "best").
+        let mut best_fixed: Option<(usize, Method, CodecId)> = None;
+        for method in Method::fixed() {
+            for codec in CodecId::all() {
+                let fixed_cfg = TacConfig {
+                    codec,
+                    ..cfg.clone()
+                };
+                let Ok(cd) = compress_dataset(&ds, &fixed_cfg, method) else {
+                    continue;
+                };
+                let bytes = cd.to_bytes().len();
+                if best_fixed.map_or(true, |(b, ..)| bytes < b) {
+                    best_fixed = Some((bytes, method, codec));
+                }
+            }
+        }
+        let (best_bytes, best_method, best_codec) =
+            best_fixed.unwrap_or_else(|| panic!("{}: no fixed pair compresses", spec.name));
+
+        // Equal error bound, so ratio dominance is byte dominance:
+        // ratio_auto >= tol * ratio_best  <=>  auto <= best / tol.
+        assert!(
+            (auto_bytes as f64) <= (best_bytes as f64) / DOMINANCE_TOLERANCE,
+            "{}: Auto {} bytes ({:?}) vs best fixed {} bytes ({best_method:?}/{best_codec}) \
+             breaks the {DOMINANCE_TOLERANCE} dominance floor",
+            spec.name,
+            auto_bytes,
+            auto_cd.method(),
+            best_bytes,
+        );
+
+        // And the winner still round-trips through the wire it chose.
+        let parsed = CompressedDataset::from_bytes(&auto_cd.to_bytes()).unwrap();
+        assert_eq!(parsed, auto_cd, "{}", spec.name);
+    }
+}
+
+#[test]
+fn auto_is_deterministic_under_identical_seeds() {
+    for name in ["nyx-grf", "shock-front", "spike-field"] {
+        let spec = tac_testkit::scenario(name).unwrap();
+        let cfg = spec.config();
+        let reference = compress_dataset(&spec.build(21), &cfg, Method::Auto)
+            .unwrap()
+            .to_bytes();
+        // Identical seed, fresh dataset build: byte-identical output.
+        let again = compress_dataset(&spec.build(21), &cfg, Method::Auto)
+            .unwrap()
+            .to_bytes();
+        assert_eq!(reference, again, "{name}: same-seed rerun differs");
+        // And across every worker count.
+        for workers in [1usize, 2, 4, 8] {
+            let cfg_w = TacConfig {
+                parallelism: Parallelism::Threads(workers),
+                ..cfg.clone()
+            };
+            let bytes = compress_dataset(&spec.build(21), &cfg_w, Method::Auto)
+                .unwrap()
+                .to_bytes();
+            assert_eq!(reference, bytes, "{name}: {workers} workers differ");
+        }
+        // A different seed is allowed to differ (and practically does),
+        // but must still produce a decodable container.
+        let other = compress_dataset(&spec.build(22), &cfg, Method::Auto).unwrap();
+        decompress_dataset(&other).unwrap();
+    }
+}
+
+#[test]
+fn degenerate_inputs_fall_back_cleanly() {
+    use tac_amr::{AmrDataset, AmrLevel};
+
+    // All levels empty: zMesh cannot compress this; Auto must route
+    // around it and still store (and restore) the empty structure.
+    let void = AmrDataset::new("void", vec![AmrLevel::empty(8), AmrLevel::empty(4)]);
+    let cfg = TacConfig::with_error_bound(tac_sz::ErrorBound::Abs(1e-3));
+    let cd = compress_dataset(&void, &cfg, Method::Auto).unwrap();
+    assert_ne!(cd.method(), Method::Auto);
+    let out = decompress_dataset(&CompressedDataset::from_bytes(&cd.to_bytes()).unwrap()).unwrap();
+    assert!(out.levels().iter().all(|l| l.num_present() == 0));
+
+    // A single-chunk dataset (one tiny dense level, no ROI tiling): the
+    // selection has exactly one chunk per candidate to work with.
+    let tiny = AmrDataset::new(
+        "tiny",
+        vec![AmrLevel::dense(4, (0..64).map(|i| i as f64).collect())],
+    );
+    let cd = compress_dataset(&tiny, &cfg, Method::Auto).unwrap();
+    let out = decompress_dataset(&cd).unwrap();
+    for (a, b) in tiny.levels()[0].data().iter().zip(out.levels()[0].data()) {
+        assert!((a - b).abs() <= 1e-3 * (1.0 + 1e-9));
+    }
+
+    // A single present value.
+    let mut lone = AmrLevel::empty(4);
+    lone.set_value(1, 2, 3, 42.0);
+    let one = AmrDataset::new("one", vec![lone]);
+    let cd = compress_dataset(&one, &cfg, Method::Auto).unwrap();
+    let out = decompress_dataset(&cd).unwrap();
+    assert!((out.levels()[0].value(1, 2, 3) - 42.0).abs() <= 1e-3 * (1.0 + 1e-9));
+}
+
+#[test]
+fn selection_overhead_is_bounded_in_the_sampled_regime() {
+    use tac_amr::{AmrDataset, AmrLevel};
+
+    // 96^3 dense values: well above the default exhaustive limit, so
+    // the selection runs bounded trial encodes rather than full
+    // candidate compressions. (Trial cost is constant in dataset size;
+    // right at the regime boundary the compress wall is at its
+    // smallest, so the fraction is measured where sampling is actually
+    // meant to amortize.)
+    let dim = 96usize;
+    let data: Vec<f64> = (0..dim * dim * dim)
+        .map(|i| ((i as f64) * 0.001).sin() + (i as f64) * 1e-6)
+        .collect();
+    let ds = AmrDataset::new("sampled-regime", vec![AmrLevel::dense(dim, data)]);
+    let cfg = TacConfig::default();
+    assert!(
+        ds.total_present() > cfg.auto.exhaustive_limit,
+        "dataset too small to exercise the sampled regime"
+    );
+    let sel = select_auto(&ds, &cfg).unwrap();
+    assert!(!sel.exhaustive, "expected the sampled regime");
+
+    let best_of = |reps: usize, mut f: Box<dyn FnMut()>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let ds_ref = &ds;
+    let cfg_ref = &cfg;
+    let t_select = best_of(
+        3,
+        Box::new(move || {
+            select_auto(ds_ref, cfg_ref).unwrap();
+        }),
+    );
+    let t_total = best_of(
+        3,
+        Box::new(move || {
+            compress_dataset(ds_ref, cfg_ref, Method::Auto).unwrap();
+        }),
+    );
+    println!(
+        "selection {t_select:.4}s of {t_total:.4}s Auto compress \
+         ({:.1}% of the {:.0}% budget)",
+        100.0 * t_select / t_total,
+        100.0 * OVERHEAD_BUDGET,
+    );
+    assert!(
+        t_select <= t_total * OVERHEAD_BUDGET,
+        "selection took {t_select:.4}s of a {t_total:.4}s Auto compress \
+         ({:.1}% > {:.0}% budget)",
+        100.0 * t_select / t_total,
+        100.0 * OVERHEAD_BUDGET,
+    );
+}
+
+#[test]
+fn sampling_budget_is_tunable_and_validated() {
+    let cfg = TacConfig::default().with_auto(AutoParams {
+        exhaustive_limit: 0,
+        sample_budget: 128,
+    });
+    cfg.validate().unwrap();
+    // A zero budget is rejected up front.
+    let bad = TacConfig::default().with_auto(AutoParams {
+        exhaustive_limit: 0,
+        sample_budget: 0,
+    });
+    assert!(bad.validate().is_err());
+    // With the limit forced to zero every dataset takes the sampled
+    // path, and it still produces a valid container.
+    let spec = tac_testkit::scenario("nyx-grf").unwrap();
+    let ds = spec.build(3);
+    let cfg = TacConfig {
+        auto: AutoParams {
+            exhaustive_limit: 0,
+            sample_budget: 128,
+        },
+        ..spec.config()
+    };
+    let sel = select_auto(&ds, &cfg).unwrap();
+    assert!(!sel.exhaustive);
+    let cd = compress_dataset(&ds, &cfg, Method::Auto).unwrap();
+    tac_core::decompress_dataset(&cd).unwrap();
+}

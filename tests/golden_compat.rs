@@ -449,6 +449,82 @@ fn golden_ans_v4_decodes_bit_exactly() {
     }
 }
 
+/// The adaptive-selection fixture (v1, f64): whatever winner
+/// `Method::Auto` picked when the fixture was baselined, pinned as
+/// ordinary container bytes. Decoding needs no knowledge of the
+/// selection — and re-running today's selection must reproduce the
+/// pinned bytes, so the determinism contract is itself under pin.
+#[test]
+fn golden_auto_v1_decodes_bit_exactly() {
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join("golden_auto_v1.tacd"))
+        .unwrap_or_else(|e| panic!("missing fixture golden_auto_v1.tacd: {e}"));
+    let expected = decode_expected(&std::fs::read(dir.join("golden_auto_expected.bin")).unwrap());
+
+    let cd = CompressedDataset::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("golden_auto_v1 no longer parses: {e}"));
+    assert_ne!(cd.method(), Method::Auto, "Auto never reaches the wire");
+    assert_eq!(cd.to_bytes_v1(), bytes);
+    let out = decompress_dataset(&cd).unwrap();
+    assert_eq!(out.num_levels(), expected.len());
+    for (l, ((dim, want), level)) in expected.iter().zip(out.levels()).enumerate() {
+        assert_eq!(level.dim(), *dim, "level {l} dim");
+        for (i, (a, b)) in want.iter().zip(level.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "golden_auto_v1 level {l} cell {i}: {a} vs {b}"
+            );
+        }
+    }
+    // The selection itself is deterministic across revisions.
+    let again = compress_dataset(&fixture_dataset(), &fixture_config(), Method::Auto).unwrap();
+    assert_eq!(
+        again.to_bytes_v1(),
+        bytes,
+        "today's selection no longer reproduces the pinned container"
+    );
+}
+
+/// The f32 flavour: the adaptively-selected container promotes to the
+/// dtype-tagged v4 wire like any fixed-method f32 container.
+#[test]
+fn golden_auto_v4_decodes_bit_exactly() {
+    let dir = data_dir();
+    let bytes = std::fs::read(dir.join("golden_auto_v4.tacd"))
+        .unwrap_or_else(|e| panic!("missing fixture golden_auto_v4.tacd: {e}"));
+    assert_eq!(&bytes[..4], b"TACD");
+    assert_eq!(bytes[4], 4, "fixture is not a v4 container");
+    assert_eq!(bytes[6], TacDtype::F32.tag(), "fixture is not tagged f32");
+    let expected =
+        decode_expected_f32(&std::fs::read(dir.join("golden_auto_f32_expected.bin")).unwrap());
+
+    let cd = CompressedDataset::from_bytes(&bytes)
+        .unwrap_or_else(|e| panic!("golden_auto_v4 no longer parses: {e}"));
+    assert_ne!(cd.method(), Method::Auto, "Auto never reaches the wire");
+    assert_eq!(cd.to_bytes(), bytes);
+    assert!(decompress_dataset(&cd).is_err(), "f64 decode must refuse");
+    let out = decompress_dataset_f32(&cd).unwrap();
+    assert_eq!(out.num_levels(), expected.len());
+    for (l, ((dim, want), level)) in expected.iter().zip(out.levels()).enumerate() {
+        assert_eq!(level.dim(), *dim, "level {l} dim");
+        for (i, (a, b)) in want.iter().zip(level.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "golden_auto_v4 level {l} cell {i}: {a} vs {b}"
+            );
+        }
+    }
+    let again =
+        compress_dataset_f32(&fixture_dataset_f32(), &fixture_config(), Method::Auto).unwrap();
+    assert_eq!(
+        again.to_bytes(),
+        bytes,
+        "today's selection no longer reproduces the pinned container"
+    );
+}
+
 /// Writes the fixtures from whatever code base is currently checked out.
 /// Deliberately `#[ignore]`d: running it against a revision with a
 /// different wire format would erase the evidence the tests above exist
@@ -520,6 +596,40 @@ fn regenerate_golden_ans_fixtures() {
     )
     .unwrap();
     println!("wrote golden_ans fixtures to {}", dir.display());
+}
+
+/// Writes only the adaptive-selection fixtures (`golden_auto_v1` — f64,
+/// monolithic — and `golden_auto_v4` — f32, dtype-tagged chunked), each
+/// with its bit-exact expected reconstruction. Separate from the other
+/// regenerators so re-baselining the selection pass never silently
+/// rewrites the fixed-method fixtures (and vice versa).
+#[test]
+#[ignore = "regenerates the auto-selection golden fixtures; run only to intentionally re-baseline"]
+fn regenerate_golden_auto_fixtures() {
+    let dir = data_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let cd = compress_dataset(&fixture_dataset(), &fixture_config(), Method::Auto).unwrap();
+    std::fs::write(dir.join("golden_auto_v1.tacd"), cd.to_bytes_v1()).unwrap();
+    let recon = decompress_dataset(&cd).unwrap();
+    std::fs::write(
+        dir.join("golden_auto_expected.bin"),
+        encode_expected(&recon),
+    )
+    .unwrap();
+
+    let cd32 =
+        compress_dataset_f32(&fixture_dataset_f32(), &fixture_config(), Method::Auto).unwrap();
+    let bytes = cd32.to_bytes();
+    assert_eq!(bytes[4], 4, "f32 container did not promote to v4");
+    std::fs::write(dir.join("golden_auto_v4.tacd"), &bytes).unwrap();
+    let recon32 = decompress_dataset_f32(&cd32).unwrap();
+    std::fs::write(
+        dir.join("golden_auto_f32_expected.bin"),
+        encode_expected_f32(&recon32),
+    )
+    .unwrap();
+    println!("wrote golden_auto fixtures to {}", dir.display());
 }
 
 /// Writes only the f32/v4 fixtures. Separate for the same reason as the

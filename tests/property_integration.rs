@@ -226,6 +226,40 @@ proptest! {
         }
     }
 
+    /// `Method::Auto` selects some concrete winner; the resulting
+    /// container round-trips within the bound, parses back equal, and
+    /// re-serialization is byte-stable: `to_bytes -> parse -> to_bytes`
+    /// is the identity on bytes (for both wire versions).
+    #[test]
+    fn auto_containers_roundtrip_and_reserialize_byte_stably(
+        refine in prop::collection::vec(any::<bool>(), 64),
+        seed in 0u64..200,
+    ) {
+        let ds = dataset_from_refinement(4, &refine, seed);
+        prop_assume!(ds.total_present() > 0);
+        let cfg = TacConfig {
+            unit: 2,
+            error_bound: ErrorBound::Abs(0.5),
+            ..Default::default()
+        };
+        let cd = compress_dataset(&ds, &cfg, Method::Auto).unwrap();
+        prop_assert!(cd.method() != Method::Auto, "Auto never serializes");
+        let out = decompress_dataset(&cd).unwrap();
+        for (a, b) in ds.levels().iter().zip(out.levels()) {
+            prop_assert_eq!(a.mask(), b.mask());
+            for i in a.mask().iter_ones() {
+                prop_assert!((a.data()[i] - b.data()[i]).abs() <= 0.5 * (1.0 + 1e-9));
+            }
+        }
+        let latest = cd.to_bytes();
+        let parsed = tac_core::CompressedDataset::from_bytes(&latest).unwrap();
+        prop_assert_eq!(&parsed, &cd);
+        prop_assert_eq!(parsed.to_bytes(), latest.clone());
+        let v1 = cd.to_bytes_v1();
+        let p1 = tac_core::CompressedDataset::from_bytes(&v1).unwrap();
+        prop_assert_eq!(p1.to_bytes_v1(), v1.clone());
+    }
+
     /// v2 region-of-interest decoding is a restriction of the full
     /// decode: inside a random ROI every cell matches the full
     /// reconstruction, and the decoder never reads more payload than
